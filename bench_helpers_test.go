@@ -1,0 +1,26 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// deviceFleet builds the standard five-device cloud for benches.
+func deviceFleet(env *sim.Environment) ([]*device.Device, error) {
+	return device.StandardFleet(env, 2025)
+}
+
+// newCoreEnv assembles a default-config simulation for benches.
+func newCoreEnv(env *sim.Environment, fleet []*device.Device, pol policy.Policy) (*core.QCloudSimEnv, error) {
+	return core.NewQCloudSimEnv(env, fleet, pol, core.DefaultConfig())
+}
+
+// coreDefaultConfig exposes the default model constants to benches.
+func coreDefaultConfig() core.Config { return core.DefaultConfig() }
+
+// coreNewEnv assembles a simulation with an explicit configuration.
+func coreNewEnv(env *sim.Environment, fleet []*device.Device, pol policy.Policy, cfg core.Config) (*core.QCloudSimEnv, error) {
+	return core.NewQCloudSimEnv(env, fleet, pol, cfg)
+}

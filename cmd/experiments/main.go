@@ -1,0 +1,217 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 2, Figure 5, Figure 6, and the ablation sweeps. Artifacts print
+// to stdout; -outdir additionally writes CSVs for external plotting.
+//
+// Examples:
+//
+//	experiments -artifact table2
+//	experiments -artifact fig5 -train 100000
+//	experiments -artifact all -n 1000 -outdir artifacts/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		artifact  = flag.String("artifact", "all", "which artifact: table2|fig5|fig6|ablations|replicate|all")
+		n         = flag.Int("n", 1000, "workload size (paper: 1000)")
+		train     = flag.Int("train", 100000, "PPO training timesteps (paper: 100000)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		fleetSeed = flag.Int64("fleet-seed", 2025, "calibration snapshot seed")
+		outdir    = flag.String("outdir", "", "optional directory for CSV artifacts")
+	)
+	flag.Parse()
+
+	cs := experiments.Default()
+	cs.Workload.N = *n
+	cs.Workload.Seed = *seed
+	cs.FleetSeed = *fleetSeed
+	cs.TrainSteps = *train
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	switch *artifact {
+	case "replicate":
+		return replicate(cs)
+	case "table2":
+		return table2(cs, *outdir)
+	case "fig5":
+		return fig5(cs, *outdir)
+	case "fig6":
+		return fig6(cs, *outdir)
+	case "ablations":
+		return ablations(cs)
+	case "all":
+		if err := fig5(cs, *outdir); err != nil {
+			return err
+		}
+		if err := table2(cs, *outdir); err != nil {
+			return err
+		}
+		if err := fig6(cs, *outdir); err != nil {
+			return err
+		}
+		return ablations(cs)
+	default:
+		return fmt.Errorf("unknown artifact %q", *artifact)
+	}
+}
+
+// replicate reports Table 2 metrics as mean ± std over five workload
+// seeds — the statistical replication the paper's single run lacks.
+func replicate(cs *experiments.CaseStudy) error {
+	seeds := []int64{1, 2, 3, 4, 5}
+	fmt.Printf("== Table 2 replicated over %d workload seeds ==\n", len(seeds))
+	fmt.Printf("%-10s %26s %24s %24s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)")
+	for _, mode := range experiments.Modes {
+		rep, err := cs.RunReplicated(mode, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %14.0f +- %8.0f %14.5f +- %.5f %14.0f +- %7.0f\n",
+			mode, rep.TsimStat.Mean, rep.TsimStat.Std,
+			rep.MuFStat.Mean, rep.MuFStat.Std,
+			rep.TcommStat.Mean, rep.TcommStat.Std)
+	}
+	return nil
+}
+
+func table2(cs *experiments.CaseStudy, outdir string) error {
+	fmt.Printf("== Table 2: performance of allocation strategies on %d large circuits ==\n", cs.Workload.N)
+	rows, err := cs.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %22s %14s\n", "Mode", "T_sim (s)", "muF +- sigmaF", "T_comm (s)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %14.2f %14.5f +- %.5f %14.2f\n",
+			r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd, r.TotalCommTime)
+	}
+	if outdir != "" {
+		f, err := os.Create(filepath.Join(outdir, "table2.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
+		for _, r := range rows {
+			fmt.Fprintf(f, "%s,%g,%g,%g,%g,%g,%g\n",
+				r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd,
+				r.TotalCommTime, r.MeanDevicesPerJob, r.MeanWaitTime)
+		}
+		fmt.Println("wrote", f.Name())
+	}
+	return nil
+}
+
+func fig5(cs *experiments.CaseStudy, outdir string) error {
+	fmt.Printf("== Figure 5: PPO training progress (%d timesteps) ==\n", cs.TrainSteps)
+	_, hist, err := cs.TrainRL(nil)
+	if err != nil {
+		return err
+	}
+	reward, entropy := experiments.Fig5Series(hist)
+	stride := len(hist)/20 + 1
+	fmt.Printf("%10s %16s %14s\n", "timesteps", "mean_ep_reward", "entropy_loss")
+	for i := 0; i < len(hist); i += stride {
+		fmt.Printf("%10.0f %16.4f %14.3f\n", reward.X[i], reward.Y[i], entropy.Y[i])
+	}
+	last := len(hist) - 1
+	fmt.Printf("%10.0f %16.4f %14.3f  (final)\n", reward.X[last], reward.Y[last], entropy.Y[last])
+	if outdir != "" {
+		f, err := os.Create(filepath.Join(outdir, "fig5_training.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := stats.WriteSeriesCSV(f, reward, entropy); err != nil {
+			return err
+		}
+		fmt.Println("wrote", f.Name())
+	}
+	return nil
+}
+
+func fig6(cs *experiments.CaseStudy, outdir string) error {
+	fmt.Printf("== Figure 6: fidelity distributions per strategy (%d jobs) ==\n", cs.Workload.N)
+	runs, err := cs.RunAll()
+	if err != nil {
+		return err
+	}
+	hists := experiments.Fig6Histograms(runs, 40)
+	for _, mode := range experiments.Modes {
+		h := hists[mode]
+		sum := stats.Summarize(runs[mode].Fidelities)
+		fmt.Printf("\n-- %s (mean %.4f, std %.4f, mode-of-dist %.4f) --\n",
+			mode, sum.Mean, sum.Std, h.Mode())
+		if err := h.RenderASCII(os.Stdout, 60); err != nil {
+			return err
+		}
+		if outdir != "" {
+			f, err := os.Create(filepath.Join(outdir, "fig6_"+mode+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := h.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Println("wrote", f.Name())
+		}
+	}
+	return nil
+}
+
+func ablations(cs *experiments.CaseStudy) error {
+	fmt.Println("== Ablation: communication penalty phi (speed mode) ==")
+	phiPoints, err := cs.PhiSweep("speed", []float64{0.85, 0.90, 0.95, 1.0})
+	if err != nil {
+		return err
+	}
+	for _, p := range phiPoints {
+		fmt.Printf("  phi=%.2f  muF=%.5f\n", p.Param, p.Results.FidelityMean)
+	}
+
+	fmt.Println("== Ablation: per-qubit latency lambda (fair mode) ==")
+	lamPoints, err := cs.LambdaSweep("fair", []float64{0.0, 0.02, 0.05, 0.1})
+	if err != nil {
+		return err
+	}
+	for _, p := range lamPoints {
+		fmt.Printf("  lambda=%.2f  Tcomm=%.1f  Tsim=%.1f\n",
+			p.Param, p.Results.TotalCommTime, p.Results.TotalSimTime)
+	}
+
+	fmt.Println("== Ablation: RL deployment mode (sampled vs deterministic) ==")
+	sampled, det, err := cs.RLDeploymentAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  sampled:       muF=%.5f sigma=%.5f Tcomm=%.1f k=%.2f\n",
+		sampled.Results.FidelityMean, sampled.Results.FidelityStd,
+		sampled.Results.TotalCommTime, sampled.Results.MeanDevicesPerJob)
+	fmt.Printf("  deterministic: muF=%.5f sigma=%.5f Tcomm=%.1f k=%.2f\n",
+		det.Results.FidelityMean, det.Results.FidelityStd,
+		det.Results.TotalCommTime, det.Results.MeanDevicesPerJob)
+	return nil
+}

@@ -1,0 +1,191 @@
+// Command qcloudsim runs one quantum-cloud scheduling simulation: it
+// builds the standard five-device cloud, loads or generates a workload,
+// applies the chosen allocation policy, and prints the Table 2 metrics
+// plus per-device load shares.
+//
+// Examples:
+//
+//	qcloudsim -policy speed -n 200
+//	qcloudsim -policy fidelity -jobs workload.csv
+//	qcloudsim -policy rlbase -rlmodel policy.json -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/rlsched"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qcloudsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath   = flag.String("config", "", "JSON simulation spec (Configurations Layer; overrides most flags)")
+		polName      = flag.String("policy", "speed", "allocation policy: speed|fidelity|fair|rlbase|speed-proportional|fair-proportional")
+		jobsPath     = flag.String("jobs", "", "CSV or JSON workload file (default: synthetic)")
+		n            = flag.Int("n", 1000, "synthetic workload size")
+		seed         = flag.Int64("seed", 1, "synthetic workload seed")
+		fleetSeed    = flag.Int64("fleet-seed", 2025, "calibration snapshot seed")
+		interarrival = flag.Float64("interarrival", 60, "mean inter-arrival time (s)")
+		mConst       = flag.Int("m", 10, "Eq.3 circuit-template constant M")
+		kConst       = flag.Int("k", 10, "Eq.3 parameter-update constant K")
+		phi          = flag.Float64("phi", 0.95, "Eq.8 per-link fidelity penalty")
+		lambda       = flag.Float64("lambda", 0.02, "Eq.9 per-qubit comm latency (s)")
+		rlModel      = flag.String("rlmodel", "", "trained policy JSON (required for -policy rlbase)")
+		rlSeed       = flag.Int64("rlseed", 7, "deployment sampling seed for rlbase")
+		backfill     = flag.Bool("backfill", false, "enable EASY-style backfill dispatch")
+		driftEvery   = flag.Float64("drift-interval", 0, "recalibration interval in s (0 = static calibration)")
+		driftMag     = flag.Float64("drift-magnitude", 0.2, "relative calibration drift per recalibration")
+		export       = flag.String("export", "", "write per-job records CSV to this path")
+		verbose      = flag.Bool("v", false, "print per-job records")
+	)
+	flag.Parse()
+
+	env := sim.NewEnvironment()
+
+	if *configPath != "" {
+		spec, err := config.LoadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		simEnv, jobs, err := spec.Build(env, filepath.Dir(*configPath))
+		if err != nil {
+			return err
+		}
+		simEnv.SubmitWorkload(jobs)
+		res, err := simEnv.Run()
+		if err != nil {
+			return err
+		}
+		return report(simEnv, res, *export, *verbose)
+	}
+
+	fleet, err := device.StandardFleet(env, *fleetSeed)
+	if err != nil {
+		return err
+	}
+
+	var pol policy.Policy
+	switch *polName {
+	case "speed":
+		pol = policy.Speed{}
+	case "fidelity":
+		pol = policy.Fidelity{}
+	case "fair":
+		pol = policy.Fair{}
+	case "speed-proportional":
+		pol = policy.ProportionalSpeed{}
+	case "fair-proportional":
+		pol = policy.ProportionalFair{}
+	case "rlbase":
+		if *rlModel == "" {
+			return fmt.Errorf("-policy rlbase requires -rlmodel (train one with ppotrain)")
+		}
+		trained, err := rlsched.LoadPolicy(*rlModel)
+		if err != nil {
+			return err
+		}
+		pol = rlsched.NewRLPolicy(trained, *rlSeed)
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+
+	jobs, err := loadJobs(*jobsPath, *n, *seed, *interarrival)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{M: *mConst, K: *kConst, Phi: *phi, Lambda: *lambda, Backfill: *backfill}
+	simEnv, err := core.NewQCloudSimEnv(env, fleet, pol, cfg)
+	if err != nil {
+		return err
+	}
+	simEnv.SubmitWorkload(jobs)
+	if *driftEvery > 0 {
+		if err := simEnv.EnableCalibrationDrift(*driftEvery, *driftMag, *seed); err != nil {
+			return err
+		}
+	}
+	res, err := simEnv.Run()
+	if err != nil {
+		return err
+	}
+	return report(simEnv, res, *export, *verbose)
+}
+
+// report prints the run summary and optionally exports per-job records.
+func report(simEnv *core.QCloudSimEnv, res core.Results, export string, verbose bool) error {
+	fmt.Printf("policy      %s\n", res.Policy)
+	fmt.Printf("jobs        %d\n", res.JobsFinished)
+	fmt.Printf("T_sim       %.2f s\n", res.TotalSimTime)
+	fmt.Printf("fidelity    %.5f +- %.5f\n", res.FidelityMean, res.FidelityStd)
+	fmt.Printf("T_comm      %.2f s\n", res.TotalCommTime)
+	fmt.Printf("mean wait   %.2f s\n", res.MeanWaitTime)
+	fmt.Printf("mean k      %.2f devices/job\n", res.MeanDevicesPerJob)
+	util := make(map[string]float64, len(simEnv.Cloud.Devices()))
+	for _, d := range simEnv.Cloud.Devices() {
+		util[d.Name()] = d.Utilization()
+	}
+	fmt.Println("device load:")
+	for _, share := range simEnv.Records.DeviceLoadShare() {
+		fmt.Printf("  %-16s %5d sub-jobs (%4.1f%%)  utilization %4.1f%%\n",
+			share.Name, share.SubJobs, 100*share.Share, 100*util[share.Name])
+	}
+	if export != "" {
+		f, err := os.Create(export)
+		if err != nil {
+			return err
+		}
+		if err := simEnv.Records.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("records written to", export)
+	}
+	if verbose {
+		fmt.Println("per-job records:")
+		for _, s := range simEnv.Records.Finished() {
+			fmt.Printf("  %-10s wait=%9.1f exec=%9.1f F=%.4f k=%d devices=%s\n",
+				s.JobID, s.WaitTime(), s.ExecTime(), s.Fidelity, s.Devices,
+				strings.Join(s.DeviceNames, ","))
+		}
+	}
+	return nil
+}
+
+func loadJobs(path string, n int, seed int64, interarrival float64) ([]*job.QJob, error) {
+	if path == "" {
+		cfg := job.DefaultSyntheticConfig()
+		cfg.N = n
+		cfg.Seed = seed
+		cfg.MeanInterarrival = interarrival
+		return job.Synthetic(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		return job.LoadJSON(f)
+	}
+	return job.LoadCSV(f)
+}

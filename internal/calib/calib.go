@@ -1,0 +1,199 @@
+// Package calib models quantum-device calibration data: per-qubit readout
+// errors, single-qubit gate errors, per-coupling two-qubit gate errors,
+// and coherence times — the information IBM publishes for each processor
+// and that the paper's error-aware scheduling consumes (§5.4).
+//
+// The paper used IBM calibration snapshots from March 2025 for five Eagle
+// processors. Those snapshots are not redistributable, so this package
+// also generates synthetic snapshots whose summary statistics match the
+// published per-device characteristics (see Profiles).
+package calib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GateError records a two-qubit gate's calibrated error rate on one
+// coupling-map edge.
+type GateError struct {
+	// Qubit0 and Qubit1 are the coupled physical qubits.
+	Qubit0, Qubit1 int
+	// Error is the gate's average error rate in [0,1].
+	Error float64
+}
+
+// Snapshot is one device calibration: the data returned by a calibration
+// job at a point in time.
+type Snapshot struct {
+	// DeviceName identifies the processor, e.g. "ibm_quebec".
+	DeviceName string
+	// Timestamp records when the calibration was taken (RFC 3339).
+	Timestamp string
+	// ReadoutError holds the per-qubit measurement error rates.
+	ReadoutError []float64
+	// SingleQubitError holds the per-qubit RX-gate error rates.
+	SingleQubitError []float64
+	// TwoQubitErrors holds per-edge two-qubit gate error rates.
+	TwoQubitErrors []GateError
+	// T1 and T2 are per-qubit relaxation and dephasing times (µs).
+	// They are carried for completeness and future noise models; the
+	// paper's error score does not use them.
+	T1, T2 []float64
+}
+
+// Validate checks internal consistency and error-rate ranges.
+func (s *Snapshot) Validate() error {
+	n := len(s.ReadoutError)
+	if n == 0 {
+		return fmt.Errorf("calib: %s: no qubits", s.DeviceName)
+	}
+	if len(s.SingleQubitError) != n {
+		return fmt.Errorf("calib: %s: %d single-qubit errors for %d qubits",
+			s.DeviceName, len(s.SingleQubitError), n)
+	}
+	if len(s.T1) != n || len(s.T2) != n {
+		return fmt.Errorf("calib: %s: T1/T2 length mismatch", s.DeviceName)
+	}
+	for i, e := range s.ReadoutError {
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return fmt.Errorf("calib: %s: readout error[%d] = %g outside [0,1]", s.DeviceName, i, e)
+		}
+	}
+	for i, e := range s.SingleQubitError {
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return fmt.Errorf("calib: %s: 1Q error[%d] = %g outside [0,1]", s.DeviceName, i, e)
+		}
+	}
+	if len(s.TwoQubitErrors) == 0 {
+		return fmt.Errorf("calib: %s: no two-qubit gate errors", s.DeviceName)
+	}
+	for i, g := range s.TwoQubitErrors {
+		if g.Error < 0 || g.Error > 1 || math.IsNaN(g.Error) {
+			return fmt.Errorf("calib: %s: 2Q error[%d] = %g outside [0,1]", s.DeviceName, i, g.Error)
+		}
+		if g.Qubit0 < 0 || g.Qubit0 >= n || g.Qubit1 < 0 || g.Qubit1 >= n || g.Qubit0 == g.Qubit1 {
+			return fmt.Errorf("calib: %s: 2Q gate %d couples invalid qubits (%d,%d)",
+				s.DeviceName, i, g.Qubit0, g.Qubit1)
+		}
+	}
+	return nil
+}
+
+// NumQubits returns the device's qubit count.
+func (s *Snapshot) NumQubits() int { return len(s.ReadoutError) }
+
+// MeanReadoutError returns the average readout error across qubits
+// (ε̄_readout in Eqs. 2 and 6).
+func (s *Snapshot) MeanReadoutError() float64 {
+	return mean(s.ReadoutError)
+}
+
+// MeanSingleQubitError returns the average single-qubit gate error
+// (ε̄_1Q in Eqs. 2 and 4).
+func (s *Snapshot) MeanSingleQubitError() float64 {
+	return mean(s.SingleQubitError)
+}
+
+// MeanTwoQubitError returns the average two-qubit gate error across all
+// calibrated couplings (ε̄_2Q in Eqs. 2 and 5).
+func (s *Snapshot) MeanTwoQubitError() float64 {
+	if len(s.TwoQubitErrors) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, g := range s.TwoQubitErrors {
+		sum += g.Error
+	}
+	return sum / float64(len(s.TwoQubitErrors))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Weights are the error-score mixing coefficients of Eq. 2.
+type Weights struct {
+	// Alpha weights the mean readout error.
+	Alpha float64
+	// Theta weights the single-qubit gate error.
+	Theta float64
+	// Gamma weights the mean two-qubit gate error.
+	Gamma float64
+}
+
+// DefaultWeights are the paper's values: α=0.5, θ=0.3, γ=0.2 — readout
+// weighted highest because measurement errors directly corrupt outcomes.
+var DefaultWeights = Weights{Alpha: 0.5, Theta: 0.3, Gamma: 0.2}
+
+// ErrorScore computes the paper's Eq. 2:
+//
+//	score = α·mean(ε_readout) + θ·ε_1Q + γ·mean(ε_2Q)
+//
+// Lower is better. With valid calibration data the result lies in [0,1].
+func ErrorScore(s *Snapshot, w Weights) float64 {
+	return w.Alpha*s.MeanReadoutError() +
+		w.Theta*s.MeanSingleQubitError() +
+		w.Gamma*s.MeanTwoQubitError()
+}
+
+// Profile is a statistical description of one device's calibration used
+// to generate synthetic snapshots: medians with relative spread.
+type Profile struct {
+	// Name is the device name, e.g. "ibm_quebec".
+	Name string
+	// NumQubits is the device size.
+	NumQubits int
+	// MedianReadout, Median1Q, Median2Q are target median error rates.
+	MedianReadout, Median1Q, Median2Q float64
+	// MedianT1, MedianT2 are target coherence times in µs.
+	MedianT1, MedianT2 float64
+	// Spread is the relative log-normal spread applied to all rates.
+	Spread float64
+}
+
+// Synthesize draws a synthetic calibration snapshot: per-qubit and
+// per-edge error rates are log-normally distributed around the profile's
+// medians, the distribution shape observed in real IBM calibration data.
+// edges supplies the device coupling map (one two-qubit gate per edge).
+func Synthesize(rng *rand.Rand, p Profile, edges [][2]int, timestamp string) *Snapshot {
+	if p.NumQubits <= 0 {
+		panic(fmt.Sprintf("calib: profile %q has no qubits", p.Name))
+	}
+	if len(edges) == 0 {
+		panic(fmt.Sprintf("calib: profile %q needs a coupling map", p.Name))
+	}
+	s := &Snapshot{
+		DeviceName:       p.Name,
+		Timestamp:        timestamp,
+		ReadoutError:     make([]float64, p.NumQubits),
+		SingleQubitError: make([]float64, p.NumQubits),
+		T1:               make([]float64, p.NumQubits),
+		T2:               make([]float64, p.NumQubits),
+	}
+	logNormal := func(median, spread float64) float64 {
+		v := median * math.Exp(rng.NormFloat64()*spread)
+		return math.Min(v, 1.0)
+	}
+	for i := 0; i < p.NumQubits; i++ {
+		s.ReadoutError[i] = logNormal(p.MedianReadout, p.Spread)
+		s.SingleQubitError[i] = logNormal(p.Median1Q, p.Spread)
+		s.T1[i] = p.MedianT1 * math.Exp(rng.NormFloat64()*p.Spread)
+		s.T2[i] = p.MedianT2 * math.Exp(rng.NormFloat64()*p.Spread)
+	}
+	for _, e := range edges {
+		s.TwoQubitErrors = append(s.TwoQubitErrors, GateError{
+			Qubit0: e[0], Qubit1: e[1],
+			Error: logNormal(p.Median2Q, p.Spread),
+		})
+	}
+	return s
+}

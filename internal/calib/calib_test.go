@@ -1,0 +1,219 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func simpleSnapshot() *Snapshot {
+	return &Snapshot{
+		DeviceName:       "test_device",
+		Timestamp:        CalibrationTimestamp,
+		ReadoutError:     []float64{0.01, 0.02, 0.03},
+		SingleQubitError: []float64{1e-4, 2e-4, 3e-4},
+		TwoQubitErrors: []GateError{
+			{Qubit0: 0, Qubit1: 1, Error: 0.008},
+			{Qubit0: 1, Qubit1: 2, Error: 0.012},
+		},
+		T1: []float64{250, 260, 270},
+		T2: []float64{180, 190, 200},
+	}
+}
+
+func TestSnapshotMeans(t *testing.T) {
+	s := simpleSnapshot()
+	if got := s.MeanReadoutError(); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("MeanReadoutError = %g, want 0.02", got)
+	}
+	if got := s.MeanSingleQubitError(); math.Abs(got-2e-4) > 1e-12 {
+		t.Fatalf("MeanSingleQubitError = %g, want 2e-4", got)
+	}
+	if got := s.MeanTwoQubitError(); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("MeanTwoQubitError = %g, want 0.01", got)
+	}
+	if s.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d", s.NumQubits())
+	}
+}
+
+func TestErrorScoreEq2(t *testing.T) {
+	s := simpleSnapshot()
+	// Eq 2: 0.5*0.02 + 0.3*2e-4 + 0.2*0.01 = 0.01 + 6e-5 + 0.002 = 0.01206
+	got := ErrorScore(s, DefaultWeights)
+	want := 0.5*0.02 + 0.3*2e-4 + 0.2*0.01
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ErrorScore = %g, want %g", got, want)
+	}
+}
+
+func TestErrorScoreCustomWeights(t *testing.T) {
+	s := simpleSnapshot()
+	// All weight on readout.
+	got := ErrorScore(s, Weights{Alpha: 1})
+	if math.Abs(got-0.02) > 1e-15 {
+		t.Fatalf("ErrorScore = %g, want 0.02", got)
+	}
+}
+
+func TestValidateAcceptsGoodSnapshot(t *testing.T) {
+	if err := simpleSnapshot().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSnapshots(t *testing.T) {
+	cases := []func(*Snapshot){
+		func(s *Snapshot) { s.ReadoutError = nil },
+		func(s *Snapshot) { s.SingleQubitError = s.SingleQubitError[:1] },
+		func(s *Snapshot) { s.T1 = s.T1[:1] },
+		func(s *Snapshot) { s.ReadoutError[0] = -0.1 },
+		func(s *Snapshot) { s.ReadoutError[0] = 1.5 },
+		func(s *Snapshot) { s.ReadoutError[0] = math.NaN() },
+		func(s *Snapshot) { s.SingleQubitError[0] = 2 },
+		func(s *Snapshot) { s.TwoQubitErrors = nil },
+		func(s *Snapshot) { s.TwoQubitErrors[0].Error = -1 },
+		func(s *Snapshot) { s.TwoQubitErrors[0].Qubit0 = 99 },
+		func(s *Snapshot) { s.TwoQubitErrors[0].Qubit1 = s.TwoQubitErrors[0].Qubit0 },
+	}
+	for i, mutate := range cases {
+		s := simpleSnapshot()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad snapshot", i)
+		}
+	}
+}
+
+func TestSynthesizeMatchesProfileMedians(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Eagle127()
+	p := Profile{
+		Name: "synthetic", NumQubits: 127,
+		MedianReadout: 0.013, Median1Q: 2.5e-4, Median2Q: 8e-3,
+		MedianT1: 250, MedianT2: 180, Spread: 0.3,
+	}
+	s := Synthesize(rng, p, g.Edges(), CalibrationTimestamp)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumQubits() != 127 {
+		t.Fatalf("NumQubits = %d", s.NumQubits())
+	}
+	if len(s.TwoQubitErrors) != g.NumEdges() {
+		t.Fatalf("2Q gates = %d, want %d", len(s.TwoQubitErrors), g.NumEdges())
+	}
+	// Log-normal(spread 0.3) mean = median*exp(0.045) ≈ 1.046*median; the
+	// sample mean should land within ~15% of the median.
+	if m := s.MeanReadoutError(); m < p.MedianReadout*0.85 || m > p.MedianReadout*1.25 {
+		t.Fatalf("mean readout %g too far from median %g", m, p.MedianReadout)
+	}
+	if m := s.MeanTwoQubitError(); m < p.Median2Q*0.85 || m > p.Median2Q*1.25 {
+		t.Fatalf("mean 2Q %g too far from median %g", m, p.Median2Q)
+	}
+}
+
+func TestSynthesizeDeterministicWithSeed(t *testing.T) {
+	g := graph.Line(5)
+	p := Profile{Name: "d", NumQubits: 5, MedianReadout: 0.01, Median1Q: 1e-4,
+		Median2Q: 5e-3, MedianT1: 100, MedianT2: 80, Spread: 0.2}
+	a := Synthesize(rand.New(rand.NewSource(9)), p, g.Edges(), "t")
+	b := Synthesize(rand.New(rand.NewSource(9)), p, g.Edges(), "t")
+	for i := range a.ReadoutError {
+		if a.ReadoutError[i] != b.ReadoutError[i] {
+			t.Fatal("same seed should give identical snapshots")
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i, fn := range []func(){
+		func() { Synthesize(rng, Profile{Name: "x"}, [][2]int{{0, 1}}, "t") },
+		func() {
+			Synthesize(rng, Profile{Name: "x", NumQubits: 3}, nil, "t")
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStandardProfilesShape(t *testing.T) {
+	profs := StandardProfiles()
+	if len(profs) != 5 {
+		t.Fatalf("profiles = %d, want 5", len(profs))
+	}
+	names := map[string]bool{}
+	for _, p := range profs {
+		if p.NumQubits != 127 {
+			t.Errorf("%s: qubits = %d, want 127", p.Name, p.NumQubits)
+		}
+		if _, ok := StandardCLOPS[p.Name]; !ok {
+			t.Errorf("%s: no CLOPS entry", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"ibm_strasbourg", "ibm_brussels", "ibm_kyiv", "ibm_quebec", "ibm_kawasaki"} {
+		if !names[want] {
+			t.Errorf("missing device %s", want)
+		}
+	}
+	// The paper's CLOPS figures.
+	if StandardCLOPS["ibm_strasbourg"] != 220000 || StandardCLOPS["ibm_kawasaki"] != 29000 {
+		t.Error("CLOPS values do not match the paper")
+	}
+}
+
+func TestStandardProfileErrorOrdering(t *testing.T) {
+	// Load-bearing property (see profiles.go): Québec and Kyiv must have
+	// the lowest error scores so the fidelity policy selects slow
+	// hardware; Kawasaki must be the worst.
+	rng := rand.New(rand.NewSource(2025))
+	g := graph.Eagle127()
+	scores := map[string]float64{}
+	for _, p := range StandardProfiles() {
+		s := Synthesize(rng, p, g.Edges(), CalibrationTimestamp)
+		scores[p.Name] = ErrorScore(s, DefaultWeights)
+	}
+	for _, fast := range []string{"ibm_strasbourg", "ibm_brussels"} {
+		for _, good := range []string{"ibm_quebec", "ibm_kyiv"} {
+			if scores[good] >= scores[fast] {
+				t.Errorf("%s (%.5f) should have lower error score than %s (%.5f)",
+					good, scores[good], fast, scores[fast])
+			}
+		}
+		if scores[fast] >= scores["ibm_kawasaki"] {
+			t.Errorf("%s should beat ibm_kawasaki", fast)
+		}
+	}
+}
+
+// Property: the error score is monotone in each error component and
+// always non-negative.
+func TestPropertyErrorScoreMonotone(t *testing.T) {
+	f := func(ro, oneQ, twoQ uint16) bool {
+		base := simpleSnapshot()
+		s := ErrorScore(base, DefaultWeights)
+		if s < 0 {
+			return false
+		}
+		bumped := simpleSnapshot()
+		bumped.ReadoutError[0] = math.Min(1, bumped.ReadoutError[0]+float64(ro)/65535)
+		bumped.SingleQubitError[1] = math.Min(1, bumped.SingleQubitError[1]+float64(oneQ)/65535)
+		bumped.TwoQubitErrors[0].Error = math.Min(1, bumped.TwoQubitErrors[0].Error+float64(twoQ)/65535)
+		return ErrorScore(bumped, DefaultWeights) >= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

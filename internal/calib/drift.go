@@ -1,0 +1,65 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Drift returns a new snapshot whose error rates and coherence times
+// have taken one multiplicative log-normal random-walk step of relative
+// magnitude rel. This models the between-calibration hardware
+// variability the paper identifies as missing from its fidelity
+// estimates (§7.2: "dynamic hardware variability"): real IBM devices
+// are recalibrated roughly daily and their error rates move by tens of
+// percent between snapshots.
+//
+// The step combines a device-wide factor of relative magnitude rel
+// (cryostat temperature, TLS landscape — the component that reorders
+// devices in error-aware rankings) with independent per-rate jitter of
+// magnitude rel/3. Both factors are mean-corrected (E[factor]=1) so the
+// walk has no systematic inflation. Rates are clamped to [0, 1]; rel
+// must be non-negative. The input snapshot is not modified.
+func Drift(rng *rand.Rand, s *Snapshot, rel float64) *Snapshot {
+	if rel < 0 {
+		panic("calib: negative drift magnitude")
+	}
+	lognorm := func(sigma float64) float64 {
+		return math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+	}
+	deviceFactor := lognorm(rel)
+	jitter := rel / 3
+	step := func(v float64) float64 {
+		out := v * deviceFactor * lognorm(jitter)
+		if out > 1 {
+			out = 1
+		}
+		return out
+	}
+	out := &Snapshot{
+		DeviceName:       s.DeviceName,
+		Timestamp:        s.Timestamp,
+		ReadoutError:     make([]float64, len(s.ReadoutError)),
+		SingleQubitError: make([]float64, len(s.SingleQubitError)),
+		TwoQubitErrors:   make([]GateError, len(s.TwoQubitErrors)),
+		T1:               make([]float64, len(s.T1)),
+		T2:               make([]float64, len(s.T2)),
+	}
+	for i, v := range s.ReadoutError {
+		out.ReadoutError[i] = step(v)
+	}
+	for i, v := range s.SingleQubitError {
+		out.SingleQubitError[i] = step(v)
+	}
+	for i, g := range s.TwoQubitErrors {
+		out.TwoQubitErrors[i] = GateError{Qubit0: g.Qubit0, Qubit1: g.Qubit1, Error: step(g.Error)}
+	}
+	for i, v := range s.T1 {
+		// Coherence times are unbounded above; only the multiplicative
+		// step applies (uncorrelated with the error-rate factor).
+		out.T1[i] = v * lognorm(jitter)
+	}
+	for i, v := range s.T2 {
+		out.T2[i] = v * lognorm(jitter)
+	}
+	return out
+}

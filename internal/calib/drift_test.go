@@ -1,0 +1,126 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func driftBase(t *testing.T) *Snapshot {
+	t.Helper()
+	g := graph.Eagle127()
+	return Synthesize(rand.New(rand.NewSource(1)), Profile{
+		Name: "drifting", NumQubits: 127,
+		MedianReadout: 0.013, Median1Q: 2.5e-4, Median2Q: 8e-3,
+		MedianT1: 250, MedianT2: 180, Spread: 0.3,
+	}, g.Edges(), CalibrationTimestamp)
+}
+
+func TestDriftPreservesValidity(t *testing.T) {
+	s := driftBase(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		s = Drift(rng, s, 0.3)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestDriftDoesNotModifyInput(t *testing.T) {
+	s := driftBase(t)
+	before := append([]float64(nil), s.ReadoutError...)
+	Drift(rand.New(rand.NewSource(3)), s, 0.5)
+	for i := range before {
+		if s.ReadoutError[i] != before[i] {
+			t.Fatal("Drift modified its input snapshot")
+		}
+	}
+}
+
+func TestDriftZeroMagnitudeIsIdentity(t *testing.T) {
+	s := driftBase(t)
+	d := Drift(rand.New(rand.NewSource(4)), s, 0)
+	for i := range s.ReadoutError {
+		if math.Abs(d.ReadoutError[i]-s.ReadoutError[i]) > 1e-15 {
+			t.Fatal("zero-magnitude drift changed rates")
+		}
+	}
+}
+
+func TestDriftNegativeMagnitudePanics(t *testing.T) {
+	s := driftBase(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Drift(rand.New(rand.NewSource(1)), s, -0.1)
+}
+
+func TestDriftMovesDeviceLevelScore(t *testing.T) {
+	// The device-wide factor must move the aggregate error score by
+	// roughly rel per step (not rel/sqrt(nQubits), which would freeze
+	// error-aware rankings).
+	s := driftBase(t)
+	base := ErrorScore(s, DefaultWeights)
+	rng := rand.New(rand.NewSource(5))
+	moved := 0
+	const steps = 40
+	for i := 0; i < steps; i++ {
+		d := Drift(rng, s, 0.3)
+		relChange := math.Abs(ErrorScore(d, DefaultWeights)-base) / base
+		if relChange > 0.1 {
+			moved++
+		}
+	}
+	if moved < steps/4 {
+		t.Fatalf("only %d/%d steps moved the score by >10%%; device factor too weak", moved, steps)
+	}
+}
+
+func TestDriftNoSystematicInflation(t *testing.T) {
+	// Mean correction: over many independent steps from the same base,
+	// the average score should stay near the base (within ~10%).
+	s := driftBase(t)
+	base := ErrorScore(s, DefaultWeights)
+	rng := rand.New(rand.NewSource(6))
+	sum := 0.0
+	const n = 400
+	for i := 0; i < n; i++ {
+		sum += ErrorScore(Drift(rng, s, 0.3), DefaultWeights)
+	}
+	mean := sum / n
+	if mean < base*0.9 || mean > base*1.1 {
+		t.Fatalf("drift is biased: base %g, mean after one step %g", base, mean)
+	}
+}
+
+func TestDriftCanReorderCloseDevices(t *testing.T) {
+	// Two devices with a 20% score gap should swap order within a
+	// modest number of drift steps at rel=0.3.
+	g := graph.Line(5)
+	mk := func(ro float64, seed int64) *Snapshot {
+		return Synthesize(rand.New(rand.NewSource(seed)), Profile{
+			Name: "d", NumQubits: 5,
+			MedianReadout: ro, Median1Q: 2.5e-4, Median2Q: 8e-3,
+			MedianT1: 250, MedianT2: 180, Spread: 0.1,
+		}, g.Edges(), "t")
+	}
+	a := mk(0.010, 1)
+	b := mk(0.012, 2)
+	rng := rand.New(rand.NewSource(7))
+	swapped := false
+	for i := 0; i < 60 && !swapped; i++ {
+		a = Drift(rng, a, 0.3)
+		b = Drift(rng, b, 0.3)
+		if ErrorScore(a, DefaultWeights) > ErrorScore(b, DefaultWeights) {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatal("close devices never swapped ranking under drift")
+	}
+}

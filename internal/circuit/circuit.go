@@ -1,0 +1,198 @@
+// Package circuit models quantum circuits at the gate-count level the
+// framework schedules: qubits, layered single- and two-qubit gates, and
+// — central to the paper's premise — decomposition of circuits larger
+// than any single QPU into per-device subcircuits connected by classical
+// communication (§2, Vazquez et al.; §5.2).
+//
+// The paper abstracts gate sets to counts of single- and two-qubit gates
+// (§7). This package supplies the layer underneath that abstraction: it
+// generates random layered circuits with controlled two-qubit density,
+// derives the (depth, t2) counts a QJob carries, and partitions circuits
+// across devices while counting the cut two-qubit gates that force
+// inter-device communication.
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gate is one operation on one or two qubits.
+type Gate struct {
+	// Qubit0 is the target (single-qubit gate) or first operand.
+	Qubit0 int
+	// Qubit1 is the second operand of a two-qubit gate, or -1.
+	Qubit1 int
+	// Layer is the circuit layer (time step) the gate belongs to.
+	Layer int
+}
+
+// TwoQubit reports whether the gate acts on two qubits.
+func (g Gate) TwoQubit() bool { return g.Qubit1 >= 0 }
+
+// Circuit is a layered quantum circuit.
+type Circuit struct {
+	// NumQubits is the circuit width.
+	NumQubits int
+	// Gates lists all operations, ordered by layer.
+	Gates []Gate
+	// Depth is the number of layers.
+	Depth int
+}
+
+// Validate checks structural invariants: qubit indices in range, layers
+// within depth, no qubit used twice within one layer.
+func (c *Circuit) Validate() error {
+	if c.NumQubits <= 0 {
+		return fmt.Errorf("circuit: %d qubits", c.NumQubits)
+	}
+	if c.Depth < 0 {
+		return fmt.Errorf("circuit: negative depth %d", c.Depth)
+	}
+	used := make(map[[2]int]bool) // (layer, qubit)
+	for i, g := range c.Gates {
+		if g.Layer < 0 || g.Layer >= c.Depth {
+			return fmt.Errorf("circuit: gate %d in layer %d of %d", i, g.Layer, c.Depth)
+		}
+		if g.Qubit0 < 0 || g.Qubit0 >= c.NumQubits {
+			return fmt.Errorf("circuit: gate %d on qubit %d", i, g.Qubit0)
+		}
+		if g.TwoQubit() && (g.Qubit1 >= c.NumQubits || g.Qubit1 == g.Qubit0) {
+			return fmt.Errorf("circuit: gate %d couples (%d,%d)", i, g.Qubit0, g.Qubit1)
+		}
+		for _, q := range []int{g.Qubit0, g.Qubit1} {
+			if q < 0 {
+				continue
+			}
+			key := [2]int{g.Layer, q}
+			if used[key] {
+				return fmt.Errorf("circuit: qubit %d used twice in layer %d", q, g.Layer)
+			}
+			used[key] = true
+		}
+	}
+	return nil
+}
+
+// TwoQubitGateCount returns t2: the number of two-qubit gates.
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.TwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// SingleQubitGateCount returns the number of single-qubit gates.
+func (c *Circuit) SingleQubitGateCount() int {
+	return len(c.Gates) - c.TwoQubitGateCount()
+}
+
+// InteractionGraph returns the qubit-interaction multigraph as edge
+// weights: weights[{a,b}] counts two-qubit gates between a and b (a<b).
+func (c *Circuit) InteractionGraph() map[[2]int]int {
+	w := make(map[[2]int]int)
+	for _, g := range c.Gates {
+		if !g.TwoQubit() {
+			continue
+		}
+		a, b := g.Qubit0, g.Qubit1
+		if a > b {
+			a, b = b, a
+		}
+		w[[2]int{a, b}]++
+	}
+	return w
+}
+
+// RandomConfig controls random circuit generation.
+type RandomConfig struct {
+	// NumQubits is the circuit width.
+	NumQubits int
+	// Depth is the number of layers.
+	Depth int
+	// TwoQubitDensity is the fraction of qubit slots per layer paired
+	// into two-qubit gates (0..1). The §7 workload's t2 ≈ 0.25·q·d
+	// corresponds to a density of 0.5 (each 2q gate occupies 2 slots).
+	TwoQubitDensity float64
+	// Locality, when positive, biases two-qubit partners to lie within
+	// this index distance, mimicking transpiled circuits on sparse
+	// topologies. Zero means uniform partners.
+	Locality int
+	// Seed drives generation.
+	Seed int64
+}
+
+// Random generates a layered random circuit: per layer, qubits are
+// paired into two-qubit gates at the configured density and remaining
+// slots receive single-qubit gates.
+func Random(cfg RandomConfig) (*Circuit, error) {
+	if cfg.NumQubits <= 0 || cfg.Depth <= 0 {
+		return nil, fmt.Errorf("circuit: size %dx%d", cfg.NumQubits, cfg.Depth)
+	}
+	if cfg.TwoQubitDensity < 0 || cfg.TwoQubitDensity > 1 {
+		return nil, fmt.Errorf("circuit: two-qubit density %g", cfg.TwoQubitDensity)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Circuit{NumQubits: cfg.NumQubits, Depth: cfg.Depth}
+	perm := make([]int, cfg.NumQubits)
+	for layer := 0; layer < cfg.Depth; layer++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		paired := make([]bool, cfg.NumQubits)
+		pairSlots := int(float64(cfg.NumQubits) * cfg.TwoQubitDensity / 2)
+		made := 0
+		for _, a := range perm {
+			if made >= pairSlots {
+				break
+			}
+			if paired[a] {
+				continue
+			}
+			b := c.pickPartner(rng, a, paired, cfg.Locality)
+			if b < 0 {
+				continue
+			}
+			paired[a], paired[b] = true, true
+			c.Gates = append(c.Gates, Gate{Qubit0: a, Qubit1: b, Layer: layer})
+			made++
+		}
+		for q := 0; q < cfg.NumQubits; q++ {
+			if !paired[q] {
+				c.Gates = append(c.Gates, Gate{Qubit0: q, Qubit1: -1, Layer: layer})
+			}
+		}
+	}
+	return c, nil
+}
+
+// pickPartner selects an unpaired partner for qubit a, optionally within
+// the locality window.
+func (c *Circuit) pickPartner(rng *rand.Rand, a int, paired []bool, locality int) int {
+	lo, hi := 0, c.NumQubits-1
+	if locality > 0 {
+		lo = a - locality
+		if lo < 0 {
+			lo = 0
+		}
+		hi = a + locality
+		if hi > c.NumQubits-1 {
+			hi = c.NumQubits - 1
+		}
+	}
+	// Collect candidates; fall back to nothing if none free.
+	var cands []int
+	for b := lo; b <= hi; b++ {
+		if b != a && !paired[b] {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[rng.Intn(len(cands))]
+}

@@ -1,0 +1,318 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustRandom(t *testing.T, cfg RandomConfig) *Circuit {
+	t.Helper()
+	c, err := Random(cfg)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("generated circuit invalid: %v", err)
+	}
+	return c
+}
+
+func TestRandomCircuitStructure(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 50, Depth: 10, TwoQubitDensity: 0.5, Seed: 1})
+	if c.NumQubits != 50 || c.Depth != 10 {
+		t.Fatalf("shape %dx%d", c.NumQubits, c.Depth)
+	}
+	// Density 0.5 => ~12 two-qubit gates per layer (50*0.5/2), 120 total.
+	t2 := c.TwoQubitGateCount()
+	if t2 < 100 || t2 > 130 {
+		t.Fatalf("t2 = %d, want ≈120", t2)
+	}
+	// Every layer slot is used exactly once: gates per layer cover all qubits.
+	perLayer := make([]int, c.Depth)
+	for _, g := range c.Gates {
+		n := 1
+		if g.TwoQubit() {
+			n = 2
+		}
+		perLayer[g.Layer] += n
+	}
+	for l, n := range perLayer {
+		if n != 50 {
+			t.Fatalf("layer %d covers %d of 50 qubits", l, n)
+		}
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	cfg := RandomConfig{NumQubits: 20, Depth: 5, TwoQubitDensity: 0.4, Seed: 9}
+	a := mustRandom(t, cfg)
+	b := mustRandom(t, cfg)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("same seed should give identical circuits")
+	}
+	for i := range a.Gates {
+		if a.Gates[i] != b.Gates[i] {
+			t.Fatal("same seed should give identical circuits")
+		}
+	}
+}
+
+func TestRandomZeroDensityAllSingles(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 10, Depth: 3, TwoQubitDensity: 0, Seed: 1})
+	if c.TwoQubitGateCount() != 0 {
+		t.Fatal("zero density should give no 2q gates")
+	}
+	if c.SingleQubitGateCount() != 30 {
+		t.Fatalf("singles = %d, want 30", c.SingleQubitGateCount())
+	}
+}
+
+func TestRandomLocalityBound(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 60, Depth: 8, TwoQubitDensity: 0.5, Locality: 3, Seed: 2})
+	for _, g := range c.Gates {
+		if g.TwoQubit() {
+			d := g.Qubit0 - g.Qubit1
+			if d < 0 {
+				d = -d
+			}
+			if d > 3 {
+				t.Fatalf("gate (%d,%d) violates locality 3", g.Qubit0, g.Qubit1)
+			}
+		}
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	for i, cfg := range []RandomConfig{
+		{NumQubits: 0, Depth: 1},
+		{NumQubits: 1, Depth: 0},
+		{NumQubits: 1, Depth: 1, TwoQubitDensity: 1.5},
+	} {
+		if _, err := Random(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestValidateRejectsBadCircuits(t *testing.T) {
+	cases := []*Circuit{
+		{NumQubits: 0, Depth: 1},
+		{NumQubits: 2, Depth: 1, Gates: []Gate{{Qubit0: 0, Qubit1: -1, Layer: 5}}},
+		{NumQubits: 2, Depth: 1, Gates: []Gate{{Qubit0: 9, Qubit1: -1, Layer: 0}}},
+		{NumQubits: 2, Depth: 1, Gates: []Gate{{Qubit0: 0, Qubit1: 0, Layer: 0}}},
+		{NumQubits: 2, Depth: 1, Gates: []Gate{
+			{Qubit0: 0, Qubit1: -1, Layer: 0}, {Qubit0: 0, Qubit1: -1, Layer: 0}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid circuit accepted", i)
+		}
+	}
+}
+
+func TestInteractionGraphCounts(t *testing.T) {
+	c := &Circuit{NumQubits: 3, Depth: 2, Gates: []Gate{
+		{Qubit0: 0, Qubit1: 1, Layer: 0},
+		{Qubit0: 1, Qubit1: 0, Layer: 1},
+		{Qubit0: 2, Qubit1: -1, Layer: 0},
+	}}
+	w := c.InteractionGraph()
+	if w[[2]int{0, 1}] != 2 {
+		t.Fatalf("weight(0,1) = %d, want 2 (direction-insensitive)", w[[2]int{0, 1}])
+	}
+	if len(w) != 1 {
+		t.Fatalf("edges = %d", len(w))
+	}
+}
+
+func TestContiguousPartition(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 10, Depth: 2, TwoQubitDensity: 0.5, Seed: 3})
+	p, err := ContiguousPartition(c, []int{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 6; q++ {
+		if p.Assign[q] != 0 {
+			t.Fatalf("qubit %d in block %d", q, p.Assign[q])
+		}
+	}
+}
+
+func TestPartitionSizeValidation(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 10, Depth: 2, TwoQubitDensity: 0.5, Seed: 3})
+	for i, sizes := range [][]int{nil, {5}, {11}, {5, 6}, {0, 10}} {
+		if _, err := ContiguousPartition(c, sizes); err == nil {
+			t.Errorf("case %d: bad sizes %v accepted", i, sizes)
+		}
+	}
+}
+
+func TestCutGatesCountsCrossBlockOnly(t *testing.T) {
+	c := &Circuit{NumQubits: 4, Depth: 2, Gates: []Gate{
+		{Qubit0: 0, Qubit1: 1, Layer: 0}, // internal to block 0
+		{Qubit0: 2, Qubit1: 3, Layer: 0}, // internal to block 1
+		{Qubit0: 1, Qubit1: 2, Layer: 1}, // cut
+	}}
+	p, _ := ContiguousPartition(c, []int{2, 2})
+	if got := p.CutGates(c); got != 1 {
+		t.Fatalf("cut = %d, want 1", got)
+	}
+	if f := p.CutFraction(c); math.Abs(f-1.0/3) > 1e-12 {
+		t.Fatalf("cut fraction = %g", f)
+	}
+}
+
+func TestSubcircuitsAttribution(t *testing.T) {
+	c := &Circuit{NumQubits: 4, Depth: 2, Gates: []Gate{
+		{Qubit0: 0, Qubit1: 1, Layer: 0},
+		{Qubit0: 2, Qubit1: -1, Layer: 0},
+		{Qubit0: 3, Qubit1: -1, Layer: 0},
+		{Qubit0: 1, Qubit1: 2, Layer: 1}, // cut: attributed to neither
+	}}
+	p, _ := ContiguousPartition(c, []int{2, 2})
+	subs := p.Subcircuits(c)
+	if subs[0].TwoQubitGates != 1 || subs[1].TwoQubitGates != 0 {
+		t.Fatalf("2q attribution: %+v", subs)
+	}
+	if subs[1].SingleQubitGates != 2 {
+		t.Fatalf("1q attribution: %+v", subs)
+	}
+	if subs[0].Qubits != 2 || subs[1].Qubits != 2 {
+		t.Fatalf("qubits: %+v", subs)
+	}
+}
+
+func TestMinCutBeatsRandomOnLocalCircuits(t *testing.T) {
+	// Local circuits have block structure; min-cut should exploit it.
+	c := mustRandom(t, RandomConfig{NumQubits: 80, Depth: 12, TwoQubitDensity: 0.5, Locality: 4, Seed: 5})
+	sizes := []int{40, 40}
+	randPart, err := RandomPartition(c, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minPart, err := MinCutPartition(c, sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minPart.Validate(c); err != nil {
+		t.Fatalf("min-cut produced invalid partition: %v", err)
+	}
+	randCut := randPart.CutGates(c)
+	minCut := minPart.CutGates(c)
+	if minCut >= randCut {
+		t.Fatalf("min-cut (%d) should beat random (%d)", minCut, randCut)
+	}
+	// Contiguous is already near-optimal for locality-4 circuits; the
+	// refined partition must not be worse.
+	contig, _ := ContiguousPartition(c, sizes)
+	if minCut > contig.CutGates(c) {
+		t.Fatalf("min-cut (%d) worse than its contiguous start (%d)", minCut, contig.CutGates(c))
+	}
+}
+
+func TestToQJobDerivesCounts(t *testing.T) {
+	c := mustRandom(t, RandomConfig{NumQubits: 150, Depth: 12, TwoQubitDensity: 0.5, Seed: 6})
+	j, err := ToQJob("big", c, 50000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumQubits != 150 || j.Depth != 12 || j.Shots != 50000 || j.ArrivalTime != 30 {
+		t.Fatalf("job fields: %+v", j)
+	}
+	if j.TwoQubitGates != c.TwoQubitGateCount() {
+		t.Fatalf("t2 = %d, want %d", j.TwoQubitGates, c.TwoQubitGateCount())
+	}
+}
+
+func TestToQJobRejectsInvalid(t *testing.T) {
+	bad := &Circuit{NumQubits: 0, Depth: 1}
+	if _, err := ToQJob("x", bad, 100, 0); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+	c := mustRandom(t, RandomConfig{NumQubits: 5, Depth: 2, TwoQubitDensity: 0, Seed: 1})
+	if _, err := ToQJob("x", c, 0, 0); err == nil {
+		t.Fatal("zero shots accepted")
+	}
+}
+
+func TestWorkloadFromCircuits(t *testing.T) {
+	a := mustRandom(t, RandomConfig{NumQubits: 140, Depth: 6, TwoQubitDensity: 0.5, Seed: 1})
+	b := mustRandom(t, RandomConfig{NumQubits: 160, Depth: 8, TwoQubitDensity: 0.5, Seed: 2})
+	jobs, err := WorkloadFromCircuits([]*Circuit{a, b}, []int{1000, 2000}, []float64{50, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].NumQubits != 160 {
+		t.Fatal("workload should be arrival-ordered")
+	}
+	if _, err := WorkloadFromCircuits([]*Circuit{a}, []int{1, 2}, []float64{0}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestSortedBlockSizes(t *testing.T) {
+	got := SortedBlockSizes([]int{63, 127, 30})
+	if got[0] != 127 || got[1] != 63 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: any partition's cut count is between 0 and t2, and
+// Subcircuits' internal 2q gates plus cut gates equals t2.
+func TestPropertyPartitionConservation(t *testing.T) {
+	f := func(seed int64, splitRaw uint8) bool {
+		c, err := Random(RandomConfig{NumQubits: 40, Depth: 6, TwoQubitDensity: 0.5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		split := int(splitRaw%38) + 1 // 1..38
+		p, err := RandomPartition(c, []int{split, 40 - split}, seed)
+		if err != nil {
+			return false
+		}
+		cut := p.CutGates(c)
+		t2 := c.TwoQubitGateCount()
+		if cut < 0 || cut > t2 {
+			return false
+		}
+		internal := 0
+		for _, s := range p.Subcircuits(c) {
+			internal += s.TwoQubitGates
+		}
+		return internal+cut == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinCutPartition never increases the cut relative to its
+// contiguous starting point.
+func TestPropertyMinCutNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := Random(RandomConfig{NumQubits: 30, Depth: 5, TwoQubitDensity: 0.5, Locality: 5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		sizes := []int{15, 15}
+		contig, err := ContiguousPartition(c, sizes)
+		if err != nil {
+			return false
+		}
+		min, err := MinCutPartition(c, sizes, 3)
+		if err != nil {
+			return false
+		}
+		if min.Validate(c) != nil {
+			return false
+		}
+		return min.CutGates(c) <= contig.CutGates(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// ToQJob derives the scheduler-level QJob abstraction from a concrete
+// circuit: the paper's §7 workload carries exactly these aggregates
+// (qubits, depth, shots, two-qubit gate count).
+func ToQJob(id string, c *Circuit, shots int, arrival float64) (*job.QJob, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	j := &job.QJob{
+		ID:            id,
+		NumQubits:     c.NumQubits,
+		Depth:         c.Depth,
+		Shots:         shots,
+		TwoQubitGates: c.TwoQubitGateCount(),
+		ArrivalTime:   arrival,
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// WorkloadFromCircuits converts a batch of circuits into an
+// arrival-ordered workload with the given shots per circuit.
+func WorkloadFromCircuits(circuits []*Circuit, shots []int, arrivals []float64) ([]*job.QJob, error) {
+	if len(circuits) != len(shots) || len(circuits) != len(arrivals) {
+		return nil, fmt.Errorf("circuit: %d circuits, %d shots, %d arrivals",
+			len(circuits), len(shots), len(arrivals))
+	}
+	jobs := make([]*job.QJob, 0, len(circuits))
+	for i, c := range circuits {
+		j, err := ToQJob(fmt.Sprintf("circ-%04d", i), c, shots[i], arrivals[i])
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	job.SortByArrival(jobs)
+	return jobs, nil
+}

@@ -1,0 +1,206 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partition assigns each circuit qubit to one of k blocks with given
+// sizes. Cut two-qubit gates (operands in different blocks) require
+// classical communication between the hosting devices at execution time.
+type Partition struct {
+	// Assign maps qubit index -> block index.
+	Assign []int
+	// Sizes is the number of qubits per block.
+	Sizes []int
+}
+
+// Validate checks the partition against the circuit and the size vector.
+func (p *Partition) Validate(c *Circuit) error {
+	if len(p.Assign) != c.NumQubits {
+		return fmt.Errorf("circuit: partition covers %d of %d qubits", len(p.Assign), c.NumQubits)
+	}
+	counts := make([]int, len(p.Sizes))
+	for q, b := range p.Assign {
+		if b < 0 || b >= len(p.Sizes) {
+			return fmt.Errorf("circuit: qubit %d assigned to block %d of %d", q, b, len(p.Sizes))
+		}
+		counts[b]++
+	}
+	for b, want := range p.Sizes {
+		if counts[b] != want {
+			return fmt.Errorf("circuit: block %d has %d qubits, want %d", b, counts[b], want)
+		}
+	}
+	return nil
+}
+
+// CutGates counts two-qubit gates whose operands live in different
+// blocks — each requires one inter-device classical exchange.
+func (p *Partition) CutGates(c *Circuit) int {
+	cut := 0
+	for _, g := range c.Gates {
+		if g.TwoQubit() && p.Assign[g.Qubit0] != p.Assign[g.Qubit1] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// CutFraction is CutGates normalized by the circuit's two-qubit count.
+func (p *Partition) CutFraction(c *Circuit) float64 {
+	t2 := c.TwoQubitGateCount()
+	if t2 == 0 {
+		return 0
+	}
+	return float64(p.CutGates(c)) / float64(t2)
+}
+
+// SubcircuitStats summarizes one block's share of the circuit: its qubit
+// count and the single-/two-qubit gates fully contained in it.
+type SubcircuitStats struct {
+	Qubits, SingleQubitGates, TwoQubitGates int
+}
+
+// Subcircuits derives per-block gate statistics. Cut two-qubit gates are
+// not attributed to either block (they become communication).
+func (p *Partition) Subcircuits(c *Circuit) []SubcircuitStats {
+	out := make([]SubcircuitStats, len(p.Sizes))
+	for b, s := range p.Sizes {
+		out[b].Qubits = s
+	}
+	for _, g := range c.Gates {
+		b0 := p.Assign[g.Qubit0]
+		if !g.TwoQubit() {
+			out[b0].SingleQubitGates++
+			continue
+		}
+		if b0 == p.Assign[g.Qubit1] {
+			out[b0].TwoQubitGates++
+		}
+	}
+	return out
+}
+
+// ContiguousPartition assigns qubits to blocks in index order — the
+// baseline decomposition matching the paper's simple sequential split.
+func ContiguousPartition(c *Circuit, sizes []int) (*Partition, error) {
+	if err := checkSizes(c, sizes); err != nil {
+		return nil, err
+	}
+	p := &Partition{Assign: make([]int, c.NumQubits), Sizes: append([]int(nil), sizes...)}
+	q := 0
+	for b, s := range sizes {
+		for i := 0; i < s; i++ {
+			p.Assign[q] = b
+			q++
+		}
+	}
+	return p, nil
+}
+
+// RandomPartition assigns qubits to blocks uniformly at random (subject
+// to block sizes) — the worst-case baseline for cut cost.
+func RandomPartition(c *Circuit, sizes []int, seed int64) (*Partition, error) {
+	if err := checkSizes(c, sizes); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(c.NumQubits)
+	p := &Partition{Assign: make([]int, c.NumQubits), Sizes: append([]int(nil), sizes...)}
+	i := 0
+	for b, s := range sizes {
+		for j := 0; j < s; j++ {
+			p.Assign[perm[i]] = b
+			i++
+		}
+	}
+	return p, nil
+}
+
+// MinCutPartition greedily minimizes cut two-qubit gates: it starts from
+// the contiguous assignment and performs Kernighan–Lin-style pair swaps
+// between blocks while they reduce the cut, up to maxPasses passes. The
+// exact minimum cut is NP-hard (the §5.2 intractability the paper notes);
+// this heuristic typically removes most of the avoidable cut.
+func MinCutPartition(c *Circuit, sizes []int, maxPasses int) (*Partition, error) {
+	p, err := ContiguousPartition(c, sizes)
+	if err != nil {
+		return nil, err
+	}
+	if maxPasses <= 0 {
+		maxPasses = 3
+	}
+	w := c.InteractionGraph()
+	// neighbor weights per qubit for fast gain computation.
+	adj := make([]map[int]int, c.NumQubits)
+	for i := range adj {
+		adj[i] = make(map[int]int)
+	}
+	for e, cnt := range w {
+		adj[e[0]][e[1]] += cnt
+		adj[e[1]][e[0]] += cnt
+	}
+	// gain of moving qubit q to block b: external(q,b) - internal(q).
+	extInt := func(q, b int) (ext, internal int) {
+		for nb, cnt := range adj[q] {
+			if p.Assign[nb] == p.Assign[q] {
+				internal += cnt
+			}
+			if p.Assign[nb] == b {
+				ext += cnt
+			}
+		}
+		return ext, internal
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < c.NumQubits; a++ {
+			for b := a + 1; b < c.NumQubits; b++ {
+				ba, bb := p.Assign[a], p.Assign[b]
+				if ba == bb {
+					continue
+				}
+				extA, intA := extInt(a, bb)
+				extB, intB := extInt(b, ba)
+				// Swapping a<->b changes the cut by:
+				// -(extA - intA) - (extB - intB) + 2*w(a,b adjustment)
+				gain := (extA - intA) + (extB - intB) - 2*adj[a][b]
+				if gain > 0 {
+					p.Assign[a], p.Assign[b] = bb, ba
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return p, nil
+}
+
+func checkSizes(c *Circuit, sizes []int) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("circuit: empty partition sizes")
+	}
+	total := 0
+	for b, s := range sizes {
+		if s <= 0 {
+			return fmt.Errorf("circuit: block %d size %d", b, s)
+		}
+		total += s
+	}
+	if total != c.NumQubits {
+		return fmt.Errorf("circuit: partition sizes sum to %d, circuit has %d qubits", total, c.NumQubits)
+	}
+	return nil
+}
+
+// SortedBlockSizes is a helper that converts an allocation (qubits per
+// device) into a deterministic size vector, largest first.
+func SortedBlockSizes(alloc []int) []int {
+	out := append([]int(nil), alloc...)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,390 @@
+// Package config implements the paper's Configurations Layer (§3): a
+// JSON specification from which users define the simulated cloud
+// (devices, topologies, calibration), the workload source, the
+// allocation policy, and the model constants — without touching the
+// framework's code.
+//
+// Example specification:
+//
+//	{
+//	  "devices": [
+//	    {"name": "qpu_a", "num_qubits": 127, "clops": 220000,
+//	     "quantum_volume": 128, "topology": "heavy-hex",
+//	     "calibration": {"median_readout": 0.013, "median_1q": 2.5e-4,
+//	                     "median_2q": 8e-3, "spread": 0.3, "seed": 1}}
+//	  ],
+//	  "workload": {"source": "synthetic",
+//	               "synthetic": {"n": 100, "min_qubits": 130, ...}},
+//	  "policy": "fidelity",
+//	  "model": {"m": 10, "k": 10, "phi": 0.95, "lambda": 0.02}
+//	}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/rlsched"
+	"repro/internal/sim"
+)
+
+// CalibSpec describes how a device's synthetic calibration is drawn.
+type CalibSpec struct {
+	// MedianReadout, Median1Q, Median2Q are the target median error
+	// rates (see calib.Profile).
+	MedianReadout float64 `json:"median_readout"`
+	Median1Q      float64 `json:"median_1q"`
+	Median2Q      float64 `json:"median_2q"`
+	// MedianT1 and MedianT2 are coherence times in µs (defaults 250/180).
+	MedianT1 float64 `json:"median_t1,omitempty"`
+	MedianT2 float64 `json:"median_t2,omitempty"`
+	// Spread is the log-normal relative spread (default 0.3).
+	Spread float64 `json:"spread,omitempty"`
+	// Seed draws this device's snapshot.
+	Seed int64 `json:"seed"`
+}
+
+// DeviceSpec describes one QPU.
+type DeviceSpec struct {
+	Name      string  `json:"name"`
+	NumQubits int     `json:"num_qubits"`
+	CLOPS     float64 `json:"clops"`
+	// QuantumVolume defaults to 128.
+	QuantumVolume float64 `json:"quantum_volume,omitempty"`
+	// Topology selects the coupling map: "heavy-hex" (default),
+	// "line", "complete", or "grid:RxC" (e.g. "grid:8x16").
+	Topology    string    `json:"topology,omitempty"`
+	Calibration CalibSpec `json:"calibration"`
+	// StrictTopology enables connected-subgraph allocation.
+	StrictTopology bool `json:"strict_topology,omitempty"`
+}
+
+// SyntheticSpec mirrors job.SyntheticConfig in JSON form.
+type SyntheticSpec struct {
+	N                int     `json:"n"`
+	MinQubits        int     `json:"min_qubits"`
+	MaxQubits        int     `json:"max_qubits"`
+	MinDepth         int     `json:"min_depth"`
+	MaxDepth         int     `json:"max_depth"`
+	MinShots         int     `json:"min_shots"`
+	MaxShots         int     `json:"max_shots"`
+	T2Factor         float64 `json:"t2_factor,omitempty"`
+	MeanInterarrival float64 `json:"mean_interarrival,omitempty"`
+	Seed             int64   `json:"seed"`
+}
+
+// WorkloadSpec selects the job source.
+type WorkloadSpec struct {
+	// Source is "synthetic", "csv", or "json".
+	Source string `json:"source"`
+	// Path locates the workload file for csv/json sources.
+	Path string `json:"path,omitempty"`
+	// Synthetic parameterizes the synthetic source.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+}
+
+// ModelSpec carries the Eq. 3/8/9 constants.
+type ModelSpec struct {
+	M        int     `json:"m"`
+	K        int     `json:"k"`
+	Phi      float64 `json:"phi"`
+	Lambda   float64 `json:"lambda"`
+	Backfill bool    `json:"backfill,omitempty"`
+}
+
+// Spec is a complete simulation specification.
+type Spec struct {
+	Devices  []DeviceSpec `json:"devices"`
+	Workload WorkloadSpec `json:"workload"`
+	// Policy is "speed", "fidelity", "fair", "rlbase",
+	// "speed-proportional", or "fair-proportional".
+	Policy string `json:"policy"`
+	// RLModelPath locates a trained policy for "rlbase".
+	RLModelPath string `json:"rl_model_path,omitempty"`
+	// RLSeed seeds deployment-time sampling for "rlbase".
+	RLSeed int64     `json:"rl_seed,omitempty"`
+	Model  ModelSpec `json:"model"`
+}
+
+// Load parses and validates a specification.
+func Load(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile is Load from a path.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Validate checks the specification's internal consistency.
+func (s *Spec) Validate() error {
+	if len(s.Devices) == 0 {
+		return fmt.Errorf("config: no devices")
+	}
+	names := map[string]bool{}
+	for i, d := range s.Devices {
+		if d.Name == "" {
+			return fmt.Errorf("config: device %d has no name", i)
+		}
+		if names[d.Name] {
+			return fmt.Errorf("config: duplicate device %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.NumQubits <= 0 {
+			return fmt.Errorf("config: device %q: %d qubits", d.Name, d.NumQubits)
+		}
+		if d.CLOPS <= 0 {
+			return fmt.Errorf("config: device %q: CLOPS %g", d.Name, d.CLOPS)
+		}
+		if _, err := parseTopology(d.Topology, d.NumQubits); err != nil {
+			return fmt.Errorf("config: device %q: %w", d.Name, err)
+		}
+		c := d.Calibration
+		if c.MedianReadout <= 0 || c.Median1Q <= 0 || c.Median2Q <= 0 {
+			return fmt.Errorf("config: device %q: calibration medians must be positive", d.Name)
+		}
+	}
+	switch s.Workload.Source {
+	case "synthetic":
+		if s.Workload.Synthetic == nil {
+			return fmt.Errorf("config: synthetic workload needs a synthetic block")
+		}
+	case "csv", "json":
+		if s.Workload.Path == "" {
+			return fmt.Errorf("config: %s workload needs a path", s.Workload.Source)
+		}
+	default:
+		return fmt.Errorf("config: unknown workload source %q", s.Workload.Source)
+	}
+	switch s.Policy {
+	case "speed", "fidelity", "fair", "speed-proportional", "fair-proportional":
+	case "rlbase":
+		if s.RLModelPath == "" {
+			return fmt.Errorf("config: rlbase policy needs rl_model_path")
+		}
+	default:
+		return fmt.Errorf("config: unknown policy %q", s.Policy)
+	}
+	if s.Model.M <= 0 || s.Model.K <= 0 {
+		return fmt.Errorf("config: model constants M=%d K=%d", s.Model.M, s.Model.K)
+	}
+	if s.Model.Phi <= 0 || s.Model.Phi > 1 {
+		return fmt.Errorf("config: phi %g", s.Model.Phi)
+	}
+	if s.Model.Lambda < 0 {
+		return fmt.Errorf("config: lambda %g", s.Model.Lambda)
+	}
+	return nil
+}
+
+// parseTopology builds the coupling map named by spec for n qubits.
+func parseTopology(spec string, n int) (*graph.Graph, error) {
+	switch {
+	case spec == "" || spec == "heavy-hex":
+		if n == 127 {
+			return graph.Eagle127(), nil
+		}
+		// Build a heavy-hex large enough and take a connected trim.
+		rows := 3
+		for {
+			g := graph.HeavyHex(rows, 15, 4)
+			if g.NumVertices() >= n {
+				return g.ConnectedTrim(n), nil
+			}
+			rows++
+			if rows > 64 {
+				return nil, fmt.Errorf("heavy-hex cannot reach %d qubits", n)
+			}
+		}
+	case spec == "line":
+		return graph.Line(n), nil
+	case spec == "complete":
+		return graph.Complete(n), nil
+	case strings.HasPrefix(spec, "grid:"):
+		dims := strings.SplitN(strings.TrimPrefix(spec, "grid:"), "x", 2)
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("grid topology %q (want grid:RxC)", spec)
+		}
+		r, err1 := strconv.Atoi(dims[0])
+		c, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || r <= 0 || c <= 0 {
+			return nil, fmt.Errorf("grid topology %q", spec)
+		}
+		if r*c != n {
+			return nil, fmt.Errorf("grid %dx%d has %d vertices, device has %d qubits", r, c, r*c, n)
+		}
+		return graph.Grid(r, c), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec)
+	}
+}
+
+// BuildFleet constructs the specified devices on env.
+func (s *Spec) BuildFleet(env *sim.Environment) ([]*device.Device, error) {
+	var fleet []*device.Device
+	for _, ds := range s.Devices {
+		topo, err := parseTopology(ds.Topology, ds.NumQubits)
+		if err != nil {
+			return nil, fmt.Errorf("config: device %q: %w", ds.Name, err)
+		}
+		cs := ds.Calibration
+		prof := calib.Profile{
+			Name:          ds.Name,
+			NumQubits:     ds.NumQubits,
+			MedianReadout: cs.MedianReadout,
+			Median1Q:      cs.Median1Q,
+			Median2Q:      cs.Median2Q,
+			MedianT1:      orDefault(cs.MedianT1, 250),
+			MedianT2:      orDefault(cs.MedianT2, 180),
+			Spread:        orDefault(cs.Spread, 0.3),
+		}
+		snap := calib.Synthesize(rand.New(rand.NewSource(cs.Seed)), prof, topo.Edges(), calib.CalibrationTimestamp)
+		qv := ds.QuantumVolume
+		if qv == 0 {
+			qv = calib.StandardQuantumVolume
+		}
+		var opts []device.Option
+		if ds.StrictTopology {
+			opts = append(opts, device.WithStrictTopology())
+		}
+		d, err := device.New(env, topo, snap, ds.CLOPS, qv, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("config: device %q: %w", ds.Name, err)
+		}
+		fleet = append(fleet, d)
+	}
+	return fleet, nil
+}
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// BuildWorkload produces the specified jobs. Relative workload paths are
+// resolved against baseDir.
+func (s *Spec) BuildWorkload(baseDir string) ([]*job.QJob, error) {
+	switch s.Workload.Source {
+	case "synthetic":
+		sp := s.Workload.Synthetic
+		cfg := job.SyntheticConfig{
+			N:                sp.N,
+			MinQubits:        sp.MinQubits,
+			MaxQubits:        sp.MaxQubits,
+			MinDepth:         sp.MinDepth,
+			MaxDepth:         sp.MaxDepth,
+			MinShots:         sp.MinShots,
+			MaxShots:         sp.MaxShots,
+			T2Factor:         orDefault(sp.T2Factor, 0.25),
+			MeanInterarrival: sp.MeanInterarrival,
+			Seed:             sp.Seed,
+		}
+		return job.Synthetic(cfg)
+	case "csv", "json":
+		path := s.Workload.Path
+		if !filepath.IsAbs(path) && baseDir != "" {
+			path = filepath.Join(baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("config: workload: %w", err)
+		}
+		defer f.Close()
+		if s.Workload.Source == "json" {
+			return job.LoadJSON(f)
+		}
+		return job.LoadCSV(f)
+	default:
+		return nil, fmt.Errorf("config: unknown workload source %q", s.Workload.Source)
+	}
+}
+
+// BuildPolicy constructs the specified allocation policy. Relative RL
+// model paths are resolved against baseDir.
+func (s *Spec) BuildPolicy(baseDir string) (policy.Policy, error) {
+	switch s.Policy {
+	case "speed":
+		return policy.Speed{}, nil
+	case "fidelity":
+		return policy.Fidelity{}, nil
+	case "fair":
+		return policy.Fair{}, nil
+	case "speed-proportional":
+		return policy.ProportionalSpeed{}, nil
+	case "fair-proportional":
+		return policy.ProportionalFair{}, nil
+	case "rlbase":
+		path := s.RLModelPath
+		if !filepath.IsAbs(path) && baseDir != "" {
+			path = filepath.Join(baseDir, path)
+		}
+		trained, err := rlsched.LoadPolicy(path)
+		if err != nil {
+			return nil, err
+		}
+		return rlsched.NewRLPolicy(trained, s.RLSeed), nil
+	default:
+		return nil, fmt.Errorf("config: unknown policy %q", s.Policy)
+	}
+}
+
+// CoreConfig converts the model block.
+func (s *Spec) CoreConfig() core.Config {
+	return core.Config{
+		M:        s.Model.M,
+		K:        s.Model.K,
+		Phi:      s.Model.Phi,
+		Lambda:   s.Model.Lambda,
+		Backfill: s.Model.Backfill,
+	}
+}
+
+// Build assembles the complete simulation: environment contents, jobs,
+// and the configured QCloudSimEnv (workload not yet submitted).
+func (s *Spec) Build(env *sim.Environment, baseDir string) (*core.QCloudSimEnv, []*job.QJob, error) {
+	fleet, err := s.BuildFleet(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	pol, err := s.BuildPolicy(baseDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	jobs, err := s.BuildWorkload(baseDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	simEnv, err := core.NewQCloudSimEnv(env, fleet, pol, s.CoreConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return simEnv, jobs, nil
+}

@@ -1,0 +1,350 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6.6, §7): Table 2 (the four-strategy comparison on 1,000
+// large circuits), Figure 5 (PPO training curves), Figure 6 (per-strategy
+// fidelity distributions), plus the ablation sweeps for the model
+// constants the paper fixes (φ, λ) and the RL deployment mode.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/records"
+	"repro/internal/rl"
+	"repro/internal/rlsched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Modes are the four allocation strategies of the case study, in the
+// paper's Table 2 order.
+var Modes = []string{"speed", "fidelity", "fair", "rlbase"}
+
+// CaseStudy bundles the full experimental configuration. The zero value
+// is unusable; start from Default().
+type CaseStudy struct {
+	// Workload generates the synthetic job set (§7: 1,000 jobs,
+	// q∈[130,250], d∈[5,20], s∈[10k,100k]).
+	Workload job.SyntheticConfig
+	// Core carries the model constants (M, K, φ, λ).
+	Core core.Config
+	// FleetSeed draws the synthetic calibration snapshot.
+	FleetSeed int64
+	// TrainSteps is the PPO training budget for the rlbase mode (the
+	// paper trains for 100,000 timesteps).
+	TrainSteps int
+	// PPO is the trainer configuration.
+	PPO rl.PPOConfig
+	// RLSeed seeds deployment-time action sampling.
+	RLSeed int64
+	// RLDeterministic deploys mean actions instead of sampling.
+	RLDeterministic bool
+
+	trained *rl.GaussianPolicy
+	history []rl.TrainStats
+}
+
+// Default returns the paper's case-study configuration with a reduced
+// 20k-step training budget (pass 100000 for the paper's full budget;
+// the curves plateau around 40–50k steps, §6.6).
+func Default() *CaseStudy {
+	return &CaseStudy{
+		Workload:   job.DefaultSyntheticConfig(),
+		Core:       core.DefaultConfig(),
+		FleetSeed:  2025,
+		TrainSteps: 20000,
+		PPO:        rl.DefaultPPOConfig(),
+		RLSeed:     7,
+	}
+}
+
+// Fleet builds the five-device cloud on a fresh simulation environment.
+func (cs *CaseStudy) Fleet(env *sim.Environment) ([]*device.Device, error) {
+	return device.StandardFleet(env, cs.FleetSeed)
+}
+
+// Jobs generates the workload and checks the Eq. 1 constraint against
+// the standard cloud.
+func (cs *CaseStudy) Jobs() ([]*job.QJob, error) {
+	jobs, err := job.Synthetic(cs.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.CheckDistributedConstraint(jobs, 127, 635); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// TrainRL trains (and caches) the PPO policy on the QCloudGymEnv,
+// returning the per-iteration statistics — the Fig. 5 series. Subsequent
+// calls reuse the cached policy.
+func (cs *CaseStudy) TrainRL(onIter func(rl.TrainStats)) (*rl.GaussianPolicy, []rl.TrainStats, error) {
+	if cs.trained != nil {
+		return cs.trained, cs.history, nil
+	}
+	env := sim.NewEnvironment()
+	fleet, err := cs.Fleet(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := rlsched.InfoFromFleet(fleet)
+	gymCfg := rlsched.DefaultGymConfig()
+	gymCfg.MinQubits = cs.Workload.MinQubits
+	gymCfg.MaxQubits = cs.Workload.MaxQubits
+	gymCfg.MinDepth = cs.Workload.MinDepth
+	gymCfg.MaxDepth = cs.Workload.MaxDepth
+	gymCfg.MinShots = cs.Workload.MinShots
+	gymCfg.MaxShots = cs.Workload.MaxShots
+	gymCfg.T2Factor = cs.Workload.T2Factor
+	pol, hist, err := rlsched.Train(info, gymCfg, cs.PPO, cs.TrainSteps, onIter)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs.trained = pol
+	cs.history = hist
+	return pol, hist, nil
+}
+
+// UseTrainedPolicy injects an externally trained policy (e.g. loaded
+// from disk), skipping TrainRL.
+func (cs *CaseStudy) UseTrainedPolicy(pol *rl.GaussianPolicy) { cs.trained = pol }
+
+// policyFor resolves a mode name to its Policy implementation.
+func (cs *CaseStudy) policyFor(mode string) (policy.Policy, error) {
+	switch mode {
+	case "speed":
+		return policy.Speed{}, nil
+	case "fidelity":
+		return policy.Fidelity{}, nil
+	case "fair":
+		return policy.Fair{}, nil
+	case "rlbase":
+		trained, _, err := cs.TrainRL(nil)
+		if err != nil {
+			return nil, err
+		}
+		rp := rlsched.NewRLPolicy(trained, cs.RLSeed)
+		rp.Deterministic = cs.RLDeterministic
+		return rp, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown mode %q (want one of %v)", mode, Modes)
+	}
+}
+
+// ModeRun is one complete simulation of the workload under one strategy.
+type ModeRun struct {
+	Mode       string
+	Results    core.Results
+	Fidelities []float64
+	Records    *records.Manager
+}
+
+// RunMode simulates the full workload under the named strategy.
+func (cs *CaseStudy) RunMode(mode string) (*ModeRun, error) {
+	pol, err := cs.policyFor(mode)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := cs.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	env := sim.NewEnvironment()
+	fleet, err := cs.Fleet(env)
+	if err != nil {
+		return nil, err
+	}
+	simEnv, err := core.NewQCloudSimEnv(env, fleet, pol, cs.Core)
+	if err != nil {
+		return nil, err
+	}
+	simEnv.SubmitWorkload(jobs)
+	res, err := simEnv.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ModeRun{
+		Mode:       mode,
+		Results:    res,
+		Fidelities: simEnv.Records.Fidelities(),
+		Records:    simEnv.Records,
+	}, nil
+}
+
+// RunAll runs every strategy and returns runs keyed by mode name.
+func (cs *CaseStudy) RunAll() (map[string]*ModeRun, error) {
+	out := make(map[string]*ModeRun, len(Modes))
+	for _, mode := range Modes {
+		run, err := cs.RunMode(mode)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mode %s: %w", mode, err)
+		}
+		out[mode] = run
+	}
+	return out, nil
+}
+
+// Table2 runs all four strategies and returns rows in the paper's order.
+func (cs *CaseStudy) Table2() ([]core.Results, error) {
+	runs, err := cs.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]core.Results, 0, len(Modes))
+	for _, mode := range Modes {
+		rows = append(rows, runs[mode].Results)
+	}
+	return rows, nil
+}
+
+// Fig5Series converts PPO iteration statistics into the two Fig. 5
+// series: mean episode reward and entropy loss versus timesteps.
+func Fig5Series(hist []rl.TrainStats) (reward, entropyLoss *stats.Series) {
+	reward = &stats.Series{Name: "mean_episode_reward"}
+	entropyLoss = &stats.Series{Name: "entropy_loss"}
+	for _, h := range hist {
+		reward.Append(float64(h.Timesteps), h.MeanEpisodeReward)
+		entropyLoss.Append(float64(h.Timesteps), h.EntropyLoss)
+	}
+	return reward, entropyLoss
+}
+
+// Fig6Histograms bins each run's fidelities over a common range, like
+// the paper's Figure 6 panels. The range spans all runs' observed
+// fidelities with a small margin.
+func Fig6Histograms(runs map[string]*ModeRun, bins int) map[string]*stats.Histogram {
+	lo, hi := 1.0, 0.0
+	for _, r := range runs {
+		for _, f := range r.Fidelities {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+	}
+	if hi <= lo {
+		lo, hi = 0, 1
+	}
+	margin := (hi - lo) * 0.05
+	lo -= margin
+	hi += margin
+	out := make(map[string]*stats.Histogram, len(runs))
+	for mode, r := range runs {
+		out[mode] = stats.NewHistogram(r.Fidelities, lo, hi, bins)
+	}
+	return out
+}
+
+// SweepPoint is one parameter setting's outcome in an ablation sweep.
+type SweepPoint struct {
+	Param   float64
+	Mode    string
+	Results core.Results
+}
+
+// PhiSweep re-runs the given mode across communication-penalty values,
+// quantifying how the paper's fixed φ=0.95 drives the fidelity gap
+// between low-k and high-k strategies.
+func (cs *CaseStudy) PhiSweep(mode string, phis []float64) ([]SweepPoint, error) {
+	return cs.sweep(mode, phis, func(c *core.Config, v float64) { c.Phi = v })
+}
+
+// LambdaSweep re-runs the given mode across per-qubit communication
+// latencies, the Eq. 9 parameter.
+func (cs *CaseStudy) LambdaSweep(mode string, lambdas []float64) ([]SweepPoint, error) {
+	return cs.sweep(mode, lambdas, func(c *core.Config, v float64) { c.Lambda = v })
+}
+
+func (cs *CaseStudy) sweep(mode string, values []float64, set func(*core.Config, float64)) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("experiments: empty sweep")
+	}
+	saved := cs.Core
+	defer func() { cs.Core = saved }()
+	var out []SweepPoint
+	for _, v := range values {
+		cs.Core = saved
+		set(&cs.Core, v)
+		run, err := cs.RunMode(mode)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %s=%g: %w", mode, v, err)
+		}
+		out = append(out, SweepPoint{Param: v, Mode: mode, Results: run.Results})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Param < out[j].Param })
+	return out, nil
+}
+
+// ReplicatedStat summarizes one metric across workload seeds.
+type ReplicatedStat struct {
+	Mean, Std, Min, Max float64
+}
+
+// ReplicatedResults aggregates a mode's Table 2 metrics across
+// independent workload seeds — the statistical replication the paper's
+// single-run Table 2 lacks.
+type ReplicatedResults struct {
+	Mode                         string
+	Seeds                        []int64
+	TsimStat, MuFStat, TcommStat ReplicatedStat
+}
+
+// RunReplicated runs the named mode once per workload seed and
+// aggregates the headline metrics. The fleet (calibration) is held fixed
+// so the variation isolates workload randomness.
+func (cs *CaseStudy) RunReplicated(mode string, seeds []int64) (*ReplicatedResults, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	savedSeed := cs.Workload.Seed
+	defer func() { cs.Workload.Seed = savedSeed }()
+	var tsim, muF, tcomm []float64
+	for _, s := range seeds {
+		cs.Workload.Seed = s
+		run, err := cs.RunMode(mode)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", s, err)
+		}
+		tsim = append(tsim, run.Results.TotalSimTime)
+		muF = append(muF, run.Results.FidelityMean)
+		tcomm = append(tcomm, run.Results.TotalCommTime)
+	}
+	return &ReplicatedResults{
+		Mode:      mode,
+		Seeds:     append([]int64(nil), seeds...),
+		TsimStat:  replicate(tsim),
+		MuFStat:   replicate(muF),
+		TcommStat: replicate(tcomm),
+	}, nil
+}
+
+func replicate(xs []float64) ReplicatedStat {
+	s := stats.Summarize(xs)
+	return ReplicatedStat{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+}
+
+// RLDeploymentAblation compares sampled versus deterministic deployment
+// of the trained policy — isolating how much of the RL mode's fidelity
+// loss comes from retained exploration noise.
+func (cs *CaseStudy) RLDeploymentAblation() (sampled, deterministic *ModeRun, err error) {
+	saved := cs.RLDeterministic
+	defer func() { cs.RLDeterministic = saved }()
+	cs.RLDeterministic = false
+	sampled, err = cs.RunMode("rlbase")
+	if err != nil {
+		return nil, nil, err
+	}
+	cs.RLDeterministic = true
+	deterministic, err = cs.RunMode("rlbase")
+	if err != nil {
+		return nil, nil, err
+	}
+	return sampled, deterministic, nil
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmptyGraph(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestAddEdgeAndHasEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing or not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("unexpected edge (0,2)")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestAddEdgeDeduplicatesAndIgnoresSelfLoops(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdge(0, 2)
+}
+
+func TestEdgesSortedDeterministic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {0, 2}, {2, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+	if New(2).Connected() {
+		t.Fatal("two isolated vertices are not connected")
+	}
+	if !Line(10).Connected() {
+		t.Fatal("line should be connected")
+	}
+}
+
+func TestConnectedSubset(t *testing.T) {
+	g := Line(10)
+	if !g.ConnectedSubset([]int{2, 3, 4}) {
+		t.Fatal("contiguous run should be connected")
+	}
+	if g.ConnectedSubset([]int{0, 5}) {
+		t.Fatal("gap should disconnect subset")
+	}
+	if !g.ConnectedSubset(nil) || !g.ConnectedSubset([]int{7}) {
+		t.Fatal("trivial subsets are connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 3 || len(comps[2]) != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestConnectedSubgraphOnLine(t *testing.T) {
+	g := Line(10)
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	sub := g.ConnectedSubgraph(4, all)
+	if len(sub) != 4 {
+		t.Fatalf("sub = %v", sub)
+	}
+	if !g.ConnectedSubset(sub) {
+		t.Fatalf("sub %v is not connected", sub)
+	}
+}
+
+func TestConnectedSubgraphRespectsAvailability(t *testing.T) {
+	g := Line(10)
+	// Available: {0,1,2} and {5,6,7,8} (two fragments).
+	avail := []int{0, 1, 2, 5, 6, 7, 8}
+	sub := g.ConnectedSubgraph(4, avail)
+	if len(sub) != 4 {
+		t.Fatalf("sub = %v, want 4 vertices", sub)
+	}
+	for _, v := range sub {
+		if v < 5 || v > 8 {
+			t.Fatalf("sub = %v should come from the 4-fragment", sub)
+		}
+	}
+	if got := g.ConnectedSubgraph(5, avail); got != nil {
+		t.Fatalf("no connected 5-subgraph exists, got %v", got)
+	}
+}
+
+func TestConnectedSubgraphEdgeCases(t *testing.T) {
+	g := Line(5)
+	if got := g.ConnectedSubgraph(0, []int{1, 2}); len(got) != 0 {
+		t.Fatalf("size 0 should give empty, got %v", got)
+	}
+	if got := g.ConnectedSubgraph(3, []int{1}); got != nil {
+		t.Fatalf("size > available should be nil, got %v", got)
+	}
+}
+
+func TestLargestAvailableComponent(t *testing.T) {
+	g := Line(10)
+	if got := g.LargestAvailableComponent([]int{0, 1, 2, 5, 6, 7, 8}); got != 4 {
+		t.Fatalf("got %d, want 4", got)
+	}
+	if got := g.LargestAvailableComponent(nil); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestHeavyHexConnected(t *testing.T) {
+	g := HeavyHex(7, 15, 4)
+	if !g.Connected() {
+		t.Fatal("heavy-hex lattice should be connected")
+	}
+}
+
+func TestEagle127Properties(t *testing.T) {
+	g := Eagle127()
+	if g.NumVertices() != 127 {
+		t.Fatalf("NumVertices = %d, want 127", g.NumVertices())
+	}
+	if !g.Connected() {
+		t.Fatal("Eagle127 should be connected")
+	}
+	maxDeg := 0
+	for v := 0; v < 127; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 3 {
+		t.Fatalf("heavy-hex max degree = %d, want <= 3", maxDeg)
+	}
+}
+
+func TestEagle127FullAllocationPossible(t *testing.T) {
+	// A job may need all 127 qubits of one device; the connected-subgraph
+	// search must find the whole device.
+	g := Eagle127()
+	all := make([]int, 127)
+	for i := range all {
+		all[i] = i
+	}
+	sub := g.ConnectedSubgraph(127, all)
+	if len(sub) != 127 {
+		t.Fatalf("full allocation failed: got %d qubits", len(sub))
+	}
+}
+
+func TestGridAndComplete(t *testing.T) {
+	gr := Grid(3, 4)
+	if gr.NumVertices() != 12 || !gr.Connected() {
+		t.Fatal("grid malformed")
+	}
+	// Grid 3x4: horizontal 3*3=9, vertical 2*4=8 edges.
+	if gr.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", gr.NumEdges())
+	}
+	k := Complete(5)
+	if k.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d, want 10", k.NumEdges())
+	}
+	for i := 0; i < 5; i++ {
+		if k.Degree(i) != 4 {
+			t.Fatalf("K5 degree(%d) = %d", i, k.Degree(i))
+		}
+	}
+}
+
+func TestConnectedTrim(t *testing.T) {
+	base := HeavyHex(4, 15, 4)
+	for _, k := range []int{1, 10, 64, base.NumVertices()} {
+		g := base.ConnectedTrim(k)
+		if g.NumVertices() != k {
+			t.Fatalf("trim(%d): %d vertices", k, g.NumVertices())
+		}
+		if !g.Connected() {
+			t.Fatalf("trim(%d) not connected", k)
+		}
+	}
+	if g := base.ConnectedTrim(0); g.NumVertices() != 0 {
+		t.Fatal("trim(0) should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range trim should panic")
+		}
+	}()
+	base.ConnectedTrim(base.NumVertices() + 1)
+}
+
+func TestConnectedTrimDisconnectedPanics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1) // vertices 2,3 unreachable
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unreachable trim")
+		}
+	}()
+	g.ConnectedTrim(3)
+}
+
+func TestInducedPrefix(t *testing.T) {
+	g := Line(10)
+	p := g.InducedPrefix(4)
+	if p.NumVertices() != 4 || p.NumEdges() != 3 {
+		t.Fatalf("prefix: %d vertices, %d edges", p.NumVertices(), p.NumEdges())
+	}
+}
+
+// Property: any subgraph returned by ConnectedSubgraph is connected, has
+// the requested size, and only uses available vertices.
+func TestPropertyConnectedSubgraphValid(t *testing.T) {
+	g := Eagle127()
+	f := func(sizeRaw, availSeed uint8) bool {
+		size := int(sizeRaw%127) + 1
+		// Build an availability mask from the seed: every vertex v with
+		// (v*7+int(availSeed))%3 != 0 is available.
+		var avail []int
+		for v := 0; v < 127; v++ {
+			if (v*7+int(availSeed))%3 != 0 {
+				avail = append(avail, v)
+			}
+		}
+		sub := g.ConnectedSubgraph(size, avail)
+		if sub == nil {
+			// Must genuinely be impossible.
+			return g.LargestAvailableComponent(avail) < size
+		}
+		if len(sub) != size {
+			return false
+		}
+		availSet := make(map[int]bool)
+		for _, v := range avail {
+			availSet[v] = true
+		}
+		for _, v := range sub {
+			if !availSet[v] {
+				return false
+			}
+		}
+		return g.ConnectedSubset(sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Components partitions the vertex set.
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(edges []uint16, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		g := New(n)
+		for _, e := range edges {
+			u := int(e) % n
+			v := int(e>>8) % n
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		seen := make(map[int]bool)
+		total := 0
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

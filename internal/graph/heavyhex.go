@@ -1,0 +1,152 @@
+package graph
+
+// This file generates IBM-style coupling maps. IBM's 127-qubit Eagle
+// processors (ibm_strasbourg, ibm_brussels, ibm_kyiv, ibm_quebec,
+// ibm_kawasaki — the five devices in the paper's case study) use a
+// heavy-hex lattice: rows of linearly coupled qubits joined by sparse
+// vertical bridge qubits. The exact IBM qubit numbering is not needed by
+// the scheduler (only connectivity properties matter), so we build a
+// topologically faithful heavy-hex with the right qubit count.
+
+import "fmt"
+
+// HeavyHex builds a heavy-hex-style coupling map with the given number of
+// rows, row length, and bridge spacing. Vertices are numbered row by row,
+// with bridge qubits appended after all row qubits.
+//
+// Layout: rows of `rowLen` qubits each coupled in a line. Between
+// consecutive rows, bridge qubits connect row r column c to row r+1
+// column c for every c that is a multiple of `spacing` (offset alternates
+// by row pair, as in the real lattice).
+func HeavyHex(rows, rowLen, spacing int) *Graph {
+	if rows <= 0 || rowLen <= 0 || spacing <= 0 {
+		panic("graph: HeavyHex arguments must be positive")
+	}
+	nRow := rows * rowLen
+	// Count bridges first.
+	type bridge struct{ a, b int }
+	var bridges []bridge
+	for r := 0; r+1 < rows; r++ {
+		offset := 0
+		if r%2 == 1 {
+			offset = spacing / 2
+		}
+		for c := offset; c < rowLen; c += spacing {
+			bridges = append(bridges, bridge{r*rowLen + c, (r+1)*rowLen + c})
+		}
+	}
+	g := New(nRow + len(bridges))
+	// Row couplings.
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < rowLen; c++ {
+			g.AddEdge(r*rowLen+c, r*rowLen+c+1)
+		}
+	}
+	// Bridge qubits.
+	for i, b := range bridges {
+		bq := nRow + i
+		g.AddEdge(b.a, bq)
+		g.AddEdge(bq, b.b)
+	}
+	return g
+}
+
+// Eagle127 returns a 127-vertex heavy-hex coupling map matching the
+// qubit count of IBM Eagle r3 processors. It is built from a heavy-hex
+// lattice trimmed to exactly 127 qubits; the graph is connected and has
+// the sparse degree profile (max degree 3) characteristic of heavy-hex.
+func Eagle127() *Graph {
+	// 7 rows of 15 = 105 row qubits, plus bridges. spacing 4 gives
+	// 4 bridges per even gap and 4 per odd gap: 6 gaps * 4 = 24 bridges
+	// -> 129 qubits; trim to 127 by dropping the last two bridges.
+	full := HeavyHex(7, 15, 4)
+	if full.NumVertices() < 127 {
+		panic("graph: Eagle127 construction yielded too few qubits")
+	}
+	return full.InducedPrefix(127)
+}
+
+// ConnectedTrim returns a connected induced subgraph of exactly k
+// vertices, chosen as the first k vertices of a BFS from vertex 0 and
+// relabeled 0..k-1 in BFS order. It panics if the graph has fewer than
+// k reachable vertices — callers trim lattices that are connected by
+// construction.
+func (g *Graph) ConnectedTrim(k int) *Graph {
+	if k < 0 || k > g.n {
+		panic("graph: ConnectedTrim out of range")
+	}
+	if k == 0 {
+		return New(0)
+	}
+	order := g.componentFrom(0, nil)
+	if len(order) < k {
+		panic(fmt.Sprintf("graph: ConnectedTrim(%d) but only %d vertices reachable", k, len(order)))
+	}
+	keep := make(map[int]int, k) // old id -> new id
+	for newID, oldID := range order[:k] {
+		keep[oldID] = newID
+	}
+	out := New(k)
+	for e := range g.edgeSet {
+		a, aok := keep[e[0]]
+		b, bok := keep[e[1]]
+		if aok && bok {
+			out.AddEdge(a, b)
+		}
+	}
+	return out
+}
+
+// InducedPrefix returns the induced subgraph over vertices 0..k-1.
+func (g *Graph) InducedPrefix(k int) *Graph {
+	if k < 0 || k > g.n {
+		panic("graph: InducedPrefix out of range")
+	}
+	out := New(k)
+	for e := range g.edgeSet {
+		if e[0] < k && e[1] < k {
+			out.AddEdge(e[0], e[1])
+		}
+	}
+	return out
+}
+
+// Line returns a path graph over n vertices (the degenerate coupling map
+// used in tests and small examples).
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Grid returns an r x c grid graph, a dense well-connected topology used
+// for hypothetical high-connectivity devices in ablation studies.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				g.AddEdge(v, v+1)
+			}
+			if i+1 < r {
+				g.AddEdge(v, v+c)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n (the paper's §5.2 black-box
+// abstraction: any qubit subset is connected).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}

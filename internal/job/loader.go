@@ -1,0 +1,173 @@
+package job
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV column layout for deterministic workloads (§3 JobGenerator):
+//
+//	job_id,num_qubits,depth,num_shots,arrival_time[,two_qubit_gates]
+//
+// A header row is detected and skipped. arrival_time may be empty, in
+// which case 0 is assigned (the paper assigns "the current timestamp";
+// deterministic loads start at t=0). two_qubit_gates is optional and
+// defaults to round(0.25·q·d).
+
+// LoadCSV reads a deterministic workload from CSV. Jobs are returned in
+// arrival order.
+func LoadCSV(r io.Reader) ([]*QJob, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated per row below
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("job: reading CSV: %w", err)
+	}
+	var jobs []*QJob
+	for i, row := range rows {
+		if i == 0 && looksLikeHeader(row) {
+			continue
+		}
+		j, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("job: CSV row %d: %w", i+1, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("job: CSV contains no jobs")
+	}
+	SortByArrival(jobs)
+	return jobs, nil
+}
+
+func looksLikeHeader(row []string) bool {
+	if len(row) == 0 {
+		return false
+	}
+	_, err := strconv.Atoi(strings.TrimSpace(row[len(row)-1]))
+	if err == nil {
+		return false
+	}
+	// Second field numeric means data row; otherwise treat as header.
+	if len(row) > 1 {
+		if _, err := strconv.Atoi(strings.TrimSpace(row[1])); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func parseCSVRow(row []string) (*QJob, error) {
+	if len(row) < 4 {
+		return nil, fmt.Errorf("need at least 4 fields, got %d", len(row))
+	}
+	get := func(i int) string { return strings.TrimSpace(row[i]) }
+	q, err := strconv.Atoi(get(1))
+	if err != nil {
+		return nil, fmt.Errorf("num_qubits: %w", err)
+	}
+	d, err := strconv.Atoi(get(2))
+	if err != nil {
+		return nil, fmt.Errorf("depth: %w", err)
+	}
+	s, err := strconv.Atoi(get(3))
+	if err != nil {
+		return nil, fmt.Errorf("num_shots: %w", err)
+	}
+	j := &QJob{ID: get(0), NumQubits: q, Depth: d, Shots: s}
+	if len(row) >= 5 && get(4) != "" {
+		arr, err := strconv.ParseFloat(get(4), 64)
+		if err != nil {
+			return nil, fmt.Errorf("arrival_time: %w", err)
+		}
+		j.ArrivalTime = arr
+	}
+	if len(row) >= 6 && get(5) != "" {
+		t2, err := strconv.Atoi(get(5))
+		if err != nil {
+			return nil, fmt.Errorf("two_qubit_gates: %w", err)
+		}
+		j.TwoQubitGates = t2
+	} else {
+		j.TwoQubitGates = int(0.25*float64(q*d) + 0.5)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// jobJSON is the JSON workload schema: an array of these objects.
+type jobJSON struct {
+	ID            string   `json:"job_id"`
+	NumQubits     int      `json:"num_qubits"`
+	Depth         int      `json:"depth"`
+	Shots         int      `json:"num_shots"`
+	ArrivalTime   *float64 `json:"arrival_time,omitempty"`
+	TwoQubitGates *int     `json:"two_qubit_gates,omitempty"`
+}
+
+// LoadJSON reads a deterministic workload from a JSON array. Jobs are
+// returned in arrival order.
+func LoadJSON(r io.Reader) ([]*QJob, error) {
+	var raw []jobJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("job: decoding JSON: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("job: JSON contains no jobs")
+	}
+	var jobs []*QJob
+	for i, rj := range raw {
+		j := &QJob{
+			ID:        rj.ID,
+			NumQubits: rj.NumQubits,
+			Depth:     rj.Depth,
+			Shots:     rj.Shots,
+		}
+		if rj.ArrivalTime != nil {
+			j.ArrivalTime = *rj.ArrivalTime
+		}
+		if rj.TwoQubitGates != nil {
+			j.TwoQubitGates = *rj.TwoQubitGates
+		} else {
+			j.TwoQubitGates = int(0.25*float64(j.NumQubits*j.Depth) + 0.5)
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("job: JSON entry %d: %w", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	SortByArrival(jobs)
+	return jobs, nil
+}
+
+// WriteCSV emits jobs in the loader's CSV schema, including a header.
+func WriteCSV(w io.Writer, jobs []*QJob) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job_id", "num_qubits", "depth", "num_shots", "arrival_time", "two_qubit_gates"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		rec := []string{
+			j.ID,
+			strconv.Itoa(j.NumQubits),
+			strconv.Itoa(j.Depth),
+			strconv.Itoa(j.Shots),
+			strconv.FormatFloat(j.ArrivalTime, 'g', -1, 64),
+			strconv.Itoa(j.TwoQubitGates),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestExecTimeWorkedExample reproduces the paper's §6.1 example:
+// M=100, K=10, S=40000, D=7 layers (QV 128) on ibm_brussels
+// (CLOPS 220,000) ⇒ ≈ 21 minutes.
+func TestExecTimeWorkedExample(t *testing.T) {
+	tau := ExecutionTime(100, 10, 40000, 128, 220000)
+	minutes := tau / 60
+	if minutes < 21.0 || minutes > 21.4 {
+		t.Fatalf("worked example: %.2f minutes, paper says ≈21", minutes)
+	}
+}
+
+func TestExecutionTimeScalesInverselyWithCLOPS(t *testing.T) {
+	fast := ExecutionTime(1, 1, 10000, 128, 220000)
+	slow := ExecutionTime(1, 1, 10000, 128, 30000)
+	ratio := slow / fast
+	if math.Abs(ratio-220000.0/30000.0) > 1e-9 {
+		t.Fatalf("ratio = %g, want %g", ratio, 220000.0/30000.0)
+	}
+}
+
+func TestExecutionTimeValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { ExecutionTime(1, 1, 100, 128, 0) },
+		func() { ExecutionTime(1, 1, 100, 1, 1000) },
+		func() { ExecutionTime(0, 1, 100, 128, 1000) },
+		func() { ExecutionTime(1, 0, 100, 128, 1000) },
+		func() { ExecutionTime(1, 1, 0, 128, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingleQubitFidelityEq4(t *testing.T) {
+	// (1-0.001)^10 = 0.990045...
+	got := SingleQubitFidelity(0.001, 10)
+	want := math.Pow(0.999, 10)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("F1Q = %g, want %g", got, want)
+	}
+	if SingleQubitFidelity(0.5, 0) != 1 {
+		t.Fatal("zero depth should give fidelity 1")
+	}
+}
+
+func TestTwoQubitFidelityEq5(t *testing.T) {
+	// (1-0.01)^sqrt(100) = 0.99^10
+	got := TwoQubitFidelity(0.01, 100)
+	want := math.Pow(0.99, 10)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("F2Q = %g, want %g", got, want)
+	}
+	if TwoQubitFidelity(0.9, 0) != 1 {
+		t.Fatal("zero gates should give fidelity 1")
+	}
+}
+
+func TestReadoutFidelityEq6(t *testing.T) {
+	// (1-0.02)^sqrt(100/4) = 0.98^5
+	got := ReadoutFidelity(0.02, 100, 4)
+	want := math.Pow(0.98, 5)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Fro = %g, want %g", got, want)
+	}
+}
+
+func TestReadoutFidelityMoreDevicesHigher(t *testing.T) {
+	// Splitting across more devices raises the per-term readout
+	// fidelity (smaller exponent), per the paper's Eq. 6 design.
+	two := ReadoutFidelity(0.02, 150, 2)
+	five := ReadoutFidelity(0.02, 150, 5)
+	if five <= two {
+		t.Fatalf("5 devices %g should exceed 2 devices %g", five, two)
+	}
+}
+
+func TestPartitionFidelityComposition(t *testing.T) {
+	got := PartitionFidelity(0.001, 0.01, 0.02, 10, 64, 100)
+	want := SingleQubitFidelity(0.001, 10) * TwoQubitFidelity(0.01, 100) * ReadoutFidelity(0.02, 64, 1)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PartitionFidelity = %g, want %g", got, want)
+	}
+}
+
+func TestCommunicationPenaltyEq8(t *testing.T) {
+	if got := CommunicationPenalty(0.95, 1); got != 1 {
+		t.Fatalf("one device penalty = %g, want 1", got)
+	}
+	if got := CommunicationPenalty(0.95, 3); math.Abs(got-0.95*0.95) > 1e-15 {
+		t.Fatalf("three device penalty = %g, want %g", got, 0.95*0.95)
+	}
+}
+
+func TestFinalFidelityWeightedMean(t *testing.T) {
+	// Two partitions 100 and 50 qubits with fidelities 0.9, 0.6:
+	// mean = (100*0.9 + 50*0.6)/150 = 0.8; penalty 0.95^1.
+	got := FinalFidelity([]float64{0.9, 0.6}, []int{100, 50}, 0.95)
+	want := 0.8 * 0.95
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FinalFidelity = %g, want %g", got, want)
+	}
+}
+
+func TestFinalFidelitySingleDeviceNoPenalty(t *testing.T) {
+	got := FinalFidelity([]float64{0.77}, []int{127}, 0.95)
+	if math.Abs(got-0.77) > 1e-15 {
+		t.Fatalf("single device should have no penalty: %g", got)
+	}
+}
+
+func TestFinalFidelityRejectsSliverExploit(t *testing.T) {
+	// The weighted mean must not let tiny partitions dominate: one
+	// 186-qubit partition at 0.69 plus four 1-qubit partitions at 0.97
+	// should stay near 0.69·φ⁴, not near the unweighted 0.91·φ⁴.
+	f := FinalFidelity(
+		[]float64{0.69, 0.97, 0.97, 0.97, 0.97},
+		[]int{186, 1, 1, 1, 1}, 0.95)
+	weighted := (186*0.69 + 4*0.97) / 190.0
+	want := weighted * math.Pow(0.95, 4)
+	if math.Abs(f-want) > 1e-12 {
+		t.Fatalf("FinalFidelity = %g, want %g", f, want)
+	}
+	if f > 0.60 {
+		t.Fatalf("sliver allocation should not look good: %g", f)
+	}
+}
+
+func TestCommunicationTimeEq9(t *testing.T) {
+	if got := CommunicationTime(190, 0.02, 1); got != 0 {
+		t.Fatalf("single device comm = %g, want 0", got)
+	}
+	// 190 qubits * 0.02 s/qubit * 1 link = 3.8 s
+	if got := CommunicationTime(190, 0.02, 2); math.Abs(got-3.8) > 1e-12 {
+		t.Fatalf("comm = %g, want 3.8", got)
+	}
+	// 4 links for 5 devices.
+	if got := CommunicationTime(190, 0.02, 5); math.Abs(got-15.2) > 1e-12 {
+		t.Fatalf("comm = %g, want 15.2", got)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { SingleQubitFidelity(-0.1, 1) },
+		func() { SingleQubitFidelity(1.0, 1) },
+		func() { SingleQubitFidelity(0.1, -1) },
+		func() { TwoQubitFidelity(0.1, -1) },
+		func() { ReadoutFidelity(0.1, -1, 1) },
+		func() { ReadoutFidelity(0.1, 1, 0) },
+		func() { CommunicationPenalty(0, 2) },
+		func() { CommunicationPenalty(1.1, 2) },
+		func() { CommunicationPenalty(0.95, 0) },
+		func() { FinalFidelity(nil, nil, 0.95) },
+		func() { FinalFidelity([]float64{0.9}, []int{1, 2}, 0.95) },
+		func() { FinalFidelity([]float64{0.9}, []int{0}, 0.95) },
+		func() { CommunicationTime(-1, 0.02, 2) },
+		func() { CommunicationTime(1, -0.02, 2) },
+		func() { CommunicationTime(1, 0.02, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: all fidelity factors lie in (0,1] for valid inputs, and the
+// final fidelity never exceeds the best partition fidelity.
+func TestPropertyFidelityBounds(t *testing.T) {
+	f := func(e1, e2, er uint16, d, q, g uint8) bool {
+		eps1 := float64(e1) / 70000 // < 0.94
+		eps2 := float64(e2) / 70000
+		epsR := float64(er) / 70000
+		f1 := SingleQubitFidelity(eps1, int(d))
+		f2 := TwoQubitFidelity(eps2, int(g))
+		fr := ReadoutFidelity(epsR, int(q), 1)
+		for _, v := range []float64{f1, f2, fr} {
+			if v <= 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: final fidelity is bounded by max partition fidelity times the
+// penalty, and decreases as the device count grows (all else equal).
+func TestPropertyFinalFidelityPenaltyMonotone(t *testing.T) {
+	f := func(fRaw uint8, kRaw uint8) bool {
+		fid := 0.5 + float64(fRaw)/512 // [0.5, 1)
+		k := int(kRaw%4) + 1           // 1..4
+		parts := make([]float64, k)
+		qubits := make([]int, k)
+		for i := range parts {
+			parts[i] = fid
+			qubits[i] = 10
+		}
+		final := FinalFidelity(parts, qubits, 0.95)
+		if final > fid+1e-12 {
+			return false
+		}
+		if k > 1 {
+			fewer := FinalFidelity(parts[:k-1], qubits[:k-1], 0.95)
+			if final >= fewer {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

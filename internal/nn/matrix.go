@@ -1,0 +1,135 @@
+// Package nn implements the neural-network substrate needed for the
+// paper's PPO scheduling policy: dense multi-layer perceptrons with tanh
+// activations, reverse-mode gradients, the Adam optimizer, and JSON model
+// persistence. It replaces the PyTorch stack underneath Stable-Baselines3
+// in the original implementation, using only the standard library.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r,c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r,c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Zero resets all elements to zero.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m · x for a vector x of length Cols, writing into a new
+// slice of length Rows.
+func (m *Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVec dim mismatch: %d cols vs %d", m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, w := range row {
+			s += w * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// MulVecT computes mᵀ · g (used for backpropagating through a dense
+// layer): g has length Rows, result has length Cols.
+func (m *Mat) MulVecT(g []float64) []float64 {
+	if len(g) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecT dim mismatch: %d rows vs %d", m.Rows, len(g)))
+	}
+	out := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		gr := g[r]
+		if gr == 0 {
+			continue
+		}
+		for c, w := range row {
+			out[c] += w * gr
+		}
+	}
+	return out
+}
+
+// AddOuter accumulates g ⊗ x into the matrix (gradient of a dense layer's
+// weights): m[r][c] += g[r]*x[c].
+func (m *Mat) AddOuter(g, x []float64) {
+	if len(g) != m.Rows || len(x) != m.Cols {
+		panic("nn: AddOuter dim mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		gr := g[r]
+		if gr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += gr * x[c]
+		}
+	}
+}
+
+// XavierInit fills the matrix with orthogonal-ish scaled uniform noise
+// (Xavier/Glorot): U(-a, a) with a = sqrt(6/(fanIn+fanOut)) * gain.
+func (m *Mat) XavierInit(rng *rand.Rand, gain float64) {
+	a := gain * math.Sqrt(6.0/float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2*a - a
+	}
+}
+
+// VecAdd returns a+b elementwise in a new slice.
+func VecAdd(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("nn: VecAdd length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("nn: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

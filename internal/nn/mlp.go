@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects the nonlinearity used on hidden layers.
+type Activation int
+
+const (
+	// Tanh is the default hidden activation (matches Stable-Baselines3's
+	// MlpPolicy default used by the paper).
+	Tanh Activation = iota
+	// ReLU is provided for ablations.
+	ReLU
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+}
+
+// derivFromOutput returns dσ/dx expressed via the activation output y.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+}
+
+// MLP is a fully connected network with a linear output layer and the
+// chosen activation on every hidden layer.
+type MLP struct {
+	Sizes   []int
+	Act     Activation
+	Weights []*Mat      // Weights[l]: Sizes[l+1] x Sizes[l]
+	Biases  [][]float64 // Biases[l]: Sizes[l+1]
+	gradW   []*Mat
+	gradB   [][]float64
+	// forward caches (single-sample; PPO updates are sample loops)
+	inputs  [][]float64 // input to each layer
+	outputs [][]float64 // post-activation output of each layer
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. [16,64,64,5].
+// Hidden weights use Xavier init with gain sqrt(2); the output layer uses
+// a small gain (0.01) so initial policies are near-uniform, matching
+// common PPO initialization practice.
+func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %d", s))
+		}
+	}
+	n := len(sizes) - 1
+	m := &MLP{
+		Sizes:   append([]int(nil), sizes...),
+		Act:     act,
+		Weights: make([]*Mat, n),
+		Biases:  make([][]float64, n),
+		gradW:   make([]*Mat, n),
+		gradB:   make([][]float64, n),
+		inputs:  make([][]float64, n),
+		outputs: make([][]float64, n),
+	}
+	for l := 0; l < n; l++ {
+		m.Weights[l] = NewMat(sizes[l+1], sizes[l])
+		gain := math.Sqrt2
+		if l == n-1 {
+			gain = 0.01
+		}
+		m.Weights[l].XavierInit(rng, gain)
+		m.Biases[l] = make([]float64, sizes[l+1])
+		m.gradW[l] = NewMat(sizes[l+1], sizes[l])
+		m.gradB[l] = make([]float64, sizes[l+1])
+	}
+	return m
+}
+
+// InputSize returns the expected input dimensionality.
+func (m *MLP) InputSize() int { return m.Sizes[0] }
+
+// OutputSize returns the network's output dimensionality.
+func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
+
+// Forward runs the network on one input and returns the output vector.
+// The activations are cached for a subsequent Backward call.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), m.Sizes[0]))
+	}
+	cur := x
+	last := len(m.Weights) - 1
+	for l, w := range m.Weights {
+		m.inputs[l] = cur
+		z := w.MulVec(cur)
+		for i := range z {
+			z[i] += m.Biases[l][i]
+			if l != last {
+				z[i] = m.Act.apply(z[i])
+			}
+		}
+		m.outputs[l] = z
+		cur = z
+	}
+	return cur
+}
+
+// Backward accumulates parameter gradients for the most recent Forward
+// call, given dL/doutput, and returns dL/dinput. Gradients accumulate
+// until ZeroGrad is called, enabling minibatch accumulation.
+func (m *MLP) Backward(dOut []float64) []float64 {
+	last := len(m.Weights) - 1
+	if len(dOut) != m.Sizes[last+1] {
+		panic(fmt.Sprintf("nn: Backward grad dim %d, want %d", len(dOut), m.Sizes[last+1]))
+	}
+	// dZ for the output layer is dOut (linear output).
+	dZ := append([]float64(nil), dOut...)
+	for l := last; l >= 0; l-- {
+		if l != last {
+			// Convert dA (gradient wrt activation output) to dZ.
+			for i := range dZ {
+				dZ[i] *= m.Act.derivFromOutput(m.outputs[l][i])
+			}
+		}
+		m.gradW[l].AddOuter(dZ, m.inputs[l])
+		for i := range dZ {
+			m.gradB[l][i] += dZ[i]
+		}
+		dZ = m.Weights[l].MulVecT(dZ)
+	}
+	return dZ
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for l := range m.gradW {
+		m.gradW[l].Zero()
+		for i := range m.gradB[l] {
+			m.gradB[l][i] = 0
+		}
+	}
+}
+
+// Params returns flat views of all parameters and their gradients, in a
+// stable order, for consumption by an optimizer.
+func (m *MLP) Params() (params, grads [][]float64) {
+	for l := range m.Weights {
+		params = append(params, m.Weights[l].Data, m.Biases[l])
+		grads = append(grads, m.gradW[l].Data, m.gradB[l])
+	}
+	return params, grads
+}
+
+// GradNorm returns the L2 norm of all accumulated gradients, used for
+// gradient clipping.
+func (m *MLP) GradNorm() float64 {
+	s := 0.0
+	for l := range m.gradW {
+		for _, g := range m.gradW[l].Data {
+			s += g * g
+		}
+		for _, g := range m.gradB[l] {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ScaleGrads multiplies every accumulated gradient by f (for averaging
+// over a minibatch or clipping).
+func (m *MLP) ScaleGrads(f float64) {
+	for l := range m.gradW {
+		for i := range m.gradW[l].Data {
+			m.gradW[l].Data[i] *= f
+		}
+		for i := range m.gradB[l] {
+			m.gradB[l][i] *= f
+		}
+	}
+}
+
+// mlpJSON is the serialization schema.
+type mlpJSON struct {
+	Sizes   []int         `json:"sizes"`
+	Act     int           `json:"activation"`
+	Weights [][][]float64 `json:"weights"`
+	Biases  [][]float64   `json:"biases"`
+}
+
+// MarshalJSON serializes the architecture and parameters.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	j := mlpJSON{Sizes: m.Sizes, Act: int(m.Act), Biases: m.Biases}
+	for _, w := range m.Weights {
+		rows := make([][]float64, w.Rows)
+		for r := 0; r < w.Rows; r++ {
+			rows[r] = append([]float64(nil), w.Data[r*w.Cols:(r+1)*w.Cols]...)
+		}
+		j.Weights = append(j.Weights, rows)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a serialized MLP.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Sizes) < 2 {
+		return fmt.Errorf("nn: corrupt model: %d layer sizes", len(j.Sizes))
+	}
+	rng := rand.New(rand.NewSource(0))
+	*m = *NewMLP(rng, Activation(j.Act), j.Sizes...)
+	if len(j.Weights) != len(m.Weights) || len(j.Biases) != len(m.Biases) {
+		return fmt.Errorf("nn: corrupt model: layer count mismatch")
+	}
+	for l, rows := range j.Weights {
+		w := m.Weights[l]
+		if len(rows) != w.Rows {
+			return fmt.Errorf("nn: corrupt model: layer %d row count", l)
+		}
+		for r, row := range rows {
+			if len(row) != w.Cols {
+				return fmt.Errorf("nn: corrupt model: layer %d col count", l)
+			}
+			copy(w.Data[r*w.Cols:(r+1)*w.Cols], row)
+		}
+		if len(j.Biases[l]) != len(m.Biases[l]) {
+			return fmt.Errorf("nn: corrupt model: layer %d bias count", l)
+		}
+		copy(m.Biases[l], j.Biases[l])
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Apportion divides q units across devices proportionally to weights,
+// respecting per-device caps. It implements the largest-remainder
+// (Hamilton) method with cap-and-redistribute: shares are proportional
+// to weight, rounded so they sum exactly to q, and any share that would
+// exceed its cap is clamped with the excess re-apportioned among the
+// remaining devices. Devices with zero weight receive units only when
+// the positive-weight devices cannot hold the whole job.
+//
+// It returns nil when Σcaps < q. Otherwise the result always sums to q
+// with 0 ≤ share_i ≤ caps_i. The procedure is deterministic: ties in
+// fractional remainders break toward the lower index.
+func Apportion(q int, weights []float64, caps []int) []int {
+	if len(weights) != len(caps) {
+		panic(fmt.Sprintf("policy: %d weights vs %d caps", len(weights), len(caps)))
+	}
+	if q < 0 {
+		panic(fmt.Sprintf("policy: negative quantity %d", q))
+	}
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("policy: negative weight %g at %d", w, i))
+		}
+		if caps[i] < 0 {
+			panic(fmt.Sprintf("policy: negative cap %d at %d", caps[i], i))
+		}
+	}
+	totalCap := 0
+	for _, c := range caps {
+		totalCap += c
+	}
+	if totalCap < q {
+		return nil
+	}
+	shares := make([]int, len(caps))
+	remaining := q
+	// Pass 1: positive-weight devices. Pass 2 (if needed): all devices
+	// weighted by remaining cap.
+	for pass := 0; pass < 2 && remaining > 0; pass++ {
+		for remaining > 0 {
+			type cand struct {
+				idx  int
+				w    float64
+				room int
+			}
+			var active []cand
+			var wSum float64
+			for i := range caps {
+				room := caps[i] - shares[i]
+				if room <= 0 {
+					continue
+				}
+				w := weights[i]
+				if pass == 1 {
+					w = float64(room)
+				}
+				if w <= 0 {
+					continue
+				}
+				active = append(active, cand{i, w, room})
+				wSum += w
+			}
+			if len(active) == 0 {
+				break // fall through to next pass
+			}
+			// Largest-remainder apportionment of `remaining` over active.
+			type frac struct {
+				idx  int
+				base int
+				rem  float64
+			}
+			fr := make([]frac, len(active))
+			baseSum := 0
+			for k, c := range active {
+				ideal := c.w / wSum * float64(remaining)
+				base := int(ideal)
+				fr[k] = frac{idx: k, base: base, rem: ideal - float64(base)}
+				baseSum += base
+			}
+			leftover := remaining - baseSum
+			order := make([]int, len(fr))
+			for k := range order {
+				order[k] = k
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				if fr[order[a]].rem != fr[order[b]].rem {
+					return fr[order[a]].rem > fr[order[b]].rem
+				}
+				return active[order[a]].idx < active[order[b]].idx
+			})
+			for _, k := range order {
+				if leftover == 0 {
+					break
+				}
+				fr[k].base++
+				leftover--
+			}
+			// Grant clamped to room.
+			granted := 0
+			for k, c := range active {
+				g := fr[k].base
+				if g > c.room {
+					g = c.room
+				}
+				shares[c.idx] += g
+				granted += g
+			}
+			remaining -= granted
+			if granted == 0 {
+				break // caps on weighted devices exhausted
+			}
+		}
+	}
+	if remaining > 0 {
+		// Unreachable given totalCap >= q: pass 2 weights by room.
+		panic(fmt.Sprintf("policy: apportion left %d units unassigned", remaining))
+	}
+	return shares
+}

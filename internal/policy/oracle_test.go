@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// oracleFleet extends the test fleet with calibration rates so the
+// oracle can predict fidelities.
+func oracleFleet(free ...int) []DeviceState {
+	devs := fleet(free...)
+	eps := []struct{ e1, e2, ro float64 }{
+		{2.6e-4, 8.5e-3, 0.0135}, // strasbourg
+		{2.7e-4, 9.0e-3, 0.0140}, // brussels
+		{2.3e-4, 7.0e-3, 0.0105}, // kyiv
+		{2.2e-4, 6.8e-3, 0.0100}, // quebec
+		{3.2e-4, 1.3e-2, 0.0200}, // kawasaki
+	}
+	for i := range devs {
+		devs[i].Eps1Q = eps[i].e1
+		devs[i].Eps2Q = eps[i].e2
+		devs[i].EpsRO = eps[i].ro
+	}
+	return devs
+}
+
+func TestOracleProducesValidAllocation(t *testing.T) {
+	devs := oracleFleet()
+	j := testJob(190)
+	allocs := Oracle{}.Allocate(j, devs)
+	if err := Validate(j, devs, allocs); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestOracleBeatsOrMatchesEveryHeuristic(t *testing.T) {
+	// The defining property: on any state, the oracle's predicted
+	// fidelity is >= every other policy's.
+	devs := oracleFleet()
+	heuristics := []Policy{Speed{}, Fair{}, Fidelity{}, ProportionalSpeed{}, ProportionalFair{}}
+	for _, q := range []int{130, 190, 250} {
+		j := testJob(q)
+		oracleAllocs := Oracle{}.Allocate(j, devs)
+		oracleFid := PredictFidelity(j, devs, oracleAllocs, 0.95)
+		for _, h := range heuristics {
+			ha := h.Allocate(j, devs)
+			if ha == nil {
+				continue
+			}
+			hf := PredictFidelity(j, devs, ha, 0.95)
+			if hf > oracleFid+1e-12 {
+				t.Fatalf("q=%d: %s predicted %g beats oracle %g", q, h.Name(), hf, oracleFid)
+			}
+		}
+	}
+}
+
+func TestOraclePicksLowErrorPairOnIdleFleet(t *testing.T) {
+	// On an idle fleet, minimal k on the best-error devices maximizes
+	// the Eq. 4–8 model, so the oracle should agree with the fidelity
+	// policy's designated pair.
+	devs := oracleFleet()
+	j := testJob(190)
+	allocs := Oracle{}.Allocate(j, devs)
+	if len(allocs) != 2 {
+		t.Fatalf("k = %d, want 2", len(allocs))
+	}
+	got := map[int]bool{}
+	for _, a := range allocs {
+		got[a.DeviceIndex] = true
+	}
+	if !got[2] || !got[3] {
+		t.Fatalf("oracle chose %v, want kyiv+quebec", allocs)
+	}
+}
+
+func TestOracleWaitsWhenFull(t *testing.T) {
+	if got := (Oracle{}).Allocate(testJob(190), oracleFleet(30, 30, 30, 30, 30)); got != nil {
+		t.Fatalf("expected wait, got %v", got)
+	}
+}
+
+func TestOracleUsesFragmentsUnderLoad(t *testing.T) {
+	devs := oracleFleet(60, 60, 50, 40, 30) // total 240
+	j := testJob(235)
+	allocs := Oracle{}.Allocate(j, devs)
+	if err := Validate(j, devs, allocs); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(allocs) < 4 {
+		t.Fatalf("k = %d; 235 qubits over fragments needs >= 4 devices", len(allocs))
+	}
+}
+
+func TestOracleTooManyDevicesPanics(t *testing.T) {
+	devs := make([]DeviceState, 17)
+	for i := range devs {
+		devs[i] = DeviceState{Index: i, Free: 127, Capacity: 127}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Oracle{}.Allocate(testJob(190), devs)
+}
+
+func TestPredictFidelityMatchesManualComputation(t *testing.T) {
+	devs := oracleFleet()
+	j := testJob(190)
+	allocs := []Allocation{{DeviceIndex: 3, Qubits: 127}, {DeviceIndex: 2, Qubits: 63}}
+	got := PredictFidelity(j, devs, allocs, 0.95)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("fidelity %g out of range", got)
+	}
+	// Penalty-free prediction must be strictly higher.
+	noPenalty := PredictFidelity(j, devs, allocs, 1.0)
+	if noPenalty <= got {
+		t.Fatal("phi=1 should raise predicted fidelity")
+	}
+}
+
+// Property: the oracle allocation is always valid (or nil exactly when
+// the job cannot fit).
+func TestPropertyOracleValid(t *testing.T) {
+	f := func(fRaw [5]uint8, qRaw uint8) bool {
+		free := make([]int, 5)
+		total := 0
+		for i := range free {
+			free[i] = int(fRaw[i]) % 128
+			total += free[i]
+		}
+		devs := oracleFleet(free...)
+		q := 130 + int(qRaw)%121
+		j := testJob(q)
+		allocs := Oracle{}.Allocate(j, devs)
+		if total < q {
+			return allocs == nil
+		}
+		return Validate(j, devs, allocs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package records
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits one row per finished job with the full lifecycle and
+// outcome metrics, for post-simulation analysis outside the framework
+// (the paper's "centralized data management ... supporting
+// post-simulation workload analysis", §3).
+func (m *Manager) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"job_id", "arrival", "start", "finish",
+		"wait", "exec", "turnaround",
+		"fidelity", "comm_time", "devices", "device_names",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range m.Finished() {
+		row := []string{
+			s.JobID,
+			f(s.Arrival), f(s.Start), f(s.Finish),
+			f(s.WaitTime()), f(s.ExecTime()), f(s.Turnaround()),
+			f(s.Fidelity), f(s.CommTime),
+			strconv.Itoa(s.Devices),
+			strings.Join(s.DeviceNames, "+"),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEventLog emits the raw event stream (job_id, event, time) in
+// insertion order.
+func (m *Manager) WriteEventLog(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "job_id,event,time"); err != nil {
+		return err
+	}
+	for _, e := range m.events {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g\n", e.JobID, e.Type, e.Time); err != nil {
+			return err
+		}
+	}
+	return nil
+}

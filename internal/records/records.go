@@ -1,0 +1,292 @@
+// Package records implements the JobRecordsManager: it tracks job
+// lifecycle events (arrival, start, finish, fidelity — §3), and derives
+// the evaluation metrics reported in the paper's case study: total
+// simulation time, fidelity mean and standard deviation, total
+// communication time, wait times, and throughput.
+package records
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EventType labels a lifecycle event.
+type EventType string
+
+// Lifecycle event types, matching the paper's §3 list.
+const (
+	EventArrival EventType = "arrival"
+	EventStart   EventType = "start"
+	EventFinish  EventType = "finish"
+)
+
+// Event is one logged occurrence.
+type Event struct {
+	JobID string
+	Type  EventType
+	Time  float64
+}
+
+// JobStats aggregates one job's lifecycle.
+type JobStats struct {
+	JobID    string
+	Arrival  float64
+	Start    float64
+	Finish   float64
+	Fidelity float64
+	CommTime float64
+	// Devices is the number of QPUs the job was split across.
+	Devices int
+	// DeviceNames lists the QPUs used, in allocation order.
+	DeviceNames []string
+
+	arrived, started, finished bool
+}
+
+// WaitTime returns time from arrival to execution start.
+func (s *JobStats) WaitTime() float64 { return s.Start - s.Arrival }
+
+// Turnaround returns time from arrival to completion.
+func (s *JobStats) Turnaround() float64 { return s.Finish - s.Arrival }
+
+// ExecTime returns time from start to completion (processing + comm).
+func (s *JobStats) ExecTime() float64 { return s.Finish - s.Start }
+
+// Manager collects events and per-job statistics.
+type Manager struct {
+	events []Event
+	jobs   map[string]*JobStats
+	order  []string
+}
+
+// NewManager creates an empty records manager.
+func NewManager() *Manager {
+	return &Manager{jobs: make(map[string]*JobStats)}
+}
+
+func (m *Manager) job(id string) *JobStats {
+	s, ok := m.jobs[id]
+	if !ok {
+		s = &JobStats{JobID: id}
+		m.jobs[id] = s
+		m.order = append(m.order, id)
+	}
+	return s
+}
+
+// LogArrival records a job entering the cloud.
+func (m *Manager) LogArrival(jobID string, t float64) {
+	s := m.job(jobID)
+	if s.arrived {
+		panic(fmt.Sprintf("records: duplicate arrival for %s", jobID))
+	}
+	s.arrived = true
+	s.Arrival = t
+	m.events = append(m.events, Event{jobID, EventArrival, t})
+}
+
+// LogStart records allocation + execution start.
+func (m *Manager) LogStart(jobID string, t float64) {
+	s := m.job(jobID)
+	if !s.arrived {
+		panic(fmt.Sprintf("records: start before arrival for %s", jobID))
+	}
+	if s.started {
+		panic(fmt.Sprintf("records: duplicate start for %s", jobID))
+	}
+	s.started = true
+	s.Start = t
+	m.events = append(m.events, Event{jobID, EventStart, t})
+}
+
+// LogFinish records completion along with the job's final fidelity,
+// communication time, and the devices used.
+func (m *Manager) LogFinish(jobID string, t, fidelity, commTime float64, deviceNames []string) {
+	s := m.job(jobID)
+	if !s.started {
+		panic(fmt.Sprintf("records: finish before start for %s", jobID))
+	}
+	if s.finished {
+		panic(fmt.Sprintf("records: duplicate finish for %s", jobID))
+	}
+	if fidelity < 0 || fidelity > 1 || math.IsNaN(fidelity) {
+		panic(fmt.Sprintf("records: fidelity %g outside [0,1] for %s", fidelity, jobID))
+	}
+	s.finished = true
+	s.Finish = t
+	s.Fidelity = fidelity
+	s.CommTime = commTime
+	s.Devices = len(deviceNames)
+	s.DeviceNames = append([]string(nil), deviceNames...)
+	m.events = append(m.events, Event{jobID, EventFinish, t})
+}
+
+// Events returns the raw event log in insertion order.
+func (m *Manager) Events() []Event { return m.events }
+
+// NumFinished returns the count of completed jobs.
+func (m *Manager) NumFinished() int {
+	n := 0
+	for _, s := range m.jobs {
+		if s.finished {
+			n++
+		}
+	}
+	return n
+}
+
+// NumPending returns jobs that arrived but have not finished.
+func (m *Manager) NumPending() int {
+	n := 0
+	for _, s := range m.jobs {
+		if s.arrived && !s.finished {
+			n++
+		}
+	}
+	return n
+}
+
+// Finished returns completed jobs in first-arrival order.
+func (m *Manager) Finished() []*JobStats {
+	var out []*JobStats
+	for _, id := range m.order {
+		if s := m.jobs[id]; s.finished {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Get returns stats for one job, or nil if unknown.
+func (m *Manager) Get(jobID string) *JobStats { return m.jobs[jobID] }
+
+// Fidelities returns final fidelities of all finished jobs, in arrival
+// order.
+func (m *Manager) Fidelities() []float64 {
+	var out []float64
+	for _, s := range m.Finished() {
+		out = append(out, s.Fidelity)
+	}
+	return out
+}
+
+// FidelityMeanStd returns the mean and (population) standard deviation of
+// finished-job fidelities — the paper's μF ± σF.
+func (m *Manager) FidelityMeanStd() (mean, std float64) {
+	fs := m.Fidelities()
+	if len(fs) == 0 {
+		return 0, 0
+	}
+	for _, f := range fs {
+		mean += f
+	}
+	mean /= float64(len(fs))
+	for _, f := range fs {
+		d := f - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(fs)))
+	return mean, std
+}
+
+// TotalCommTime sums inter-device communication delay across all
+// finished jobs — the paper's T_comm.
+func (m *Manager) TotalCommTime() float64 {
+	total := 0.0
+	for _, s := range m.Finished() {
+		total += s.CommTime
+	}
+	return total
+}
+
+// Makespan returns the completion time of the last finished job — the
+// paper's T_sim when all jobs complete.
+func (m *Manager) Makespan() float64 {
+	max := 0.0
+	for _, s := range m.Finished() {
+		if s.Finish > max {
+			max = s.Finish
+		}
+	}
+	return max
+}
+
+// MeanWaitTime averages arrival→start delay over finished jobs.
+func (m *Manager) MeanWaitTime() float64 {
+	fin := m.Finished()
+	if len(fin) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range fin {
+		total += s.WaitTime()
+	}
+	return total / float64(len(fin))
+}
+
+// MeanTurnaround averages arrival→finish over finished jobs.
+func (m *Manager) MeanTurnaround() float64 {
+	fin := m.Finished()
+	if len(fin) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range fin {
+		total += s.Turnaround()
+	}
+	return total / float64(len(fin))
+}
+
+// Throughput returns finished jobs per unit time over the makespan.
+func (m *Manager) Throughput() float64 {
+	ms := m.Makespan()
+	if ms <= 0 {
+		return 0
+	}
+	return float64(m.NumFinished()) / ms
+}
+
+// MeanDevicesPerJob returns the average partition count k across
+// finished jobs.
+func (m *Manager) MeanDevicesPerJob() float64 {
+	fin := m.Finished()
+	if len(fin) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range fin {
+		total += s.Devices
+	}
+	return float64(total) / float64(len(fin))
+}
+
+// DeviceLoadShare returns, per device name, the fraction of finished
+// sub-jobs that ran there, sorted by name for determinism.
+func (m *Manager) DeviceLoadShare() []DeviceShare {
+	counts := map[string]int{}
+	total := 0
+	for _, s := range m.Finished() {
+		for _, name := range s.DeviceNames {
+			counts[name]++
+			total++
+		}
+	}
+	var out []DeviceShare
+	for name, c := range counts {
+		share := 0.0
+		if total > 0 {
+			share = float64(c) / float64(total)
+		}
+		out = append(out, DeviceShare{Name: name, SubJobs: c, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeviceShare summarizes one device's share of executed sub-jobs.
+type DeviceShare struct {
+	Name    string
+	SubJobs int
+	Share   float64
+}

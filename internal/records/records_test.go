@@ -1,0 +1,166 @@
+package records
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLifecycleHappyPath(t *testing.T) {
+	m := NewManager()
+	m.LogArrival("j1", 0)
+	m.LogStart("j1", 5)
+	m.LogFinish("j1", 25, 0.7, 3.8, []string{"a", "b"})
+
+	s := m.Get("j1")
+	if s == nil {
+		t.Fatal("job missing")
+	}
+	if s.WaitTime() != 5 || s.Turnaround() != 25 || s.ExecTime() != 20 {
+		t.Fatalf("derived times wrong: wait=%g turn=%g exec=%g",
+			s.WaitTime(), s.Turnaround(), s.ExecTime())
+	}
+	if s.Devices != 2 || s.Fidelity != 0.7 || s.CommTime != 3.8 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if m.NumFinished() != 1 || m.NumPending() != 0 {
+		t.Fatal("counts wrong")
+	}
+	if len(m.Events()) != 3 {
+		t.Fatalf("events = %d", len(m.Events()))
+	}
+}
+
+func TestLifecycleOrderingViolations(t *testing.T) {
+	cases := []func(*Manager){
+		func(m *Manager) { m.LogStart("x", 1) },                                           // start before arrival
+		func(m *Manager) { m.LogFinish("x", 1, 0.5, 0, nil) },                             // finish before start
+		func(m *Manager) { m.LogArrival("x", 0); m.LogArrival("x", 1) },                   // double arrival
+		func(m *Manager) { m.LogArrival("x", 0); m.LogStart("x", 1); m.LogStart("x", 2) }, // double start
+		func(m *Manager) { // double finish
+			m.LogArrival("x", 0)
+			m.LogStart("x", 1)
+			m.LogFinish("x", 2, 0.5, 0, nil)
+			m.LogFinish("x", 3, 0.5, 0, nil)
+		},
+		func(m *Manager) { // invalid fidelity
+			m.LogArrival("x", 0)
+			m.LogStart("x", 1)
+			m.LogFinish("x", 2, 1.5, 0, nil)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(NewManager())
+		}()
+	}
+}
+
+func populated() *Manager {
+	m := NewManager()
+	fids := []float64{0.6, 0.7, 0.8}
+	comms := []float64{1.0, 2.0, 3.0}
+	for i, f := range fids {
+		id := string(rune('a' + i))
+		arr := float64(i * 10)
+		m.LogArrival(id, arr)
+		m.LogStart(id, arr+2)
+		m.LogFinish(id, arr+12, f, comms[i], []string{"d1", "d2", "d3"}[:i+1])
+	}
+	return m
+}
+
+func TestAggregateMetrics(t *testing.T) {
+	m := populated()
+	mean, std := m.FidelityMeanStd()
+	if math.Abs(mean-0.7) > 1e-12 {
+		t.Fatalf("mean = %g", mean)
+	}
+	wantStd := math.Sqrt(((0.1 * 0.1) + 0 + (0.1 * 0.1)) / 3)
+	if math.Abs(std-wantStd) > 1e-12 {
+		t.Fatalf("std = %g, want %g", std, wantStd)
+	}
+	if got := m.TotalCommTime(); math.Abs(got-6.0) > 1e-12 {
+		t.Fatalf("TotalCommTime = %g", got)
+	}
+	if got := m.Makespan(); got != 32 {
+		t.Fatalf("Makespan = %g", got)
+	}
+	if got := m.MeanWaitTime(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MeanWaitTime = %g", got)
+	}
+	if got := m.MeanTurnaround(); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("MeanTurnaround = %g", got)
+	}
+	if got := m.Throughput(); math.Abs(got-3.0/32) > 1e-12 {
+		t.Fatalf("Throughput = %g", got)
+	}
+	if got := m.MeanDevicesPerJob(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("MeanDevicesPerJob = %g", got)
+	}
+}
+
+func TestDeviceLoadShare(t *testing.T) {
+	m := populated()
+	shares := m.DeviceLoadShare()
+	// d1 used by 3 jobs, d2 by 2, d3 by 1; total 6 sub-jobs.
+	if len(shares) != 3 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if shares[0].Name != "d1" || shares[0].SubJobs != 3 || math.Abs(shares[0].Share-0.5) > 1e-12 {
+		t.Fatalf("d1 share: %+v", shares[0])
+	}
+	if shares[2].Name != "d3" || shares[2].SubJobs != 1 {
+		t.Fatalf("d3 share: %+v", shares[2])
+	}
+}
+
+func TestEmptyManagerSafeDefaults(t *testing.T) {
+	m := NewManager()
+	if mean, std := m.FidelityMeanStd(); mean != 0 || std != 0 {
+		t.Fatal("empty mean/std should be 0")
+	}
+	if m.Makespan() != 0 || m.Throughput() != 0 || m.MeanWaitTime() != 0 ||
+		m.MeanTurnaround() != 0 || m.MeanDevicesPerJob() != 0 || m.TotalCommTime() != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+	if m.Get("nope") != nil {
+		t.Fatal("unknown job should be nil")
+	}
+	if len(m.DeviceLoadShare()) != 0 {
+		t.Fatal("empty load share")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	m := NewManager()
+	m.LogArrival("a", 0)
+	m.LogArrival("b", 1)
+	m.LogStart("a", 2)
+	if m.NumPending() != 2 {
+		t.Fatalf("pending = %d, want 2", m.NumPending())
+	}
+	m.LogFinish("a", 3, 0.9, 0, []string{"d"})
+	if m.NumPending() != 1 || m.NumFinished() != 1 {
+		t.Fatal("counts wrong after one finish")
+	}
+}
+
+func TestFinishedPreservesArrivalOrder(t *testing.T) {
+	m := NewManager()
+	// b finishes before a, but a arrived first.
+	m.LogArrival("a", 0)
+	m.LogArrival("b", 1)
+	m.LogStart("b", 1)
+	m.LogFinish("b", 2, 0.5, 0, []string{"d"})
+	m.LogStart("a", 3)
+	m.LogFinish("a", 4, 0.6, 0, []string{"d"})
+	fin := m.Finished()
+	if fin[0].JobID != "a" || fin[1].JobID != "b" {
+		t.Fatalf("order: %s, %s", fin[0].JobID, fin[1].JobID)
+	}
+}

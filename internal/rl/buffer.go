@@ -1,0 +1,93 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// transition is one step of experience.
+type transition struct {
+	obs     []float64
+	action  []float64
+	reward  float64
+	done    bool
+	value   float64
+	logProb float64
+	// filled in by computeAdvantages:
+	advantage float64
+	ret       float64
+}
+
+// rolloutBuffer stores a fixed-size batch of on-policy experience and
+// computes Generalized Advantage Estimation (GAE-λ) returns.
+type rolloutBuffer struct {
+	steps []transition
+	cap   int
+}
+
+func newRolloutBuffer(capacity int) *rolloutBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: rollout capacity must be positive, got %d", capacity))
+	}
+	return &rolloutBuffer{cap: capacity, steps: make([]transition, 0, capacity)}
+}
+
+func (b *rolloutBuffer) full() bool { return len(b.steps) >= b.cap }
+
+func (b *rolloutBuffer) add(t transition) {
+	if b.full() {
+		panic("rl: rollout buffer overflow")
+	}
+	b.steps = append(b.steps, t)
+}
+
+func (b *rolloutBuffer) reset() { b.steps = b.steps[:0] }
+
+// computeAdvantages fills advantage and ret for every stored step using
+// GAE(γ, λ). lastValue is the critic's estimate of the state following
+// the final stored step (ignored if that step ended an episode).
+func (b *rolloutBuffer) computeAdvantages(gamma, lambda, lastValue float64) {
+	gae := 0.0
+	for i := len(b.steps) - 1; i >= 0; i-- {
+		s := &b.steps[i]
+		var nextValue float64
+		var nextNonTerminal float64
+		if i == len(b.steps)-1 {
+			nextValue = lastValue
+		} else {
+			nextValue = b.steps[i+1].value
+		}
+		if s.done {
+			nextNonTerminal = 0
+		} else {
+			nextNonTerminal = 1
+		}
+		delta := s.reward + gamma*nextValue*nextNonTerminal - s.value
+		gae = delta + gamma*lambda*nextNonTerminal*gae
+		s.advantage = gae
+		s.ret = s.advantage + s.value
+	}
+}
+
+// normalizeAdvantages rescales advantages to zero mean, unit variance
+// (Stable-Baselines3 default normalize_advantage=True).
+func normalizeAdvantages(batch []*transition) {
+	if len(batch) <= 1 {
+		return
+	}
+	mean := 0.0
+	for _, t := range batch {
+		mean += t.advantage
+	}
+	mean /= float64(len(batch))
+	variance := 0.0
+	for _, t := range batch {
+		d := t.advantage - mean
+		variance += d * d
+	}
+	variance /= float64(len(batch))
+	std := math.Sqrt(variance) + 1e-8
+	for _, t := range batch {
+		t.advantage = (t.advantage - mean) / std
+	}
+}

@@ -1,0 +1,284 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// PPOConfig holds the hyperparameters of the PPO trainer. The zero value
+// is not usable; call DefaultPPOConfig for the Stable-Baselines3 defaults
+// the paper relies on ("default hyperparameters", §6.6).
+type PPOConfig struct {
+	// NSteps is the number of environment steps collected per rollout.
+	NSteps int
+	// BatchSize is the minibatch size for gradient updates.
+	BatchSize int
+	// NEpochs is the number of passes over each rollout.
+	NEpochs int
+	// Gamma is the discount factor.
+	Gamma float64
+	// Lambda is the GAE smoothing factor.
+	Lambda float64
+	// ClipRange is the PPO clipping parameter ε.
+	ClipRange float64
+	// EntCoef weights the entropy bonus in the loss.
+	EntCoef float64
+	// VfCoef weights the value-function loss.
+	VfCoef float64
+	// LR is the Adam learning rate.
+	LR float64
+	// MaxGradNorm caps the global gradient norm per update.
+	MaxGradNorm float64
+	// Hidden is the MLP hidden layout for actor and critic.
+	Hidden []int
+	// Seed seeds policy initialization and action sampling.
+	Seed int64
+}
+
+// DefaultPPOConfig returns the SB3 PPO defaults (lr 3e-4, 2048 steps,
+// batch 64, 10 epochs, γ=0.99, λ=0.95, clip 0.2, vf 0.5, ent 0.0,
+// max grad norm 0.5, MlpPolicy 64x64 tanh).
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		NSteps:      2048,
+		BatchSize:   64,
+		NEpochs:     10,
+		Gamma:       0.99,
+		Lambda:      0.95,
+		ClipRange:   0.2,
+		EntCoef:     0.0,
+		VfCoef:      0.5,
+		LR:          3e-4,
+		MaxGradNorm: 0.5,
+		Hidden:      []int{64, 64},
+		Seed:        1,
+	}
+}
+
+// validate panics on nonsensical configuration, surfacing mistakes at
+// construction instead of mid-training.
+func (c PPOConfig) validate() {
+	switch {
+	case c.NSteps <= 0:
+		panic("rl: PPOConfig.NSteps must be positive")
+	case c.BatchSize <= 0 || c.BatchSize > c.NSteps:
+		panic(fmt.Sprintf("rl: PPOConfig.BatchSize %d invalid for NSteps %d", c.BatchSize, c.NSteps))
+	case c.NEpochs <= 0:
+		panic("rl: PPOConfig.NEpochs must be positive")
+	case c.Gamma < 0 || c.Gamma > 1:
+		panic("rl: PPOConfig.Gamma outside [0,1]")
+	case c.Lambda < 0 || c.Lambda > 1:
+		panic("rl: PPOConfig.Lambda outside [0,1]")
+	case c.ClipRange <= 0:
+		panic("rl: PPOConfig.ClipRange must be positive")
+	case c.LR <= 0:
+		panic("rl: PPOConfig.LR must be positive")
+	}
+}
+
+// TrainStats captures one training iteration's diagnostics — the series
+// plotted in the paper's Figure 5.
+type TrainStats struct {
+	// Timesteps is the cumulative number of environment steps so far.
+	Timesteps int
+	// MeanEpisodeReward is the average total reward of episodes that
+	// finished during this rollout.
+	MeanEpisodeReward float64
+	// EntropyLoss is the negated mean policy entropy (the quantity SB3
+	// logs as entropy_loss; the paper's Fig. 5 right axis).
+	EntropyLoss float64
+	// PolicyLoss is the mean clipped-surrogate policy loss.
+	PolicyLoss float64
+	// ValueLoss is the mean value-function loss.
+	ValueLoss float64
+	// ClipFraction is the share of samples whose ratio was clipped.
+	ClipFraction float64
+	// ApproxKL estimates the policy update magnitude.
+	ApproxKL float64
+}
+
+// PPO is the Proximal Policy Optimization trainer.
+type PPO struct {
+	Cfg    PPOConfig
+	Policy *GaussianPolicy
+
+	rng    *rand.Rand
+	opt    *nn.Adam
+	buffer *rolloutBuffer
+
+	// episode bookkeeping during rollouts
+	epReturn   float64
+	doneEpRets []float64
+
+	totalSteps int
+}
+
+// NewPPO creates a trainer for env with the given configuration.
+func NewPPO(env Env, cfg PPOConfig) *PPO {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pol := NewGaussianPolicy(rng, env.ObservationSpace().Dim(), env.ActionSpace().Dim(), cfg.Hidden...)
+	return &PPO{
+		Cfg:    cfg,
+		Policy: pol,
+		rng:    rng,
+		opt:    nn.NewAdam(cfg.LR),
+		buffer: newRolloutBuffer(cfg.NSteps),
+	}
+}
+
+// TotalSteps returns cumulative environment steps taken.
+func (p *PPO) TotalSteps() int { return p.totalSteps }
+
+// Learn trains for at least totalTimesteps environment steps, invoking
+// onIteration (if non-nil) after every rollout+update cycle. It returns
+// the per-iteration statistics.
+func (p *PPO) Learn(env Env, totalTimesteps int, onIteration func(TrainStats)) []TrainStats {
+	var history []TrainStats
+	obs := env.Reset()
+	p.epReturn = 0
+	for p.totalSteps < totalTimesteps {
+		obs = p.collectRollout(env, obs)
+		stats := p.update()
+		stats.Timesteps = p.totalSteps
+		history = append(history, stats)
+		if onIteration != nil {
+			onIteration(stats)
+		}
+	}
+	return history
+}
+
+// collectRollout fills the buffer with on-policy experience starting from
+// obs and returns the observation to resume from.
+func (p *PPO) collectRollout(env Env, obs []float64) []float64 {
+	p.buffer.reset()
+	p.doneEpRets = p.doneEpRets[:0]
+	for !p.buffer.full() {
+		action, logProb, value := p.Policy.Sample(p.rng, obs)
+		clipped := env.ActionSpace().Clip(action)
+		nextObs, reward, done := env.Step(clipped)
+		p.buffer.add(transition{
+			obs:     append([]float64(nil), obs...),
+			action:  append([]float64(nil), action...),
+			reward:  reward,
+			done:    done,
+			value:   value,
+			logProb: logProb,
+		})
+		p.totalSteps++
+		p.epReturn += reward
+		if done {
+			p.doneEpRets = append(p.doneEpRets, p.epReturn)
+			p.epReturn = 0
+			obs = env.Reset()
+		} else {
+			obs = nextObs
+		}
+	}
+	lastValue := p.Policy.Value(obs)
+	p.buffer.computeAdvantages(p.Cfg.Gamma, p.Cfg.Lambda, lastValue)
+	return obs
+}
+
+// update runs NEpochs of minibatch PPO updates over the buffer.
+func (p *PPO) update() TrainStats {
+	n := len(p.buffer.steps)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var (
+		polLossSum, vfLossSum, klSum float64
+		clipCount, sampleCount       int
+	)
+	for epoch := 0; epoch < p.Cfg.NEpochs; epoch++ {
+		p.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < n; start += p.Cfg.BatchSize {
+			end := start + p.Cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := make([]*transition, 0, end-start)
+			for _, k := range idx[start:end] {
+				batch = append(batch, &p.buffer.steps[k])
+			}
+			normalizeAdvantages(batch)
+			pl, vl, kl, clipped := p.updateMinibatch(batch)
+			polLossSum += pl * float64(len(batch))
+			vfLossSum += vl * float64(len(batch))
+			klSum += kl * float64(len(batch))
+			clipCount += clipped
+			sampleCount += len(batch)
+		}
+	}
+	stats := TrainStats{
+		EntropyLoss: -p.Policy.Entropy(),
+		PolicyLoss:  polLossSum / float64(sampleCount),
+		ValueLoss:   vfLossSum / float64(sampleCount),
+		ApproxKL:    klSum / float64(sampleCount),
+	}
+	if sampleCount > 0 {
+		stats.ClipFraction = float64(clipCount) / float64(sampleCount)
+	}
+	if len(p.doneEpRets) > 0 {
+		s := 0.0
+		for _, r := range p.doneEpRets {
+			s += r
+		}
+		stats.MeanEpisodeReward = s / float64(len(p.doneEpRets))
+	}
+	return stats
+}
+
+// updateMinibatch performs one gradient step on a minibatch and returns
+// mean policy loss, value loss, approximate KL, and the clip count.
+func (p *PPO) updateMinibatch(batch []*transition) (polLoss, vfLoss, approxKL float64, clipped int) {
+	p.Policy.zeroGrad()
+	invN := 1.0 / float64(len(batch))
+	eps := p.Cfg.ClipRange
+	for _, t := range batch {
+		newLogProb := p.Policy.LogProb(t.obs, t.action)
+		logRatio := newLogProb - t.logProb
+		ratio := math.Exp(logRatio)
+		adv := t.advantage
+
+		surr1 := ratio * adv
+		surr2 := math.Max(math.Min(ratio, 1+eps), 1-eps) * adv
+		loss := -math.Min(surr1, surr2)
+		polLoss += loss * invN
+		// http://joschu.net/blog/kl-approx.html : KL ≈ (ratio−1) − log ratio
+		approxKL += (ratio - 1 - logRatio) * invN
+
+		// Gradient wrt newLogProb. The min picks surr1 unless clipping is
+		// active and binds; when the clipped branch is active the
+		// gradient through ratio is zero.
+		var dLdLogProb float64
+		if surr1 <= surr2 {
+			dLdLogProb = -adv * ratio
+		} else {
+			clipped++
+			dLdLogProb = 0
+		}
+		// Entropy bonus: loss −= EntCoef * H, so dLoss/dH = −EntCoef.
+		p.Policy.backwardPolicy(t.obs, t.action, dLdLogProb*invN, -p.Cfg.EntCoef*invN)
+
+		// Value loss: VfCoef * (V(s) − ret)².
+		v := p.Policy.Value(t.obs)
+		diff := v - t.ret
+		vfLoss += diff * diff * invN
+		p.Policy.backwardValue(t.obs, 2*p.Cfg.VfCoef*diff*invN)
+	}
+	// Global gradient clipping.
+	if p.Cfg.MaxGradNorm > 0 {
+		if norm := p.Policy.gradNorm(); norm > p.Cfg.MaxGradNorm {
+			p.Policy.scaleGrads(p.Cfg.MaxGradNorm / norm)
+		}
+	}
+	params, grads := p.Policy.params()
+	p.opt.Step(params, grads)
+	return polLoss, vfLoss, approxKL, clipped
+}

@@ -1,0 +1,128 @@
+package rlsched
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/rl"
+)
+
+func TestCommAwareRewardPenalizesSpreading(t *testing.T) {
+	info := fleetInfo(t)
+	base := DefaultGymConfig()
+	base.Seed = 42
+	shaped := base
+	shaped.CommAwareReward = true
+
+	envBase, err := NewGymEnv(info, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envShaped, err := NewGymEnv(info, shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds draw identical jobs; a full spread (k=5) must be
+	// penalized by φ⁴ under shaping.
+	envBase.Reset()
+	envShaped.Reset()
+	spread := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	_, rBase, _ := envBase.Step(spread)
+	_, rShaped, _ := envShaped.Step(spread)
+	ratio := rShaped / rBase
+	want := 0.95 * 0.95 * 0.95 * 0.95
+	if ratio < want-1e-9 || ratio > want+1e-9 {
+		t.Fatalf("shaped/base = %g, want φ⁴ = %g", ratio, want)
+	}
+}
+
+func TestCommAwareRewardFavorsConcentration(t *testing.T) {
+	info := fleetInfo(t)
+	cfg := DefaultGymConfig()
+	cfg.CommAwareReward = true
+	env, err := NewGymEnv(info, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	_, rSpread, _ := env.Step([]float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	// Fresh env with the same seed redraws the same job.
+	env2, _ := NewGymEnv(info, cfg)
+	env2.Reset()
+	_, rConc, _ := env2.Step([]float64{1, 1, 0, 0, 0})
+	if rConc <= rSpread {
+		t.Fatalf("comm-aware reward should favor concentration: conc %g vs spread %g",
+			rConc, rSpread)
+	}
+}
+
+func TestCommAwareRewardValidation(t *testing.T) {
+	info := fleetInfo(t)
+	cfg := DefaultGymConfig()
+	cfg.CommAwareReward = true
+	cfg.Phi = 0
+	if _, err := NewGymEnv(info, cfg); err == nil {
+		t.Fatal("phi=0 with shaping accepted")
+	}
+	cfg.Phi = 1.5
+	if _, err := NewGymEnv(info, cfg); err == nil {
+		t.Fatal("phi>1 with shaping accepted")
+	}
+}
+
+// idleObservation builds the observation for a q-qubit job over an idle
+// fleet snapshot.
+func idleObservation(q int, info []DeviceInfo) []float64 {
+	states := make([]policy.DeviceState, len(info))
+	for i, di := range info {
+		states[i] = di.State
+	}
+	return Observation(q, states)
+}
+
+// meanPartitions measures the deterministic policy's average partition
+// count over a sweep of job sizes on an idle fleet.
+func meanPartitions(pol *rl.GaussianPolicy, info []DeviceInfo) float64 {
+	free := []int{127, 127, 127, 127, 127}
+	total, n := 0.0, 0
+	for q := 130; q <= 250; q += 10 {
+		action := pol.MeanAction(idleObservation(q, info))
+		shares := SharesFromWeights(q, action, free)
+		k := 0
+		for _, s := range shares {
+			if s > 0 {
+				k++
+			}
+		}
+		total += float64(k)
+		n++
+	}
+	return total / float64(n)
+}
+
+func TestShapedTrainingDoesNotIncreasePartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	info := fleetInfo(t)
+	ppoCfg := rl.DefaultPPOConfig()
+	ppoCfg.NSteps = 512
+	ppoCfg.NEpochs = 4
+	ppoCfg.Seed = 5
+
+	train := func(shaped bool) float64 {
+		cfg := DefaultGymConfig()
+		cfg.CommAwareReward = shaped
+		pol, _, err := Train(info, cfg, ppoCfg, 512*16, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meanPartitions(pol, info)
+	}
+	plain := train(false)
+	shaped := train(true)
+	if shaped > plain {
+		t.Fatalf("comm-aware shaping should not increase partitions: shaped %g vs plain %g",
+			shaped, plain)
+	}
+}

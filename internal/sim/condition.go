@@ -1,0 +1,76 @@
+package sim
+
+// AllOf returns an event that succeeds when every input event has been
+// processed. Its value is a slice with the values of the input events in
+// the order given. If any input fails, the condition fails with that
+// event's error (the first failure observed).
+//
+// AllOf of zero events succeeds immediately at the current time.
+func (env *Environment) AllOf(events ...*Event) *Event {
+	cond := env.NewEvent().SetName("allOf")
+	if len(events) == 0 {
+		cond.Succeed([]any{})
+		return cond
+	}
+	remaining := len(events)
+	values := make([]any, len(events))
+	for i, ev := range events {
+		i, ev := i, ev
+		ev.OnProcessed(func(e *Event) {
+			if !cond.Pending() {
+				return // already failed
+			}
+			if e.Err() != nil {
+				cond.Fail(e.Err())
+				return
+			}
+			values[i] = e.Value()
+			remaining--
+			if remaining == 0 {
+				cond.Succeed(values)
+			}
+		})
+	}
+	return cond
+}
+
+// AnyOf returns an event that succeeds as soon as the first input event is
+// processed; its value is that event's value. If the first processed event
+// failed, the condition fails with its error. AnyOf of zero events
+// succeeds immediately with a nil value.
+func (env *Environment) AnyOf(events ...*Event) *Event {
+	cond := env.NewEvent().SetName("anyOf")
+	if len(events) == 0 {
+		cond.Succeed(nil)
+		return cond
+	}
+	for _, ev := range events {
+		ev.OnProcessed(func(e *Event) {
+			if !cond.Pending() {
+				return
+			}
+			if e.Err() != nil {
+				cond.Fail(e.Err())
+				return
+			}
+			cond.Succeed(e.Value())
+		})
+	}
+	return cond
+}
+
+// WaitAll suspends the process until all events are processed, returning
+// their values in order.
+func (pr *Proc) WaitAll(events ...*Event) ([]any, error) {
+	v, err := pr.Wait(pr.env.AllOf(events...))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]any), nil
+}
+
+// WaitAny suspends the process until the first of the events is processed
+// and returns its value.
+func (pr *Proc) WaitAny(events ...*Event) (any, error) {
+	return pr.Wait(pr.env.AnyOf(events...))
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "fmt"
+
+// Container models a homogeneous, divisible resource pool such as the
+// free qubits of a quantum device (the paper's device.container.level).
+// Get and Put return events that succeed when the requested amount has
+// been withdrawn or deposited. Requests are served strictly FIFO: a large
+// blocked Get is not overtaken by smaller later ones, which keeps qubit
+// reservation starvation-free.
+type Container struct {
+	env      *Environment
+	capacity float64
+	level    float64
+	getQ     []contReq
+	putQ     []contReq
+}
+
+type contReq struct {
+	amount float64
+	ev     *Event
+}
+
+// NewContainer creates a container with the given capacity and initial
+// level. It panics on invalid arguments.
+func (env *Environment) NewContainer(capacity, initial float64) *Container {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: container capacity must be positive, got %g", capacity))
+	}
+	if initial < 0 || initial > capacity {
+		panic(fmt.Sprintf("sim: container initial level %g outside [0,%g]", initial, capacity))
+	}
+	return &Container{env: env, capacity: capacity, level: initial}
+}
+
+// Capacity returns the container's maximum level.
+func (c *Container) Capacity() float64 { return c.capacity }
+
+// Level returns the currently available amount.
+func (c *Container) Level() float64 { return c.level }
+
+// InUse returns capacity minus level: the amount currently withdrawn.
+func (c *Container) InUse() float64 { return c.capacity - c.level }
+
+// GetQueueLen returns the number of blocked Get requests.
+func (c *Container) GetQueueLen() int { return len(c.getQ) }
+
+// PutQueueLen returns the number of blocked Put requests.
+func (c *Container) PutQueueLen() int { return len(c.putQ) }
+
+// Get requests amount units from the container. The returned event
+// succeeds (with the amount as value) once the units have been withdrawn.
+// If enough is available and no earlier request is queued, the withdrawal
+// happens immediately and the event is scheduled at the current time.
+func (c *Container) Get(amount float64) *Event {
+	if amount < 0 {
+		panic(fmt.Sprintf("sim: Container.Get negative amount %g", amount))
+	}
+	if amount > c.capacity {
+		panic(fmt.Sprintf("sim: Container.Get amount %g exceeds capacity %g (would never be served)", amount, c.capacity))
+	}
+	ev := c.env.NewEvent().SetName("container.get")
+	c.getQ = append(c.getQ, contReq{amount, ev})
+	c.drain()
+	return ev
+}
+
+// Put deposits amount units into the container. The returned event
+// succeeds once the deposit fits (level+amount <= capacity). Deposits are
+// also FIFO.
+func (c *Container) Put(amount float64) *Event {
+	if amount < 0 {
+		panic(fmt.Sprintf("sim: Container.Put negative amount %g", amount))
+	}
+	if amount > c.capacity {
+		panic(fmt.Sprintf("sim: Container.Put amount %g exceeds capacity %g (would never fit)", amount, c.capacity))
+	}
+	ev := c.env.NewEvent().SetName("container.put")
+	c.putQ = append(c.putQ, contReq{amount, ev})
+	c.drain()
+	return ev
+}
+
+// drain serves queued puts and gets FIFO until the head of each queue can
+// no longer proceed. Puts are attempted first so that a release and a
+// waiting acquisition at the same timestamp pair up.
+func (c *Container) drain() {
+	for {
+		progressed := false
+		for len(c.putQ) > 0 {
+			req := c.putQ[0]
+			if c.level+req.amount > c.capacity {
+				break
+			}
+			c.level += req.amount
+			c.putQ = c.putQ[1:]
+			req.ev.Succeed(req.amount)
+			progressed = true
+		}
+		for len(c.getQ) > 0 {
+			req := c.getQ[0]
+			if req.amount > c.level {
+				break
+			}
+			c.level -= req.amount
+			c.getQ = c.getQ[1:]
+			req.ev.Succeed(req.amount)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContainerImmediateGet(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(127, 127)
+	ev := c.Get(50)
+	if c.Level() != 77 {
+		t.Fatalf("level = %g, want 77 (withdrawal is immediate)", c.Level())
+	}
+	env.Run()
+	if !ev.Processed() {
+		t.Fatal("get event should be processed")
+	}
+	if ev.Value() != 50.0 {
+		t.Fatalf("value = %v, want 50", ev.Value())
+	}
+}
+
+func TestContainerBlockedGetServedByPut(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(100, 10)
+	var servedAt float64 = -1
+	env.Process(func(pr *Proc) any {
+		pr.MustWait(c.Get(60))
+		servedAt = pr.Now()
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(25)
+		pr.MustWait(c.Put(50))
+		return nil
+	})
+	env.Run()
+	if servedAt != 25 {
+		t.Fatalf("get served at %g, want 25", servedAt)
+	}
+	if c.Level() != 0 {
+		t.Fatalf("level = %g, want 0", c.Level())
+	}
+}
+
+func TestContainerFIFONoOvertaking(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(100, 0)
+	var order []string
+	env.Process(func(pr *Proc) any { // big request first
+		pr.MustWait(c.Get(80))
+		order = append(order, "big")
+		return nil
+	})
+	env.Process(func(pr *Proc) any { // small request second
+		pr.MustWait(c.Get(10))
+		order = append(order, "small")
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(1)
+		c.Put(30) // not enough for big; small must NOT overtake
+		pr.Sleep(1)
+		c.Put(70) // now big is served, then small
+		return nil
+	})
+	env.Run()
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v, want [big small]", order)
+	}
+}
+
+func TestContainerPutBlocksWhenFull(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(50, 40)
+	var putAt float64 = -1
+	env.Process(func(pr *Proc) any {
+		pr.MustWait(c.Put(20)) // 40+20 > 50, must wait
+		putAt = pr.Now()
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(5)
+		pr.MustWait(c.Get(15))
+		return nil
+	})
+	env.Run()
+	if putAt != 5 {
+		t.Fatalf("put completed at %g, want 5", putAt)
+	}
+	if c.Level() != 45 {
+		t.Fatalf("level = %g, want 45", c.Level())
+	}
+}
+
+func TestContainerInUse(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(127, 127)
+	c.Get(100)
+	if c.InUse() != 100 {
+		t.Fatalf("InUse = %g, want 100", c.InUse())
+	}
+}
+
+func TestContainerQueueLengths(t *testing.T) {
+	env := NewEnvironment()
+	c := env.NewContainer(10, 0)
+	c.Get(5)
+	c.Get(3)
+	if c.GetQueueLen() != 2 {
+		t.Fatalf("GetQueueLen = %d, want 2", c.GetQueueLen())
+	}
+	c2 := env.NewContainer(10, 10)
+	c2.Put(1)
+	if c2.PutQueueLen() != 1 {
+		t.Fatalf("PutQueueLen = %d, want 1", c2.PutQueueLen())
+	}
+}
+
+func TestContainerInvalidArgsPanic(t *testing.T) {
+	env := NewEnvironment()
+	cases := []func(){
+		func() { env.NewContainer(0, 0) },
+		func() { env.NewContainer(10, -1) },
+		func() { env.NewContainer(10, 11) },
+		func() { env.NewContainer(10, 5).Get(-1) },
+		func() { env.NewContainer(10, 5).Get(11) },
+		func() { env.NewContainer(10, 5).Put(-1) },
+		func() { env.NewContainer(10, 5).Put(11) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: conservation — after any sequence of matched get/put pairs
+// completes, level + outstanding == capacity.
+func TestPropertyContainerConservation(t *testing.T) {
+	f := func(amounts []uint8) bool {
+		env := NewEnvironment()
+		cap := 255.0
+		c := env.NewContainer(cap, cap)
+		outstanding := 0.0
+		env.Process(func(pr *Proc) any {
+			for _, a := range amounts {
+				amt := float64(a%100) + 1
+				pr.MustWait(c.Get(amt))
+				outstanding += amt
+				pr.Sleep(1)
+				pr.MustWait(c.Put(amt))
+				outstanding -= amt
+			}
+			return nil
+		})
+		env.Run()
+		return c.Level() == cap && outstanding == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with concurrent getters each taking then returning qubits,
+// the container never goes negative and ends full.
+func TestPropertyContainerConcurrentWorkers(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		env := NewEnvironment()
+		c := env.NewContainer(127, 127)
+		negative := false
+		for _, s := range seeds {
+			amt := float64(s%127) + 1
+			hold := float64(s%7) + 1
+			env.Process(func(pr *Proc) any {
+				pr.MustWait(c.Get(amt))
+				if c.Level() < 0 {
+					negative = true
+				}
+				pr.Sleep(hold)
+				pr.MustWait(c.Put(amt))
+				return nil
+			})
+		}
+		env.Run()
+		return !negative && c.Level() == 127 && c.GetQueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmptySchedule is returned by Run variants when the event queue drains
+// before the requested end condition is met.
+var ErrEmptySchedule = errors.New("sim: event queue is empty")
+
+// queuedEvent is a heap entry: an event plus its ordering key.
+type queuedEvent struct {
+	time     float64
+	priority Priority
+	seq      uint64
+	ev       *Event
+}
+
+// eventHeap implements container/heap ordered by (time, priority, seq).
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Environment is the discrete-event simulation core: it owns the clock and
+// the time-ordered event queue and drives event processing. It is the Go
+// analogue of simpy.Environment.
+//
+// An Environment is not safe for concurrent use; the Process hand-off
+// protocol guarantees only one goroutine touches it at a time.
+type Environment struct {
+	now   float64
+	queue eventHeap
+	seq   uint64
+	// activeProcs counts live process goroutines so tests can assert no
+	// leaks; purely diagnostic.
+	activeProcs int
+}
+
+// NewEnvironment creates an environment with the clock at zero.
+func NewEnvironment() *Environment {
+	return &Environment{}
+}
+
+// NewEnvironmentAt creates an environment with the clock at start.
+func NewEnvironmentAt(start float64) *Environment {
+	return &Environment{now: start}
+}
+
+// Now returns the current simulation time.
+func (env *Environment) Now() float64 { return env.now }
+
+// QueueLen returns the number of scheduled (triggered but unprocessed)
+// events. Useful for tests and diagnostics.
+func (env *Environment) QueueLen() int { return len(env.queue) }
+
+// schedule inserts a triggered event into the queue after delay time units.
+func (env *Environment) schedule(ev *Event, delay float64, prio Priority) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	if math.IsNaN(delay) {
+		panic("sim: NaN delay")
+	}
+	env.seq++
+	heap.Push(&env.queue, queuedEvent{
+		time:     env.now + delay,
+		priority: prio,
+		seq:      env.seq,
+		ev:       ev,
+	})
+}
+
+// Timeout returns an event that succeeds after delay time units with the
+// given value. Timeouts are triggered at creation, like SimPy timeouts.
+func (env *Environment) Timeout(delay float64, value any) *Event {
+	ev := env.NewEvent()
+	ev.succeedAt(value, delay, PriorityNormal)
+	return ev
+}
+
+// Peek returns the scheduled time of the next event, or +Inf if the queue
+// is empty.
+func (env *Environment) Peek() float64 {
+	if len(env.queue) == 0 {
+		return math.Inf(1)
+	}
+	return env.queue[0].time
+}
+
+// Step processes exactly one event. It returns ErrEmptySchedule if there
+// is nothing left to do.
+func (env *Environment) Step() error {
+	if len(env.queue) == 0 {
+		return ErrEmptySchedule
+	}
+	item := heap.Pop(&env.queue).(queuedEvent)
+	if item.time < env.now {
+		panic(fmt.Sprintf("sim: time went backwards: %g < %g", item.time, env.now))
+	}
+	env.now = item.time
+	item.ev.process()
+	return nil
+}
+
+// Run processes events until the queue is empty and returns the final
+// simulation time.
+func (env *Environment) Run() float64 {
+	for env.Step() == nil {
+	}
+	return env.now
+}
+
+// RunUntil processes events until the clock would pass the given time.
+// Events scheduled exactly at `until` are processed. The clock is advanced
+// to `until` even if the queue drains earlier, mirroring
+// simpy.Environment.run(until=...).
+func (env *Environment) RunUntil(until float64) float64 {
+	if until < env.now {
+		panic(fmt.Sprintf("sim: RunUntil(%g) is in the past (now=%g)", until, env.now))
+	}
+	for len(env.queue) > 0 && env.queue[0].time <= until {
+		if err := env.Step(); err != nil {
+			break
+		}
+	}
+	if env.now < until {
+		env.now = until
+	}
+	return env.now
+}
+
+// RunUntilEvent processes events until ev has been processed. It returns
+// the event's value and error. If the queue drains first, it returns
+// ErrEmptySchedule.
+func (env *Environment) RunUntilEvent(ev *Event) (any, error) {
+	for !ev.Processed() {
+		if err := env.Step(); err != nil {
+			return nil, ErrEmptySchedule
+		}
+	}
+	return ev.Value(), ev.Err()
+}

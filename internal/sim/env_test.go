@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEnvironmentStartsAtZero(t *testing.T) {
+	env := NewEnvironment()
+	if env.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", env.Now())
+	}
+}
+
+func TestNewEnvironmentAt(t *testing.T) {
+	env := NewEnvironmentAt(42.5)
+	if env.Now() != 42.5 {
+		t.Fatalf("Now() = %g, want 42.5", env.Now())
+	}
+}
+
+func TestTimeoutAdvancesClock(t *testing.T) {
+	env := NewEnvironment()
+	env.Timeout(10, nil)
+	end := env.Run()
+	if end != 10 {
+		t.Fatalf("Run() = %g, want 10", end)
+	}
+}
+
+func TestTimeoutValueDelivered(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.Timeout(3, "payload")
+	v, err := env.RunUntilEvent(ev)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if v != "payload" {
+		t.Fatalf("value = %v, want payload", v)
+	}
+}
+
+func TestEventsProcessedInTimeOrder(t *testing.T) {
+	env := NewEnvironment()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		env.Timeout(d, nil).OnProcessed(func(*Event) {
+			order = append(order, d)
+		})
+	}
+	env.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("processed %d events, want 5", len(order))
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	env := NewEnvironment()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Timeout(7, nil).OnProcessed(func(*Event) {
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, got, i, order)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	env := NewEnvironment()
+	fired := 0
+	env.Timeout(5, nil).OnProcessed(func(*Event) { fired++ })
+	env.Timeout(15, nil).OnProcessed(func(*Event) { fired++ })
+	end := env.RunUntil(10)
+	if end != 10 {
+		t.Fatalf("RunUntil = %g, want 10", end)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The later event is still runnable afterwards.
+	env.Run()
+	if fired != 2 {
+		t.Fatalf("after Run fired = %d, want 2", fired)
+	}
+}
+
+func TestRunUntilInclusiveOfBoundaryEvents(t *testing.T) {
+	env := NewEnvironment()
+	fired := false
+	env.Timeout(10, nil).OnProcessed(func(*Event) { fired = true })
+	env.RunUntil(10)
+	if !fired {
+		t.Fatal("event at exactly the boundary should fire")
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	env := NewEnvironmentAt(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for RunUntil in the past")
+		}
+	}()
+	env.RunUntil(50)
+}
+
+func TestStepEmptySchedule(t *testing.T) {
+	env := NewEnvironment()
+	if err := env.Step(); !errors.Is(err, ErrEmptySchedule) {
+		t.Fatalf("Step on empty queue = %v, want ErrEmptySchedule", err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	env := NewEnvironment()
+	if !math.IsInf(env.Peek(), 1) {
+		t.Fatalf("Peek on empty queue = %g, want +Inf", env.Peek())
+	}
+	env.Timeout(9, nil)
+	if env.Peek() != 9 {
+		t.Fatalf("Peek = %g, want 9", env.Peek())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	env := NewEnvironment()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	env.Timeout(-1, nil)
+}
+
+func TestEventDoubleSucceedPanics(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.NewEvent()
+	ev.Succeed(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for double Succeed")
+		}
+	}()
+	ev.Succeed(nil)
+}
+
+func TestEventFailNilErrorPanics(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.NewEvent()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Fail(nil)")
+		}
+	}()
+	ev.Fail(nil)
+}
+
+func TestEventFailPropagates(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.NewEvent()
+	boom := errors.New("boom")
+	ev.Fail(boom)
+	_, err := env.RunUntilEvent(ev)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestEventStates(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.NewEvent()
+	if !ev.Pending() || ev.Triggered() || ev.Processed() {
+		t.Fatal("fresh event should be pending only")
+	}
+	ev.Succeed(1)
+	if ev.Pending() || !ev.Triggered() || ev.Processed() {
+		t.Fatal("succeeded event should be triggered, not processed")
+	}
+	env.Run()
+	if !ev.Processed() {
+		t.Fatal("event should be processed after Run")
+	}
+	if ev.State().String() != "processed" {
+		t.Fatalf("State().String() = %q", ev.State().String())
+	}
+}
+
+func TestOnProcessedAfterProcessedRunsImmediately(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.Timeout(1, nil)
+	env.Run()
+	ran := false
+	ev.OnProcessed(func(*Event) { ran = true })
+	if !ran {
+		t.Fatal("callback on already-processed event should run immediately")
+	}
+}
+
+// Property: for any set of non-negative delays, Run processes all events in
+// nondecreasing time order and finishes at the max delay.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		env := NewEnvironment()
+		var seen []float64
+		maxDelay := 0.0
+		for _, r := range raw {
+			d := float64(r) / 8.0
+			if d > maxDelay {
+				maxDelay = d
+			}
+			env.Timeout(d, nil).OnProcessed(func(e *Event) {
+				seen = append(seen, e.Env().Now())
+			})
+		}
+		end := env.Run()
+		if end != maxDelay {
+			return false
+		}
+		if len(seen) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil(T) never processes an event scheduled after T and
+// always leaves the clock exactly at T.
+func TestPropertyRunUntilBoundary(t *testing.T) {
+	f := func(raw []uint8, horizon uint8) bool {
+		env := NewEnvironment()
+		T := float64(horizon)
+		late := 0
+		for _, r := range raw {
+			d := float64(r)
+			env.Timeout(d, nil).OnProcessed(func(e *Event) {
+				if e.Env().Now() > T {
+					late++
+				}
+			})
+		}
+		env.RunUntil(T)
+		return late == 0 && env.Now() == T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import "fmt"
+
+// EventState describes the lifecycle stage of an Event.
+type EventState int
+
+const (
+	// StatePending means the event has been created but not yet triggered.
+	StatePending EventState = iota
+	// StateTriggered means the event has a value and sits in the event
+	// queue waiting to be processed.
+	StateTriggered
+	// StateProcessed means the event's callbacks have run.
+	StateProcessed
+)
+
+// String returns a human-readable state name.
+func (s EventState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateTriggered:
+		return "triggered"
+	case StateProcessed:
+		return "processed"
+	default:
+		return fmt.Sprintf("EventState(%d)", int(s))
+	}
+}
+
+// Priority orders events that are scheduled for the same simulation time.
+// Lower values are processed first.
+type Priority int
+
+const (
+	// PriorityUrgent is used for internal bookkeeping events that must
+	// run before ordinary events at the same timestamp.
+	PriorityUrgent Priority = 0
+	// PriorityNormal is the default priority for user events.
+	PriorityNormal Priority = 1
+)
+
+// Event is a one-shot occurrence in the simulation. An event is created
+// pending, becomes triggered when Succeed or Fail is called (which inserts
+// it into the environment's queue), and becomes processed when the
+// environment pops it and runs its callbacks.
+type Event struct {
+	env       *Environment
+	state     EventState
+	value     any
+	err       error
+	callbacks []func(*Event)
+	name      string
+}
+
+// NewEvent returns a fresh pending event owned by env.
+func (env *Environment) NewEvent() *Event {
+	return &Event{env: env}
+}
+
+// Env returns the environment that owns the event.
+func (ev *Event) Env() *Environment { return ev.env }
+
+// State returns the event's lifecycle state.
+func (ev *Event) State() EventState { return ev.state }
+
+// Pending reports whether the event has not been triggered yet.
+func (ev *Event) Pending() bool { return ev.state == StatePending }
+
+// Triggered reports whether the event has been triggered (it may or may
+// not have been processed yet).
+func (ev *Event) Triggered() bool { return ev.state != StatePending }
+
+// Processed reports whether the event's callbacks have already run.
+func (ev *Event) Processed() bool { return ev.state == StateProcessed }
+
+// Value returns the value the event was triggered with. It is only
+// meaningful once the event has been triggered.
+func (ev *Event) Value() any { return ev.value }
+
+// Err returns the failure cause, or nil if the event succeeded.
+func (ev *Event) Err() error { return ev.err }
+
+// SetName attaches a debugging label to the event and returns the event.
+func (ev *Event) SetName(name string) *Event {
+	ev.name = name
+	return ev
+}
+
+// String formats the event for debugging.
+func (ev *Event) String() string {
+	if ev.name != "" {
+		return fmt.Sprintf("Event(%s, %s)", ev.name, ev.state)
+	}
+	return fmt.Sprintf("Event(%p, %s)", ev, ev.state)
+}
+
+// OnProcessed registers fn to run when the event is processed. If the
+// event is already processed, fn runs immediately.
+func (ev *Event) OnProcessed(fn func(*Event)) {
+	if ev.state == StateProcessed {
+		fn(ev)
+		return
+	}
+	ev.callbacks = append(ev.callbacks, fn)
+}
+
+// Succeed triggers the event with the given value and schedules it at the
+// current simulation time. It panics if the event was already triggered,
+// mirroring SimPy's RuntimeError for double triggering.
+func (ev *Event) Succeed(value any) *Event {
+	if ev.state != StatePending {
+		panic(fmt.Sprintf("sim: Succeed on already-triggered %v", ev))
+	}
+	ev.value = value
+	ev.state = StateTriggered
+	ev.env.schedule(ev, 0, PriorityNormal)
+	return ev
+}
+
+// Fail triggers the event with an error and schedules it at the current
+// simulation time. It panics if err is nil or the event was already
+// triggered.
+func (ev *Event) Fail(err error) *Event {
+	if err == nil {
+		panic("sim: Fail requires a non-nil error")
+	}
+	if ev.state != StatePending {
+		panic(fmt.Sprintf("sim: Fail on already-triggered %v", ev))
+	}
+	ev.err = err
+	ev.state = StateTriggered
+	ev.env.schedule(ev, 0, PriorityNormal)
+	return ev
+}
+
+// trigger marks the event triggered with the payload of another event
+// (used by condition events) without scheduling it twice.
+func (ev *Event) succeedAt(value any, delay float64, prio Priority) *Event {
+	if ev.state != StatePending {
+		panic(fmt.Sprintf("sim: succeedAt on already-triggered %v", ev))
+	}
+	ev.value = value
+	ev.state = StateTriggered
+	ev.env.schedule(ev, delay, prio)
+	return ev
+}
+
+// process runs the event's callbacks. Called by the environment only.
+func (ev *Event) process() {
+	ev.state = StateProcessed
+	cbs := ev.callbacks
+	ev.callbacks = nil
+	for _, cb := range cbs {
+		cb(ev)
+	}
+}

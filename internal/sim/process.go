@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+// waitResult carries the payload handed to a process when it resumes.
+type waitResult struct {
+	value any
+	err   error
+}
+
+// Process is a simulation coroutine. Its body runs on a dedicated
+// goroutine, but the hand-off protocol guarantees that at most one
+// goroutine (the scheduler or a single process) executes at any instant,
+// so processes observe deterministic, data-race-free semantics just like
+// SimPy generator processes.
+//
+// Process embeds *Event: the event succeeds with the process's return
+// value when the body finishes, so other processes can Wait on it.
+type Process struct {
+	*Event
+	resume chan waitResult // scheduler -> process
+	parked chan struct{}   // process -> scheduler
+	name   string
+}
+
+// Proc is the in-process handle passed to a process body. All blocking
+// operations (Wait, Sleep, ...) must be called on the Proc from within
+// the body goroutine.
+type Proc struct {
+	p   *Process
+	env *Environment
+}
+
+// Env returns the simulation environment.
+func (pr *Proc) Env() *Environment { return pr.env }
+
+// Now returns the current simulation time.
+func (pr *Proc) Now() float64 { return pr.env.now }
+
+// Self returns the Process handle for the running body, e.g. to pass to
+// other processes.
+func (pr *Proc) Self() *Process { return pr.p }
+
+// Process starts a new process whose body is fn. The body begins running
+// at the current simulation time (after already-scheduled events at that
+// time), and the returned Process's event succeeds with fn's return value
+// when the body completes.
+func (env *Environment) Process(fn func(p *Proc) any) *Process {
+	return env.NamedProcess("", fn)
+}
+
+// NamedProcess is Process with a debugging label.
+func (env *Environment) NamedProcess(name string, fn func(p *Proc) any) *Process {
+	p := &Process{
+		Event:  env.NewEvent(),
+		resume: make(chan waitResult),
+		parked: make(chan struct{}),
+		name:   name,
+	}
+	if name != "" {
+		p.Event.SetName(name + ".done")
+	}
+	env.activeProcs++
+	go func() {
+		<-p.resume // wait for the init event
+		ret := fn(&Proc{p: p, env: env})
+		// The scheduler is blocked in resumeProcess waiting for us to
+		// park, so it is safe to touch the environment here.
+		env.activeProcs--
+		if p.Event.Pending() {
+			p.Event.Succeed(ret)
+		}
+		p.parked <- struct{}{}
+	}()
+	init := env.NewEvent().SetName(name + ".init")
+	init.callbacks = append(init.callbacks, func(*Event) {
+		p.resumeProcess(waitResult{})
+	})
+	init.value = nil
+	init.state = StateTriggered
+	env.schedule(init, 0, PriorityUrgent)
+	return p
+}
+
+// resumeProcess hands control to the process goroutine and blocks until
+// the process parks again (by waiting on another event or finishing).
+// It is called from scheduler context (an event callback).
+func (p *Process) resumeProcess(r waitResult) {
+	p.resume <- r
+	<-p.parked
+}
+
+// String identifies the process for debugging.
+func (p *Process) String() string {
+	if p.name != "" {
+		return fmt.Sprintf("Process(%s)", p.name)
+	}
+	return fmt.Sprintf("Process(%p)", p)
+}
+
+// Wait suspends the process until ev is processed and returns the event's
+// value and error. If the event is already processed, Wait returns
+// immediately without yielding, matching SimPy semantics for already-
+// triggered events.
+func (pr *Proc) Wait(ev *Event) (any, error) {
+	if ev.Processed() {
+		return ev.Value(), ev.Err()
+	}
+	ev.callbacks = append(ev.callbacks, func(e *Event) {
+		pr.p.resumeProcess(waitResult{e.value, e.err})
+	})
+	pr.park()
+	r := <-pr.p.resume
+	return r.value, r.err
+}
+
+// MustWait is Wait but panics if the event failed. Use it for events that
+// cannot fail by construction (timeouts, container puts).
+func (pr *Proc) MustWait(ev *Event) any {
+	v, err := pr.Wait(ev)
+	if err != nil {
+		panic(fmt.Sprintf("sim: MustWait on failed event: %v", err))
+	}
+	return v
+}
+
+// Sleep suspends the process for d time units.
+func (pr *Proc) Sleep(d float64) {
+	pr.MustWait(pr.env.Timeout(d, nil))
+}
+
+// park returns control to the scheduler.
+func (pr *Proc) park() {
+	pr.p.parked <- struct{}{}
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProcessRunsAndReturnsValue(t *testing.T) {
+	env := NewEnvironment()
+	p := env.Process(func(pr *Proc) any {
+		pr.Sleep(5)
+		return "done"
+	})
+	v, err := env.RunUntilEvent(p.Event)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if v != "done" {
+		t.Fatalf("value = %v, want done", v)
+	}
+	if env.Now() != 5 {
+		t.Fatalf("Now = %g, want 5", env.Now())
+	}
+}
+
+func TestProcessSequentialSleeps(t *testing.T) {
+	env := NewEnvironment()
+	var times []float64
+	env.Process(func(pr *Proc) any {
+		for i := 0; i < 3; i++ {
+			pr.Sleep(10)
+			times = append(times, pr.Now())
+		}
+		return nil
+	})
+	env.Run()
+	want := []float64{10, 20, 30}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	env := NewEnvironment()
+	var trace []string
+	env.NamedProcess("a", func(pr *Proc) any {
+		for i := 0; i < 3; i++ {
+			pr.Sleep(2)
+			trace = append(trace, "a")
+		}
+		return nil
+	})
+	env.NamedProcess("b", func(pr *Proc) any {
+		for i := 0; i < 2; i++ {
+			pr.Sleep(3)
+			trace = append(trace, "b")
+		}
+		return nil
+	})
+	env.Run()
+	// a at 2,4,6 ; b at 3,6. At t=6 process a's timeout was scheduled
+	// earlier in that round? a sleeps at t=4 -> fires 6 (scheduled at 4);
+	// b sleeps at t=3 -> fires 6 (scheduled at 3). b's timeout was
+	// scheduled first, so b runs first at t=6.
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcessWaitsOnProcess(t *testing.T) {
+	env := NewEnvironment()
+	worker := env.Process(func(pr *Proc) any {
+		pr.Sleep(7)
+		return 99
+	})
+	var got any
+	env.Process(func(pr *Proc) any {
+		v, err := pr.Wait(worker.Event)
+		if err != nil {
+			t.Errorf("wait failed: %v", err)
+		}
+		got = v
+		return nil
+	})
+	env.Run()
+	if got != 99 {
+		t.Fatalf("got = %v, want 99", got)
+	}
+}
+
+func TestWaitOnAlreadyProcessedEventReturnsImmediately(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.Timeout(1, "early")
+	var sawTime float64
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(10) // event fires at t=1, long before
+		v, _ := pr.Wait(ev)
+		if v != "early" {
+			t.Errorf("value = %v", v)
+		}
+		sawTime = pr.Now()
+		return nil
+	})
+	env.Run()
+	if sawTime != 10 {
+		t.Fatalf("process should not have advanced time waiting: %g", sawTime)
+	}
+}
+
+func TestProcessWaitFailedEvent(t *testing.T) {
+	env := NewEnvironment()
+	boom := errors.New("boom")
+	ev := env.NewEvent()
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(1)
+		ev.Fail(boom)
+		return nil
+	})
+	var got error
+	env.Process(func(pr *Proc) any {
+		_, got = pr.Wait(ev)
+		return nil
+	})
+	env.Run()
+	if !errors.Is(got, boom) {
+		t.Fatalf("err = %v, want boom", got)
+	}
+}
+
+func TestMustWaitPanicsOnFailure(t *testing.T) {
+	env := NewEnvironment()
+	ev := env.NewEvent()
+	ev.Fail(errors.New("nope"))
+	panicked := make(chan bool, 1)
+	env.Process(func(pr *Proc) any {
+		defer func() {
+			panicked <- recover() != nil
+		}()
+		pr.MustWait(ev)
+		return nil
+	})
+	env.Run()
+	if !<-panicked {
+		t.Fatal("MustWait should panic on failed event")
+	}
+}
+
+func TestProcessSpawnsProcess(t *testing.T) {
+	env := NewEnvironment()
+	var childDone float64
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(5)
+		child := pr.Env().Process(func(c *Proc) any {
+			c.Sleep(5)
+			return nil
+		})
+		pr.MustWait(child.Event)
+		childDone = pr.Now()
+		return nil
+	})
+	env.Run()
+	if childDone != 10 {
+		t.Fatalf("child completion observed at %g, want 10", childDone)
+	}
+}
+
+func TestManyProcessesNoLeak(t *testing.T) {
+	env := NewEnvironment()
+	const n = 500
+	count := 0
+	for i := 0; i < n; i++ {
+		env.Process(func(pr *Proc) any {
+			pr.Sleep(float64(i % 13))
+			count++
+			return nil
+		})
+	}
+	env.Run()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+	if env.activeProcs != 0 {
+		t.Fatalf("activeProcs = %d, want 0", env.activeProcs)
+	}
+}
+
+func TestProcessSelfString(t *testing.T) {
+	env := NewEnvironment()
+	env.NamedProcess("worker", func(pr *Proc) any {
+		if pr.Self().String() != "Process(worker)" {
+			t.Errorf("String() = %q", pr.Self().String())
+		}
+		if pr.Env() != env {
+			t.Error("Env() mismatch")
+		}
+		return nil
+	})
+	env.Run()
+}
+
+func TestWaitAllAndWaitAny(t *testing.T) {
+	env := NewEnvironment()
+	env.Process(func(pr *Proc) any {
+		a := pr.Env().Timeout(3, "a")
+		b := pr.Env().Timeout(5, "b")
+		vals, err := pr.WaitAll(a, b)
+		if err != nil {
+			t.Errorf("WaitAll: %v", err)
+		}
+		if vals[0] != "a" || vals[1] != "b" {
+			t.Errorf("vals = %v", vals)
+		}
+		if pr.Now() != 5 {
+			t.Errorf("WaitAll completed at %g, want 5", pr.Now())
+		}
+		c := pr.Env().Timeout(4, "c")
+		d := pr.Env().Timeout(2, "d")
+		v, err := pr.WaitAny(c, d)
+		if err != nil {
+			t.Errorf("WaitAny: %v", err)
+		}
+		if v != "d" {
+			t.Errorf("WaitAny value = %v, want d", v)
+		}
+		if pr.Now() != 7 {
+			t.Errorf("WaitAny completed at %g, want 7", pr.Now())
+		}
+		return nil
+	})
+	env.Run()
+}
+
+func TestAllOfEmpty(t *testing.T) {
+	env := NewEnvironment()
+	v, err := env.RunUntilEvent(env.AllOf())
+	if err != nil {
+		t.Fatalf("AllOf() failed: %v", err)
+	}
+	if len(v.([]any)) != 0 {
+		t.Fatalf("AllOf() value = %v", v)
+	}
+}
+
+func TestAnyOfEmpty(t *testing.T) {
+	env := NewEnvironment()
+	if _, err := env.RunUntilEvent(env.AnyOf()); err != nil {
+		t.Fatalf("AnyOf() failed: %v", err)
+	}
+}
+
+func TestAllOfFailurePropagates(t *testing.T) {
+	env := NewEnvironment()
+	boom := errors.New("boom")
+	bad := env.NewEvent()
+	bad.Fail(boom)
+	good := env.Timeout(10, nil)
+	_, err := env.RunUntilEvent(env.AllOf(good, bad))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestAnyOfValueOfFirst(t *testing.T) {
+	env := NewEnvironment()
+	slow := env.Timeout(10, "slow")
+	fast := env.Timeout(1, "fast")
+	v, err := env.RunUntilEvent(env.AnyOf(slow, fast))
+	if err != nil {
+		t.Fatalf("AnyOf failed: %v", err)
+	}
+	if v != "fast" {
+		t.Fatalf("value = %v, want fast", v)
+	}
+	if env.Now() != 1 {
+		t.Fatalf("Now = %g, want 1", env.Now())
+	}
+}

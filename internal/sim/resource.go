@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// Resource models a counted resource with unit-sized slots, like
+// simpy.Resource. Each Request occupies one slot until released. Requests
+// queue FIFO.
+type Resource struct {
+	env      *Environment
+	capacity int
+	users    map[*ResourceRequest]bool
+	queue    []*ResourceRequest
+}
+
+// ResourceRequest is one pending or granted slot acquisition.
+// It embeds *Event: the event succeeds (value = the request itself) when
+// the slot is granted.
+type ResourceRequest struct {
+	*Event
+	res      *Resource
+	released bool
+}
+
+// NewResource creates a resource with the given number of slots.
+func (env *Environment) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource capacity must be positive, got %d", capacity))
+	}
+	return &Resource{
+		env:      env,
+		capacity: capacity,
+		users:    make(map[*ResourceRequest]bool),
+	}
+}
+
+// Capacity returns the total number of slots.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of granted, unreleased slots.
+func (r *Resource) InUse() int { return len(r.users) }
+
+// QueueLen returns the number of requests waiting for a slot.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Request asks for one slot. The returned request's event succeeds when
+// the slot is granted.
+func (r *Resource) Request() *ResourceRequest {
+	req := &ResourceRequest{
+		Event: r.env.NewEvent().SetName("resource.request"),
+		res:   r,
+	}
+	r.queue = append(r.queue, req)
+	r.grant()
+	return req
+}
+
+// Release frees the slot held by req. Releasing twice is a no-op so that
+// deferred releases compose with early releases.
+func (req *ResourceRequest) Release() {
+	if req.released {
+		return
+	}
+	req.released = true
+	delete(req.res.users, req)
+	req.res.grant()
+}
+
+// grant admits queued requests while slots remain.
+func (r *Resource) grant() {
+	for len(r.queue) > 0 && len(r.users) < r.capacity {
+		req := r.queue[0]
+		r.queue = r.queue[1:]
+		r.users[req] = true
+		req.Event.Succeed(req)
+	}
+}
+
+// Acquire is a process-side convenience: it requests a slot and waits for
+// the grant, returning the request for later Release.
+func (pr *Proc) Acquire(r *Resource) *ResourceRequest {
+	req := r.Request()
+	pr.MustWait(req.Event)
+	return req
+}

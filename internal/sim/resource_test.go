@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestResourceGrantWithinCapacity(t *testing.T) {
+	env := NewEnvironment()
+	r := env.NewResource(2)
+	a := r.Request()
+	b := r.Request()
+	c := r.Request()
+	env.RunUntil(0)
+	if !a.Processed() || !b.Processed() {
+		t.Fatal("first two requests should be granted immediately")
+	}
+	if c.Triggered() {
+		t.Fatal("third request should be queued")
+	}
+	if r.InUse() != 2 || r.QueueLen() != 1 {
+		t.Fatalf("InUse=%d QueueLen=%d, want 2,1", r.InUse(), r.QueueLen())
+	}
+}
+
+func TestResourceReleaseAdmitsNext(t *testing.T) {
+	env := NewEnvironment()
+	r := env.NewResource(1)
+	var secondAt float64 = -1
+	env.Process(func(pr *Proc) any {
+		req := pr.Acquire(r)
+		pr.Sleep(10)
+		req.Release()
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Acquire(r)
+		secondAt = pr.Now()
+		return nil
+	})
+	env.Run()
+	if secondAt != 10 {
+		t.Fatalf("second acquire at %g, want 10", secondAt)
+	}
+}
+
+func TestResourceDoubleReleaseNoop(t *testing.T) {
+	env := NewEnvironment()
+	r := env.NewResource(1)
+	req := r.Request()
+	env.RunUntil(0)
+	req.Release()
+	req.Release() // must not panic or corrupt accounting
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	env := NewEnvironment()
+	r := env.NewResource(1)
+	var order []int
+	holder := r.Request()
+	env.RunUntil(0)
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Process(func(pr *Proc) any {
+			req := pr.Acquire(r)
+			order = append(order, i)
+			pr.Sleep(1)
+			req.Release()
+			return nil
+		})
+	}
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(3)
+		holder.Release()
+		return nil
+	})
+	env.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestResourceInvalidCapacityPanics(t *testing.T) {
+	env := NewEnvironment()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.NewResource(0)
+}
+
+func TestResourceCapacityAccessor(t *testing.T) {
+	env := NewEnvironment()
+	if got := env.NewResource(7).Capacity(); got != 7 {
+		t.Fatalf("Capacity = %d, want 7", got)
+	}
+}

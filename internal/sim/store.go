@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Store is a FIFO buffer of discrete items with optional bounded
+// capacity, like simpy.Store. Put events succeed when the item has been
+// deposited; Get events succeed with the oldest item as their value.
+// The quantum-cloud layer uses a Store as the broker's job intake queue.
+type Store struct {
+	env      *Environment
+	capacity int
+	items    []any
+	getQ     []*Event
+	putQ     []storePut
+}
+
+type storePut struct {
+	item any
+	ev   *Event
+}
+
+// NewStore creates an unbounded store.
+func (env *Environment) NewStore() *Store {
+	return &Store{env: env, capacity: math.MaxInt}
+}
+
+// NewBoundedStore creates a store that holds at most capacity items.
+func (env *Environment) NewBoundedStore(capacity int) *Store {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: store capacity must be positive, got %d", capacity))
+	}
+	return &Store{env: env, capacity: capacity}
+}
+
+// Len returns the number of items currently buffered.
+func (s *Store) Len() int { return len(s.items) }
+
+// Capacity returns the store's maximum size (math.MaxInt if unbounded).
+func (s *Store) Capacity() int { return s.capacity }
+
+// GetQueueLen returns the number of blocked Get requests.
+func (s *Store) GetQueueLen() int { return len(s.getQ) }
+
+// Put deposits item. The returned event succeeds once the item is stored.
+func (s *Store) Put(item any) *Event {
+	ev := s.env.NewEvent().SetName("store.put")
+	s.putQ = append(s.putQ, storePut{item, ev})
+	s.drain()
+	return ev
+}
+
+// Get requests the oldest item. The returned event succeeds with the item
+// as its value.
+func (s *Store) Get() *Event {
+	ev := s.env.NewEvent().SetName("store.get")
+	s.getQ = append(s.getQ, ev)
+	s.drain()
+	return ev
+}
+
+func (s *Store) drain() {
+	for {
+		progressed := false
+		for len(s.putQ) > 0 && len(s.items) < s.capacity {
+			p := s.putQ[0]
+			s.putQ = s.putQ[1:]
+			s.items = append(s.items, p.item)
+			p.ev.Succeed(p.item)
+			progressed = true
+		}
+		for len(s.getQ) > 0 && len(s.items) > 0 {
+			g := s.getQ[0]
+			s.getQ = s.getQ[1:]
+			item := s.items[0]
+			s.items = s.items[1:]
+			g.Succeed(item)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// GetItem is a process-side convenience: wait for and return the next
+// item from the store.
+func (pr *Proc) GetItem(s *Store) any {
+	return pr.MustWait(s.Get())
+}
+
+// PutItem is a process-side convenience: deposit an item, waiting if the
+// store is full.
+func (pr *Proc) PutItem(s *Store, item any) {
+	pr.MustWait(s.Put(item))
+}

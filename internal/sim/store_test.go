@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutThenGet(t *testing.T) {
+	env := NewEnvironment()
+	s := env.NewStore()
+	s.Put("job1")
+	v, err := env.RunUntilEvent(s.Get())
+	if err != nil {
+		t.Fatalf("get failed: %v", err)
+	}
+	if v != "job1" {
+		t.Fatalf("got %v, want job1", v)
+	}
+}
+
+func TestStoreGetBlocksUntilPut(t *testing.T) {
+	env := NewEnvironment()
+	s := env.NewStore()
+	var gotAt float64 = -1
+	var item any
+	env.Process(func(pr *Proc) any {
+		item = pr.GetItem(s)
+		gotAt = pr.Now()
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(12)
+		pr.PutItem(s, 42)
+		return nil
+	})
+	env.Run()
+	if gotAt != 12 || item != 42 {
+		t.Fatalf("gotAt=%g item=%v, want 12, 42", gotAt, item)
+	}
+}
+
+func TestStoreFIFOOrder(t *testing.T) {
+	env := NewEnvironment()
+	s := env.NewStore()
+	for i := 0; i < 5; i++ {
+		s.Put(i)
+	}
+	var got []any
+	env.Process(func(pr *Proc) any {
+		for i := 0; i < 5; i++ {
+			got = append(got, pr.GetItem(s))
+		}
+		return nil
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestBoundedStoreBlocksPut(t *testing.T) {
+	env := NewEnvironment()
+	s := env.NewBoundedStore(1)
+	var secondPutAt float64 = -1
+	env.Process(func(pr *Proc) any {
+		pr.PutItem(s, "a")
+		pr.PutItem(s, "b") // blocks until "a" consumed
+		secondPutAt = pr.Now()
+		return nil
+	})
+	env.Process(func(pr *Proc) any {
+		pr.Sleep(8)
+		pr.GetItem(s)
+		return nil
+	})
+	env.Run()
+	if secondPutAt != 8 {
+		t.Fatalf("second put at %g, want 8", secondPutAt)
+	}
+}
+
+func TestBoundedStoreInvalidCapacityPanics(t *testing.T) {
+	env := NewEnvironment()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.NewBoundedStore(0)
+}
+
+func TestStoreAccessors(t *testing.T) {
+	env := NewEnvironment()
+	s := env.NewBoundedStore(3)
+	if s.Capacity() != 3 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	s.Put(1)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s2 := env.NewStore()
+	s2.Get()
+	if s2.GetQueueLen() != 1 {
+		t.Fatalf("GetQueueLen = %d", s2.GetQueueLen())
+	}
+}
+
+// Property: items come out of a store in exactly the order they went in.
+func TestPropertyStorePreservesOrder(t *testing.T) {
+	f := func(items []int) bool {
+		env := NewEnvironment()
+		s := env.NewStore()
+		for _, it := range items {
+			s.Put(it)
+		}
+		ok := true
+		env.Process(func(pr *Proc) any {
+			for _, want := range items {
+				if got := pr.GetItem(s); got != want {
+					ok = false
+				}
+			}
+			return nil
+		})
+		env.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

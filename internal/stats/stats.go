@@ -1,0 +1,224 @@
+// Package stats provides the descriptive statistics and plotting
+// substrate for the experiment harness: summaries, histograms (the
+// paper's Fig. 6 fidelity distributions), ASCII rendering for terminal
+// output, and CSV emission for external plotting.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max, Median float64
+	P05, P95         float64
+}
+
+// Summarize computes a Summary. The standard deviation is the population
+// form, matching the paper's σF. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P05 = Quantile(sorted, 0.05)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0..1) of a sorted sample using linear
+// interpolation. It panics if the sample is empty or unsorted inputs are
+// the caller's responsibility.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-width binned distribution.
+type Histogram struct {
+	// Lo and Hi bound the histogram range; values outside are clamped
+	// into the first/last bin.
+	Lo, Hi float64
+	// Counts holds per-bin tallies.
+	Counts []int
+	// Total is the number of samples binned.
+	Total int
+}
+
+// NewHistogram bins xs into `bins` equal-width bins over [lo, hi].
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: %d bins", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%g,%g]", lo, hi))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add bins one sample (clamped into range).
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.Total++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// BinEdges returns the lower edge of bin i (and Hi for i == len(Counts)).
+func (h *Histogram) BinEdges(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*float64(i)
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Fraction returns the share of samples in bins whose center is >= x.
+func (h *Histogram) Fraction(x float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	n := 0
+	for i, c := range h.Counts {
+		if h.BinCenter(i) >= x {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.Total)
+}
+
+// RenderASCII draws the histogram as a horizontal bar chart, one row per
+// bin, scaled to width characters.
+func (h *Histogram) RenderASCII(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		barLen := 0
+		if max > 0 {
+			barLen = c * width / max
+		}
+		if _, err := fmt.Fprintf(w, "[%.4f, %.4f) %6d %s\n",
+			h.BinEdges(i), h.BinEdges(i+1), c, strings.Repeat("#", barLen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits bin_lo,bin_hi,count rows with a header.
+func (h *Histogram) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "bin_lo,bin_hi,count"); err != nil {
+		return err
+	}
+	for i, c := range h.Counts {
+		if _, err := fmt.Fprintf(w, "%g,%g,%d\n", h.BinEdges(i), h.BinEdges(i+1), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named (x, y) sequence, used for training curves (Fig. 5).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// WriteSeriesCSV emits aligned series as CSV: x,name1,name2,... All
+// series must share the same X values.
+func WriteSeriesCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("stats: no series")
+	}
+	n := len(series[0].X)
+	header := []string{"x"}
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("stats: series %q length mismatch", s.Name)
+		}
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
