@@ -10,10 +10,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/experiments"
@@ -60,6 +63,85 @@ func BenchmarkTable2(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSequentialRunAll is the single-worker baseline for the
+// orchestration engine: the four strategies run back to back, policy
+// pre-trained so only simulation time is measured.
+func BenchmarkSequentialRunAll(b *testing.B) {
+	cs := benchCase()
+	cs.Workload.N = 400
+	if _, _, err := cs.TrainRL(nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelRunAll fans the four strategies out across
+// GOMAXPROCS workers and reports the wall-clock speedup over the
+// sequential baseline. The four tasks are independent and similarly
+// sized, so on 4+ cores the speedup approaches 4x (≈1x on one core —
+// the engine adds no meaningful overhead).
+func BenchmarkParallelRunAll(b *testing.B) {
+	cs := benchCase()
+	cs.Workload.N = 400
+	if _, _, err := cs.TrainRL(nil); err != nil {
+		b.Fatal(err)
+	}
+	// Baseline averaged over a few runs (bounded so the untimed work
+	// doesn't balloon when the framework grows b.N).
+	baseN := min(b.N, 3)
+	seqStart := time.Now()
+	for i := 0; i < baseN; i++ {
+		if _, err := cs.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seqAvg := time.Since(seqStart).Seconds() / float64(baseN)
+	ctx := context.Background()
+	b.ResetTimer()
+	parStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cs.RunAllParallel(ctx, experiments.ParallelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parAvg := time.Since(parStart).Seconds() / float64(b.N)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(seqAvg/parAvg, "speedup_vs_sequential")
+}
+
+// BenchmarkParallelReplicated scales the engine across eight replicated
+// workload seeds — uniform independent tasks, the best case for the
+// worker pool (speedup ≈ min(8, cores)).
+func BenchmarkParallelReplicated(b *testing.B) {
+	cs := benchCase()
+	cs.Workload.N = 150
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	ctx := context.Background()
+	baseN := min(b.N, 3)
+	seqStart := time.Now()
+	for i := 0; i < baseN; i++ {
+		if _, err := cs.RunReplicated("speed", seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seqAvg := time.Since(seqStart).Seconds() / float64(baseN)
+	b.ResetTimer()
+	parStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cs.RunReplicatedParallel(ctx, experiments.ParallelOptions{}, "speed", seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parAvg := time.Since(parStart).Seconds() / float64(b.N)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(seqAvg/parAvg, "speedup_vs_sequential")
 }
 
 // BenchmarkFig5Training regenerates the paper's Figure 5: PPO training

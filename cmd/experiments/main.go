@@ -1,21 +1,29 @@
 // Command experiments regenerates the paper's evaluation artifacts:
 // Table 2, Figure 5, Figure 6, and the ablation sweeps. Artifacts print
 // to stdout; -outdir additionally writes CSVs for external plotting.
+// Independent simulations (modes, sweep points, replications) fan out
+// across a worker pool; -out writes a run manifest (JSON + CSV)
+// recording every task's configuration, results and wall time.
 //
 // Examples:
 //
-//	experiments -artifact table2
+//	experiments -artifact table2 -parallel 8
 //	experiments -artifact fig5 -train 100000
-//	experiments -artifact all -n 1000 -outdir artifacts/
+//	experiments -artifact replicate -replications 10 -out runs/
+//	experiments -artifact all -n 1000 -outdir artifacts/ -out runs/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
+	"repro/internal/records"
 	"repro/internal/stats"
 )
 
@@ -26,6 +34,38 @@ func main() {
 	}
 }
 
+// harness bundles the case study with the orchestration options and
+// accumulates a manifest row per task it runs. Only the flat summaries
+// are kept — holding full RunArtifacts would pin every simulation's
+// record set in memory until exit.
+type harness struct {
+	cs   *experiments.CaseStudy
+	opt  experiments.ParallelOptions
+	sums []records.RunSummary
+	// runs caches the four-mode fan-out so "all" reuses one execution
+	// for both Table 2 and Figure 6.
+	runs map[string]*experiments.ModeRun
+}
+
+func (h *harness) collect(arts []experiments.RunArtifact) {
+	for i := range arts {
+		h.sums = append(h.sums, arts[i].Summary())
+	}
+}
+
+func (h *harness) runAll() (map[string]*experiments.ModeRun, error) {
+	if h.runs != nil {
+		return h.runs, nil
+	}
+	runs, arts, err := h.cs.RunAllParallel(context.Background(), h.opt)
+	if err != nil {
+		return nil, err
+	}
+	h.collect(arts)
+	h.runs = runs
+	return runs, nil
+}
+
 func run() error {
 	var (
 		artifact  = flag.String("artifact", "all", "which artifact: table2|fig5|fig6|ablations|replicate|all")
@@ -34,75 +74,146 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		fleetSeed = flag.Int64("fleet-seed", 2025, "calibration snapshot seed")
 		outdir    = flag.String("outdir", "", "optional directory for CSV artifacts")
+		parallel  = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
+		reps      = flag.Int("replications", 5, "workload seeds for -artifact replicate")
+		out       = flag.String("out", "", "optional directory for the run manifest (manifest.json + manifest.csv)")
+		progress  = flag.Bool("progress", true, "report per-task completion on stderr")
 	)
 	flag.Parse()
 
-	cs := experiments.Default()
-	cs.Workload.N = *n
-	cs.Workload.Seed = *seed
-	cs.FleetSeed = *fleetSeed
-	cs.TrainSteps = *train
-
-	if *outdir != "" {
-		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			return err
+	h := &harness{cs: experiments.Default()}
+	h.cs.Workload.N = *n
+	h.cs.Workload.Seed = *seed
+	h.cs.FleetSeed = *fleetSeed
+	h.cs.TrainSteps = *train
+	// Resolve the auto default now so the manifest records a concrete
+	// pool cap instead of 0 (batches smaller than the cap use fewer
+	// workers).
+	h.opt.Workers = *parallel
+	if h.opt.Workers <= 0 {
+		h.opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if *progress {
+		h.opt.OnProgress = func(p runner.Progress) {
+			status := fmt.Sprintf("%.2fs", p.Wall.Seconds())
+			if p.Err != nil {
+				status = "FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", p.Done, p.Total, p.Label, status)
 		}
 	}
 
+	for _, dir := range []string{*outdir, *out} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	var err error
 	switch *artifact {
 	case "replicate":
-		return replicate(cs)
+		err = replicate(h, *reps)
 	case "table2":
-		return table2(cs, *outdir)
+		err = table2(h, *outdir)
 	case "fig5":
-		return fig5(cs, *outdir)
+		err = fig5(h.cs, *outdir)
 	case "fig6":
-		return fig6(cs, *outdir)
+		err = fig6(h, *outdir)
 	case "ablations":
-		return ablations(cs)
+		err = ablations(h)
 	case "all":
-		if err := fig5(cs, *outdir); err != nil {
-			return err
+		for _, step := range []func() error{
+			func() error { return fig5(h.cs, *outdir) },
+			func() error { return table2(h, *outdir) },
+			func() error { return fig6(h, *outdir) },
+			func() error { return ablations(h) },
+		} {
+			if err = step(); err != nil {
+				break
+			}
 		}
-		if err := table2(cs, *outdir); err != nil {
-			return err
-		}
-		if err := fig6(cs, *outdir); err != nil {
-			return err
-		}
-		return ablations(cs)
 	default:
 		return fmt.Errorf("unknown artifact %q", *artifact)
 	}
-}
+	if err != nil {
+		return err
+	}
 
-// replicate reports Table 2 metrics as mean ± std over five workload
-// seeds — the statistical replication the paper's single run lacks.
-func replicate(cs *experiments.CaseStudy) error {
-	seeds := []int64{1, 2, 3, 4, 5}
-	fmt.Printf("== Table 2 replicated over %d workload seeds ==\n", len(seeds))
-	fmt.Printf("%-10s %26s %24s %24s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)")
-	for _, mode := range experiments.Modes {
-		rep, err := cs.RunReplicated(mode, seeds)
-		if err != nil {
+	if *out != "" {
+		if len(h.sums) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -artifact %s produces no simulation tasks; no manifest written to %s\n", *artifact, *out)
+			return nil
+		}
+		if err := writeManifest(h, *artifact, *out); err != nil {
 			return err
 		}
-		fmt.Printf("%-10s %14.0f +- %8.0f %14.5f +- %.5f %14.0f +- %7.0f\n",
-			mode, rep.TsimStat.Mean, rep.TsimStat.Std,
-			rep.MuFStat.Mean, rep.MuFStat.Std,
-			rep.TcommStat.Mean, rep.TcommStat.Std)
 	}
 	return nil
 }
 
-func table2(cs *experiments.CaseStudy, outdir string) error {
-	fmt.Printf("== Table 2: performance of allocation strategies on %d large circuits ==\n", cs.Workload.N)
-	rows, err := cs.Table2()
+// writeManifest exports the accumulated run summaries as JSON and CSV.
+func writeManifest(h *harness, label, dir string) error {
+	m := &records.RunManifest{Label: label, Workers: h.opt.Workers, Runs: h.sums}
+	for _, name := range []string{"manifest.json", "manifest.csv"} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if name == "manifest.json" {
+			err = m.WriteJSON(f)
+		} else {
+			err = m.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+	}
+	return nil
+}
+
+// replicate reports Table 2 metrics as mean ± std (with a 95% CI for
+// the mean) over independent workload seeds — the statistical
+// replication the paper's single run lacks.
+func replicate(h *harness, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("need at least 1 replication, have %d", reps)
+	}
+	seeds := make([]int64, reps)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	fmt.Printf("== Table 2 replicated over %d workload seeds ==\n", len(seeds))
+	fmt.Printf("%-10s %26s %24s %24s %12s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)", "muF CI95")
+	for _, mode := range experiments.Modes {
+		rep, arts, err := h.cs.RunReplicatedParallel(context.Background(), h.opt, mode, seeds)
+		if err != nil {
+			return err
+		}
+		h.collect(arts)
+		fmt.Printf("%-10s %14.0f +- %8.0f %14.5f +- %.5f %14.0f +- %7.0f %12.5f\n",
+			mode, rep.TsimStat.Mean, rep.TsimStat.Std,
+			rep.MuFStat.Mean, rep.MuFStat.Std,
+			rep.TcommStat.Mean, rep.TcommStat.Std,
+			rep.MuFStat.CI95)
+	}
+	return nil
+}
+
+func table2(h *harness, outdir string) error {
+	fmt.Printf("== Table 2: performance of allocation strategies on %d large circuits ==\n", h.cs.Workload.N)
+	runs, err := h.runAll()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-10s %14s %22s %14s\n", "Mode", "T_sim (s)", "muF +- sigmaF", "T_comm (s)")
-	for _, r := range rows {
+	for _, mode := range experiments.Modes {
+		r := runs[mode].Results
 		fmt.Printf("%-10s %14.2f %14.5f +- %.5f %14.2f\n",
 			r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd, r.TotalCommTime)
 	}
@@ -113,7 +224,8 @@ func table2(cs *experiments.CaseStudy, outdir string) error {
 		}
 		defer f.Close()
 		fmt.Fprintln(f, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
-		for _, r := range rows {
+		for _, mode := range experiments.Modes {
+			r := runs[mode].Results
 			fmt.Fprintf(f, "%s,%g,%g,%g,%g,%g,%g\n",
 				r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd,
 				r.TotalCommTime, r.MeanDevicesPerJob, r.MeanWaitTime)
@@ -151,19 +263,19 @@ func fig5(cs *experiments.CaseStudy, outdir string) error {
 	return nil
 }
 
-func fig6(cs *experiments.CaseStudy, outdir string) error {
-	fmt.Printf("== Figure 6: fidelity distributions per strategy (%d jobs) ==\n", cs.Workload.N)
-	runs, err := cs.RunAll()
+func fig6(h *harness, outdir string) error {
+	fmt.Printf("== Figure 6: fidelity distributions per strategy (%d jobs) ==\n", h.cs.Workload.N)
+	runs, err := h.runAll()
 	if err != nil {
 		return err
 	}
 	hists := experiments.Fig6Histograms(runs, 40)
 	for _, mode := range experiments.Modes {
-		h := hists[mode]
+		hist := hists[mode]
 		sum := stats.Summarize(runs[mode].Fidelities)
 		fmt.Printf("\n-- %s (mean %.4f, std %.4f, mode-of-dist %.4f) --\n",
-			mode, sum.Mean, sum.Std, h.Mode())
-		if err := h.RenderASCII(os.Stdout, 60); err != nil {
+			mode, sum.Mean, sum.Std, hist.Mode())
+		if err := hist.RenderASCII(os.Stdout, 60); err != nil {
 			return err
 		}
 		if outdir != "" {
@@ -171,7 +283,7 @@ func fig6(cs *experiments.CaseStudy, outdir string) error {
 			if err != nil {
 				return err
 			}
-			if err := h.WriteCSV(f); err != nil {
+			if err := hist.WriteCSV(f); err != nil {
 				f.Close()
 				return err
 			}
@@ -182,31 +294,35 @@ func fig6(cs *experiments.CaseStudy, outdir string) error {
 	return nil
 }
 
-func ablations(cs *experiments.CaseStudy) error {
+func ablations(h *harness) error {
+	ctx := context.Background()
 	fmt.Println("== Ablation: communication penalty phi (speed mode) ==")
-	phiPoints, err := cs.PhiSweep("speed", []float64{0.85, 0.90, 0.95, 1.0})
+	phiPoints, arts, err := h.cs.PhiSweepParallel(ctx, h.opt, "speed", []float64{0.85, 0.90, 0.95, 1.0})
 	if err != nil {
 		return err
 	}
+	h.collect(arts)
 	for _, p := range phiPoints {
 		fmt.Printf("  phi=%.2f  muF=%.5f\n", p.Param, p.Results.FidelityMean)
 	}
 
 	fmt.Println("== Ablation: per-qubit latency lambda (fair mode) ==")
-	lamPoints, err := cs.LambdaSweep("fair", []float64{0.0, 0.02, 0.05, 0.1})
+	lamPoints, arts, err := h.cs.LambdaSweepParallel(ctx, h.opt, "fair", []float64{0.0, 0.02, 0.05, 0.1})
 	if err != nil {
 		return err
 	}
+	h.collect(arts)
 	for _, p := range lamPoints {
 		fmt.Printf("  lambda=%.2f  Tcomm=%.1f  Tsim=%.1f\n",
 			p.Param, p.Results.TotalCommTime, p.Results.TotalSimTime)
 	}
 
 	fmt.Println("== Ablation: RL deployment mode (sampled vs deterministic) ==")
-	sampled, det, err := cs.RLDeploymentAblation()
+	sampled, det, arts, err := h.cs.RLDeploymentAblationParallel(ctx, h.opt)
 	if err != nil {
 		return err
 	}
+	h.collect(arts)
 	fmt.Printf("  sampled:       muF=%.5f sigma=%.5f Tcomm=%.1f k=%.2f\n",
 		sampled.Results.FidelityMean, sampled.Results.FidelityStd,
 		sampled.Results.TotalCommTime, sampled.Results.MeanDevicesPerJob)

@@ -6,8 +6,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -176,17 +176,12 @@ func (cs *CaseStudy) RunMode(mode string) (*ModeRun, error) {
 	}, nil
 }
 
-// RunAll runs every strategy and returns runs keyed by mode name.
+// RunAll runs every strategy and returns runs keyed by mode name. It is
+// a sequential (single-worker) wrapper over RunAllParallel, so both
+// paths share one execution engine and produce identical results.
 func (cs *CaseStudy) RunAll() (map[string]*ModeRun, error) {
-	out := make(map[string]*ModeRun, len(Modes))
-	for _, mode := range Modes {
-		run, err := cs.RunMode(mode)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: mode %s: %w", mode, err)
-		}
-		out[mode] = run
-	}
-	return out, nil
+	runs, _, err := cs.RunAllParallel(context.Background(), ParallelOptions{Workers: 1})
+	return runs, err
 }
 
 // Table2 runs all four strategies and returns rows in the paper's order.
@@ -251,40 +246,30 @@ type SweepPoint struct {
 
 // PhiSweep re-runs the given mode across communication-penalty values,
 // quantifying how the paper's fixed φ=0.95 drives the fidelity gap
-// between low-k and high-k strategies.
+// between low-k and high-k strategies. It is a sequential wrapper over
+// PhiSweepParallel.
 func (cs *CaseStudy) PhiSweep(mode string, phis []float64) ([]SweepPoint, error) {
-	return cs.sweep(mode, phis, func(c *core.Config, v float64) { c.Phi = v })
+	points, _, err := cs.PhiSweepParallel(context.Background(), ParallelOptions{Workers: 1}, mode, phis)
+	return points, err
 }
 
 // LambdaSweep re-runs the given mode across per-qubit communication
-// latencies, the Eq. 9 parameter.
+// latencies, the Eq. 9 parameter. It is a sequential wrapper over
+// LambdaSweepParallel.
 func (cs *CaseStudy) LambdaSweep(mode string, lambdas []float64) ([]SweepPoint, error) {
-	return cs.sweep(mode, lambdas, func(c *core.Config, v float64) { c.Lambda = v })
+	points, _, err := cs.LambdaSweepParallel(context.Background(), ParallelOptions{Workers: 1}, mode, lambdas)
+	return points, err
 }
 
-func (cs *CaseStudy) sweep(mode string, values []float64, set func(*core.Config, float64)) ([]SweepPoint, error) {
-	if len(values) == 0 {
-		return nil, fmt.Errorf("experiments: empty sweep")
-	}
-	saved := cs.Core
-	defer func() { cs.Core = saved }()
-	var out []SweepPoint
-	for _, v := range values {
-		cs.Core = saved
-		set(&cs.Core, v)
-		run, err := cs.RunMode(mode)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sweep %s=%g: %w", mode, v, err)
-		}
-		out = append(out, SweepPoint{Param: v, Mode: mode, Results: run.Results})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Param < out[j].Param })
-	return out, nil
-}
-
-// ReplicatedStat summarizes one metric across workload seeds.
+// ReplicatedStat summarizes one metric across workload seeds. Std is
+// the sample (n−1) standard deviation — replications are a sample, not
+// the population — and CI95 is the Student-t 95% confidence half-width
+// derived from that same Std, so CI95 == t·Std/√N holds on the struct's
+// own fields.
 type ReplicatedStat struct {
+	N                   int
 	Mean, Std, Min, Max float64
+	CI95                float64
 }
 
 // ReplicatedResults aggregates a mode's Table 2 metrics across
@@ -298,53 +283,18 @@ type ReplicatedResults struct {
 
 // RunReplicated runs the named mode once per workload seed and
 // aggregates the headline metrics. The fleet (calibration) is held fixed
-// so the variation isolates workload randomness.
+// so the variation isolates workload randomness. It is a sequential
+// wrapper over RunReplicatedParallel.
 func (cs *CaseStudy) RunReplicated(mode string, seeds []int64) (*ReplicatedResults, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("experiments: no seeds")
-	}
-	savedSeed := cs.Workload.Seed
-	defer func() { cs.Workload.Seed = savedSeed }()
-	var tsim, muF, tcomm []float64
-	for _, s := range seeds {
-		cs.Workload.Seed = s
-		run, err := cs.RunMode(mode)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", s, err)
-		}
-		tsim = append(tsim, run.Results.TotalSimTime)
-		muF = append(muF, run.Results.FidelityMean)
-		tcomm = append(tcomm, run.Results.TotalCommTime)
-	}
-	return &ReplicatedResults{
-		Mode:      mode,
-		Seeds:     append([]int64(nil), seeds...),
-		TsimStat:  replicate(tsim),
-		MuFStat:   replicate(muF),
-		TcommStat: replicate(tcomm),
-	}, nil
-}
-
-func replicate(xs []float64) ReplicatedStat {
-	s := stats.Summarize(xs)
-	return ReplicatedStat{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+	rep, _, err := cs.RunReplicatedParallel(context.Background(), ParallelOptions{Workers: 1}, mode, seeds)
+	return rep, err
 }
 
 // RLDeploymentAblation compares sampled versus deterministic deployment
 // of the trained policy — isolating how much of the RL mode's fidelity
-// loss comes from retained exploration noise.
+// loss comes from retained exploration noise. It is a sequential
+// wrapper over RLDeploymentAblationParallel.
 func (cs *CaseStudy) RLDeploymentAblation() (sampled, deterministic *ModeRun, err error) {
-	saved := cs.RLDeterministic
-	defer func() { cs.RLDeterministic = saved }()
-	cs.RLDeterministic = false
-	sampled, err = cs.RunMode("rlbase")
-	if err != nil {
-		return nil, nil, err
-	}
-	cs.RLDeterministic = true
-	deterministic, err = cs.RunMode("rlbase")
-	if err != nil {
-		return nil, nil, err
-	}
-	return sampled, deterministic, nil
+	sampled, deterministic, _, err = cs.RLDeploymentAblationParallel(context.Background(), ParallelOptions{Workers: 1})
+	return sampled, deterministic, err
 }

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments/runner"
+	"repro/internal/job"
+	"repro/internal/records"
+	"repro/internal/stats"
+)
+
+// ParallelOptions configures the orchestration engine behind the
+// parallel entry points.
+type ParallelOptions struct {
+	// Workers caps concurrent simulations; <= 0 uses GOMAXPROCS.
+	Workers int
+	// OnProgress, if set, receives one callback per finished task.
+	OnProgress func(runner.Progress)
+}
+
+// RunArtifact is one completed simulation task: the exact configuration
+// that produced it, the headline results, and the full run for deeper
+// analysis. Artifacts are what the runner aggregates into a manifest.
+type RunArtifact struct {
+	// ID uniquely names the task, e.g. "mode/speed" or "phi-sweep/speed/0.95".
+	ID string
+	// Kind groups tasks: "mode", "phi-sweep", "lambda-sweep",
+	// "replicate", "rl-deploy".
+	Kind string
+	// Mode is the allocation strategy simulated.
+	Mode string
+	// Param is the swept parameter value (sweep kinds only).
+	Param float64
+	// Workload and Core snapshot the configuration the task ran with;
+	// FleetSeed and RLSeed pin the remaining random streams. TrainSteps
+	// and RLDeterministic pin the rlbase policy (training budget and
+	// sampled-vs-mean deployment).
+	Workload        job.SyntheticConfig
+	Core            core.Config
+	FleetSeed       int64
+	RLSeed          int64
+	TrainSteps      int
+	RLDeterministic bool
+	// Results holds the Table 2 metrics.
+	Results core.Results
+	// Wall is the host wall-clock duration of the simulation.
+	Wall time.Duration
+	// Run is the full mode run (records, per-job fidelities). It is
+	// populated only where callers need it (RunAllParallel, which feeds
+	// Fig. 6); sweep and replication artifacts carry just Results so a
+	// 100-seed replication does not pin 100 record sets in memory.
+	Run *ModeRun
+}
+
+// Summary flattens the artifact for manifest export. The rlbase policy
+// knobs are emitted only for rlbase rows; they do not affect the
+// heuristic modes.
+func (a *RunArtifact) Summary() records.RunSummary {
+	s := records.RunSummary{
+		ID:                a.ID,
+		Kind:              a.Kind,
+		Mode:              a.Mode,
+		Param:             a.Param,
+		WorkloadSeed:      a.Workload.Seed,
+		FleetSeed:         a.FleetSeed,
+		Phi:               a.Core.Phi,
+		Lambda:            a.Core.Lambda,
+		Jobs:              a.Workload.N,
+		TsimS:             a.Results.TotalSimTime,
+		FidelityMean:      a.Results.FidelityMean,
+		FidelityStd:       a.Results.FidelityStd,
+		TcommS:            a.Results.TotalCommTime,
+		MeanDevicesPerJob: a.Results.MeanDevicesPerJob,
+		MeanWaitS:         a.Results.MeanWaitTime,
+		WallMS:            float64(a.Wall) / float64(time.Millisecond),
+	}
+	if a.Mode == "rlbase" {
+		steps, seed, det := a.TrainSteps, a.RLSeed, a.RLDeterministic
+		s.TrainSteps = &steps
+		s.RLSeed = &seed
+		s.RLDeterministic = &det
+	}
+	return s
+}
+
+// snapshot returns a config-identical CaseStudy whose state is fully
+// private to one task: value fields are copied and the cached trained
+// policy (if any) is deep-cloned, because MLP forward passes mutate
+// activation caches and must not be shared across workers. Per-task
+// determinism then follows from the seeds captured in the snapshot
+// (Workload.Seed, FleetSeed, RLSeed) — no random stream is shared.
+func (cs *CaseStudy) snapshot() *CaseStudy {
+	c := *cs
+	if cs.trained != nil {
+		c.trained = cs.trained.Clone()
+	}
+	return &c
+}
+
+// ensureTrained trains the PPO policy up front when any requested mode
+// needs it, so worker snapshots share identical (cloned) weights and
+// training cost is paid once rather than once per task.
+func (cs *CaseStudy) ensureTrained(modes ...string) error {
+	for _, m := range modes {
+		if m == "rlbase" {
+			_, _, err := cs.TrainRL(nil)
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpec describes one simulation task before execution.
+type runSpec struct {
+	id, kind, mode string
+	param          float64
+	// keepRun retains the full ModeRun on the artifact; leave false
+	// when only Results is consumed so the run's records can be freed.
+	keepRun bool
+	// mutate adapts the task's private snapshot (sweep value, workload
+	// seed). Nil means run the snapshot unchanged.
+	mutate func(*CaseStudy)
+}
+
+// task converts a spec into a pool task that runs on a private snapshot.
+func (cs *CaseStudy) task(spec runSpec) runner.Task[RunArtifact] {
+	return runner.Task[RunArtifact]{
+		Label: spec.id,
+		Run: func(context.Context) (RunArtifact, error) {
+			snap := cs.snapshot()
+			if spec.mutate != nil {
+				spec.mutate(snap)
+			}
+			start := time.Now()
+			run, err := snap.RunMode(spec.mode)
+			if err != nil {
+				return RunArtifact{}, err
+			}
+			art := RunArtifact{
+				ID:              spec.id,
+				Kind:            spec.kind,
+				Mode:            spec.mode,
+				Param:           spec.param,
+				Workload:        snap.Workload,
+				Core:            snap.Core,
+				FleetSeed:       snap.FleetSeed,
+				RLSeed:          snap.RLSeed,
+				TrainSteps:      snap.TrainSteps,
+				RLDeterministic: snap.RLDeterministic,
+				Results:         run.Results,
+				Wall:            time.Since(start),
+			}
+			if spec.keepRun {
+				art.Run = run
+			}
+			return art, nil
+		},
+	}
+}
+
+// runSpecs executes specs through the worker pool.
+func (cs *CaseStudy) runSpecs(ctx context.Context, opt ParallelOptions, specs []runSpec) ([]RunArtifact, error) {
+	tasks := make([]runner.Task[RunArtifact], len(specs))
+	for i, spec := range specs {
+		tasks[i] = cs.task(spec)
+	}
+	pool := runner.Pool[RunArtifact]{Workers: opt.Workers, OnProgress: opt.OnProgress}
+	return pool.Run(ctx, tasks)
+}
+
+// RunAllParallel fans the four strategies of RunAll out across the
+// worker pool. Results are bit-identical to the sequential path: every
+// task runs on a private snapshot seeded only from the case study's
+// configured seeds. The rlbase policy is trained (once) before fan-out.
+func (cs *CaseStudy) RunAllParallel(ctx context.Context, opt ParallelOptions) (map[string]*ModeRun, []RunArtifact, error) {
+	if err := cs.ensureTrained(Modes...); err != nil {
+		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
+	}
+	specs := make([]runSpec, len(Modes))
+	for i, mode := range Modes {
+		specs[i] = runSpec{id: "mode/" + mode, kind: "mode", mode: mode, keepRun: true}
+	}
+	arts, err := cs.runSpecs(ctx, opt, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]*ModeRun, len(arts))
+	for i := range arts {
+		out[arts[i].Mode] = arts[i].Run
+	}
+	return out, arts, nil
+}
+
+// PhiSweepParallel is the parallel form of PhiSweep.
+func (cs *CaseStudy) PhiSweepParallel(ctx context.Context, opt ParallelOptions, mode string, phis []float64) ([]SweepPoint, []RunArtifact, error) {
+	return cs.sweepParallel(ctx, opt, "phi-sweep", mode, phis, func(c *core.Config, v float64) { c.Phi = v })
+}
+
+// LambdaSweepParallel is the parallel form of LambdaSweep.
+func (cs *CaseStudy) LambdaSweepParallel(ctx context.Context, opt ParallelOptions, mode string, lambdas []float64) ([]SweepPoint, []RunArtifact, error) {
+	return cs.sweepParallel(ctx, opt, "lambda-sweep", mode, lambdas, func(c *core.Config, v float64) { c.Lambda = v })
+}
+
+func (cs *CaseStudy) sweepParallel(ctx context.Context, opt ParallelOptions, kind, mode string, values []float64, set func(*core.Config, float64)) ([]SweepPoint, []RunArtifact, error) {
+	if len(values) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty sweep")
+	}
+	if err := cs.ensureTrained(mode); err != nil {
+		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
+	}
+	specs := make([]runSpec, len(values))
+	for i, v := range values {
+		specs[i] = runSpec{
+			id: fmt.Sprintf("%s/%s/%g", kind, mode, v), kind: kind, mode: mode, param: v,
+			mutate: func(snap *CaseStudy) { set(&snap.Core, v) },
+		}
+	}
+	arts, err := cs.runSpecs(ctx, opt, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	points := make([]SweepPoint, len(arts))
+	for i := range arts {
+		points[i] = SweepPoint{Param: arts[i].Param, Mode: mode, Results: arts[i].Results}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Param < points[j].Param })
+	return points, arts, nil
+}
+
+// RLDeploymentAblationParallel runs the sampled and deterministic
+// rlbase deployments as two pool tasks and returns both runs plus
+// their artifacts.
+func (cs *CaseStudy) RLDeploymentAblationParallel(ctx context.Context, opt ParallelOptions) (sampled, deterministic *ModeRun, arts []RunArtifact, err error) {
+	if err := cs.ensureTrained("rlbase"); err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
+	}
+	specs := []runSpec{
+		{id: "rl-deploy/sampled", kind: "rl-deploy", mode: "rlbase", keepRun: true,
+			mutate: func(snap *CaseStudy) { snap.RLDeterministic = false }},
+		{id: "rl-deploy/deterministic", kind: "rl-deploy", mode: "rlbase", keepRun: true,
+			mutate: func(snap *CaseStudy) { snap.RLDeterministic = true }},
+	}
+	arts, err = cs.runSpecs(ctx, opt, specs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return arts[0].Run, arts[1].Run, arts, nil
+}
+
+// RunReplicatedParallel is the parallel form of RunReplicated: one task
+// per workload seed, aggregated into mean/std/min/max and a 95%
+// confidence interval per headline metric.
+func (cs *CaseStudy) RunReplicatedParallel(ctx context.Context, opt ParallelOptions, mode string, seeds []int64) (*ReplicatedResults, []RunArtifact, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no seeds")
+	}
+	if err := cs.ensureTrained(mode); err != nil {
+		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
+	}
+	specs := make([]runSpec, len(seeds))
+	for i, s := range seeds {
+		specs[i] = runSpec{
+			id: fmt.Sprintf("replicate/%s/seed%d", mode, s), kind: "replicate", mode: mode,
+			mutate: func(snap *CaseStudy) { snap.Workload.Seed = s },
+		}
+	}
+	arts, err := cs.runSpecs(ctx, opt, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tsim, muF, tcomm []float64
+	for i := range arts {
+		tsim = append(tsim, arts[i].Results.TotalSimTime)
+		muF = append(muF, arts[i].Results.FidelityMean)
+		tcomm = append(tcomm, arts[i].Results.TotalCommTime)
+	}
+	return &ReplicatedResults{
+		Mode:      mode,
+		Seeds:     append([]int64(nil), seeds...),
+		TsimStat:  replicate(tsim),
+		MuFStat:   replicate(muF),
+		TcommStat: replicate(tcomm),
+	}, arts, nil
+}
+
+// replicate summarizes one metric across replicated runs.
+func replicate(xs []float64) ReplicatedStat {
+	a := stats.AggregateSamples(xs)
+	st := ReplicatedStat{N: a.N, Mean: a.Mean, Std: a.Std, CI95: a.CI95}
+	for i, x := range xs {
+		if i == 0 || x < st.Min {
+			st.Min = x
+		}
+		if i == 0 || x > st.Max {
+			st.Max = x
+		}
+	}
+	return st
+}

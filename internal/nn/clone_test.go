@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCloneMatchesOriginal(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(13)), Tanh, 4, 8, 3)
+	c := m.Clone()
+	x := []float64{0.1, -0.4, 0.7, 0.2}
+	orig := m.Forward(x)
+	copied := c.Forward(x)
+	for i := range orig {
+		if orig[i] != copied[i] {
+			t.Fatalf("output %d: clone %g != original %g", i, copied[i], orig[i])
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(13)), Tanh, 4, 8, 3)
+	c := m.Clone()
+	x := []float64{0.1, -0.4, 0.7, 0.2}
+	want := m.Forward(x)
+	want = append([]float64(nil), want...)
+
+	// Mutate the clone's parameters and gradients; the original must not move.
+	c.Weights[0].Data[0] += 1
+	c.Biases[1][0] += 1
+	c.Forward(x)
+	c.Backward([]float64{1, 1, 1})
+
+	got := m.Forward(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d drifted after mutating clone: %g != %g", i, got[i], want[i])
+		}
+	}
+	if m.GradNorm() != 0 {
+		t.Fatalf("original accumulated gradients (%g) from clone's Backward", m.GradNorm())
+	}
+}
+
+func TestCloneConcurrentForward(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(13)), Tanh, 4, 16, 3)
+	want := m.Forward([]float64{0.3, 0.1, -0.2, 0.9})
+	want = append([]float64(nil), want...)
+	done := make(chan []float64, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			c := m.Clone()
+			var out []float64
+			for i := 0; i < 100; i++ {
+				out = c.Forward([]float64{0.3, 0.1, -0.2, 0.9})
+			}
+			done <- append([]float64(nil), out...)
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		got := <-done
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("concurrent clone output %d: %g != %g", i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -99,6 +99,31 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 	return m
 }
 
+// Clone returns a deep copy with identical parameters and fresh
+// gradient/activation buffers. Forward/Backward on the copy never touch
+// the original, so clones can run concurrently (the forward caches make
+// a shared MLP unsafe for concurrent inference).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{
+		Sizes:   append([]int(nil), m.Sizes...),
+		Act:     m.Act,
+		Weights: make([]*Mat, len(m.Weights)),
+		Biases:  make([][]float64, len(m.Biases)),
+		gradW:   make([]*Mat, len(m.gradW)),
+		gradB:   make([][]float64, len(m.gradB)),
+		inputs:  make([][]float64, len(m.inputs)),
+		outputs: make([][]float64, len(m.outputs)),
+	}
+	for l := range m.Weights {
+		w := m.Weights[l]
+		c.Weights[l] = &Mat{Rows: w.Rows, Cols: w.Cols, Data: append([]float64(nil), w.Data...)}
+		c.Biases[l] = append([]float64(nil), m.Biases[l]...)
+		c.gradW[l] = NewMat(w.Rows, w.Cols)
+		c.gradB[l] = make([]float64, len(m.Biases[l]))
+	}
+	return c
+}
+
 // InputSize returns the expected input dimensionality.
 func (m *MLP) InputSize() int { return m.Sizes[0] }
 

@@ -2,6 +2,7 @@ package records
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -38,6 +39,136 @@ func (m *Manager) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// RunSummary is one completed simulation task in a run manifest: the
+// configuration that produced it plus the headline Table 2 metrics. It
+// is a flat value type so manifests round-trip through JSON and CSV
+// without depending on the simulation packages.
+type RunSummary struct {
+	// ID uniquely names the task within its manifest, e.g. "mode/speed"
+	// or "phi-sweep/speed/0.95".
+	ID string `json:"id"`
+	// Kind groups tasks: "mode", "phi-sweep", "lambda-sweep",
+	// "replicate", "rl-deploy".
+	Kind string `json:"kind"`
+	// Mode is the allocation strategy simulated.
+	Mode string `json:"mode"`
+	// Param is the swept parameter value (sweep kinds only; zero can be
+	// a legitimate swept value, so it is always emitted and Kind tells
+	// sweep rows apart).
+	Param float64 `json:"param"`
+	// WorkloadSeed and FleetSeed pin the task's random streams.
+	WorkloadSeed int64 `json:"workload_seed"`
+	FleetSeed    int64 `json:"fleet_seed"`
+	// Phi and Lambda snapshot the model constants in effect.
+	Phi    float64 `json:"phi"`
+	Lambda float64 `json:"lambda"`
+	// Jobs is the workload size.
+	Jobs int `json:"jobs"`
+	// TrainSteps, RLSeed and RLDeterministic pin the rlbase policy:
+	// training budget, deployment sampling seed, and sampled-vs-mean
+	// deployment. Pointers so presence means "rlbase row" and explicit
+	// zero values (seed 0, injected pre-trained policy with 0 steps,
+	// sampled deployment) survive JSON instead of vanishing under
+	// omitempty.
+	TrainSteps      *int   `json:"train_steps,omitempty"`
+	RLSeed          *int64 `json:"rl_seed,omitempty"`
+	RLDeterministic *bool  `json:"rl_deterministic,omitempty"`
+	// TsimS, FidelityMean, FidelityStd, TcommS, MeanDevicesPerJob and
+	// MeanWaitS mirror core.Results.
+	TsimS             float64 `json:"tsim_s"`
+	FidelityMean      float64 `json:"fidelity_mean"`
+	FidelityStd       float64 `json:"fidelity_std"`
+	TcommS            float64 `json:"tcomm_s"`
+	MeanDevicesPerJob float64 `json:"mean_devices_per_job"`
+	MeanWaitS         float64 `json:"mean_wait_s"`
+	// WallMS is the host wall-clock time the simulation took.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// RunManifest aggregates every task of one orchestrated experiment run,
+// the artifact the parallel runner exports for post-run analysis and
+// run-to-run diffing.
+type RunManifest struct {
+	// Label names the run, e.g. "table2" or "phi-sweep/speed".
+	Label string `json:"label"`
+	// Workers records the configured worker-pool cap (batches smaller
+	// than the cap run on fewer workers).
+	Workers int `json:"workers,omitempty"`
+	// Runs holds one summary per task in submission order.
+	Runs []RunSummary `json:"runs"`
+}
+
+// WriteJSON emits the manifest as indented JSON.
+func (m *RunManifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteCSV emits one row per task with a header, mirroring the JSON
+// field order.
+func (m *RunManifest) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"id", "kind", "mode", "param", "workload_seed", "fleet_seed",
+		"phi", "lambda", "jobs", "train_steps", "rl_seed", "rl_deterministic",
+		"tsim_s", "fidelity_mean", "fidelity_std",
+		"tcomm_s", "mean_devices_per_job", "mean_wait_s", "wall_ms",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range m.Runs {
+		row := []string{
+			r.ID, r.Kind, r.Mode, f(r.Param),
+			strconv.FormatInt(r.WorkloadSeed, 10), strconv.FormatInt(r.FleetSeed, 10),
+			f(r.Phi), f(r.Lambda), strconv.Itoa(r.Jobs),
+			fmtIntPtr(r.TrainSteps), fmtInt64Ptr(r.RLSeed), fmtBoolPtr(r.RLDeterministic),
+			f(r.TsimS), f(r.FidelityMean), f(r.FidelityStd),
+			f(r.TcommS), f(r.MeanDevicesPerJob), f(r.MeanWaitS), f(r.WallMS),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// fmtBoolPtr, fmtIntPtr and fmtInt64Ptr render optional fields for
+// CSV: blank when unset.
+func fmtBoolPtr(b *bool) string {
+	if b == nil {
+		return ""
+	}
+	return strconv.FormatBool(*b)
+}
+
+func fmtIntPtr(v *int) string {
+	if v == nil {
+		return ""
+	}
+	return strconv.Itoa(*v)
+}
+
+func fmtInt64Ptr(v *int64) string {
+	if v == nil {
+		return ""
+	}
+	return strconv.FormatInt(*v, 10)
+}
+
+// ReadManifestJSON restores a manifest written by WriteJSON, for
+// run-to-run comparison tooling.
+func ReadManifestJSON(r io.Reader) (*RunManifest, error) {
+	var m RunManifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("records: decoding manifest: %w", err)
+	}
+	return &m, nil
 }
 
 // WriteEventLog emits the raw event stream (job_id, event, time) in

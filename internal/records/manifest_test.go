@@ -1,0 +1,87 @@
+package records
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() *RunManifest {
+	det := true
+	steps := 100000
+	seed := int64(7)
+	return &RunManifest{
+		Label:   "table2",
+		Workers: 4,
+		Runs: []RunSummary{
+			{
+				ID: "mode/speed", Kind: "mode", Mode: "speed",
+				WorkloadSeed: 1, FleetSeed: 2025, Phi: 0.95, Lambda: 0.05,
+				Jobs: 1000, TsimS: 12345.5, FidelityMean: 0.71, FidelityStd: 0.02,
+				TcommS: 321.25, MeanDevicesPerJob: 2.5, MeanWaitS: 60.5, WallMS: 1500,
+			},
+			{
+				ID: "mode/rlbase", Kind: "mode", Mode: "rlbase",
+				WorkloadSeed: 1, FleetSeed: 2025, Phi: 0.95, Lambda: 0.05,
+				Jobs: 1000, TrainSteps: &steps, RLSeed: &seed, RLDeterministic: &det,
+				TsimS: 13000, FidelityMean: 0.67, FidelityStd: 0.04,
+				TcommS: 900, MeanDevicesPerJob: 3.1, MeanWaitS: 70, WallMS: 1600,
+			},
+			{
+				ID: "phi-sweep/speed/0.9", Kind: "phi-sweep", Mode: "speed", Param: 0.9,
+				WorkloadSeed: 1, FleetSeed: 2025, Phi: 0.9, Lambda: 0.05,
+				Jobs: 1000, TsimS: 12000, FidelityMean: 0.65, FidelityStd: 0.03,
+				TcommS: 320, MeanDevicesPerJob: 2.5, MeanWaitS: 59, WallMS: 1400,
+			},
+		},
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", m, got)
+	}
+}
+
+func TestManifestCSVShape(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "id,kind,mode,param,workload_seed,fleet_seed,phi,lambda,jobs,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	wantCols := strings.Count(lines[0], ",")
+	for i, ln := range lines[1:] {
+		if strings.Count(ln, ",") != wantCols {
+			t.Fatalf("row %d column count differs from header: %q", i, ln)
+		}
+	}
+	if !strings.Contains(lines[1], "mode/speed,mode,speed") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "100000,7,true") {
+		t.Fatalf("rlbase row missing policy knobs: %q", lines[2])
+	}
+}
+
+func TestReadManifestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadManifestJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

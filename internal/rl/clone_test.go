@@ -1,0 +1,49 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPolicyCloneMatchesAndIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewGaussianPolicy(rng, 6, 2, 16, 16)
+	obs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	c := p.Clone()
+
+	wantMean := p.MeanAction(obs)
+	gotMean := c.MeanAction(obs)
+	for i := range wantMean {
+		if gotMean[i] != wantMean[i] {
+			t.Fatalf("mean action %d: clone %g != original %g", i, gotMean[i], wantMean[i])
+		}
+	}
+	if p.Value(obs) != c.Value(obs) {
+		t.Fatal("clone critic value differs")
+	}
+
+	// Sampling with identically seeded RNGs must coincide.
+	a1, lp1, v1 := p.Sample(rand.New(rand.NewSource(9)), obs)
+	a2, lp2, v2 := c.Sample(rand.New(rand.NewSource(9)), obs)
+	if lp1 != lp2 || v1 != v2 {
+		t.Fatalf("sample stats differ: (%g,%g) vs (%g,%g)", lp1, v1, lp2, v2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("sampled action %d differs", i)
+		}
+	}
+
+	// Mutating the clone leaves the original untouched.
+	c.LogStd[0] += 0.5
+	c.Actor.Weights[0].Data[0] += 1
+	after := p.MeanAction(obs)
+	for i := range wantMean {
+		if after[i] != wantMean[i] {
+			t.Fatalf("original mean action %d drifted after clone mutation", i)
+		}
+	}
+	if p.LogStd[0] == c.LogStd[0] {
+		t.Fatal("LogStd aliased between clone and original")
+	}
+}

@@ -42,6 +42,18 @@ func NewGaussianPolicy(rng *rand.Rand, obsDim, actDim int, hidden ...int) *Gauss
 	}
 }
 
+// Clone returns a deep copy with identical weights and fresh internal
+// buffers. MLP forward passes cache activations, so a policy shared
+// between goroutines races; give each worker its own clone instead.
+func (p *GaussianPolicy) Clone() *GaussianPolicy {
+	return &GaussianPolicy{
+		Actor:      p.Actor.Clone(),
+		Critic:     p.Critic.Clone(),
+		LogStd:     append([]float64(nil), p.LogStd...),
+		gradLogStd: make([]float64, len(p.gradLogStd)),
+	}
+}
+
 // ActDim returns the action dimensionality.
 func (p *GaussianPolicy) ActDim() int { return len(p.LogStd) }
 

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateSamplesEmptyAndSingleton(t *testing.T) {
+	if a := AggregateSamples(nil); a.N != 0 || a.Mean != 0 || a.Std != 0 || a.CI95 != 0 {
+		t.Fatalf("empty aggregate = %+v", a)
+	}
+	a := AggregateSamples([]float64{4.2})
+	if a.N != 1 || a.Mean != 4.2 || a.Std != 0 || a.CI95 != 0 {
+		t.Fatalf("singleton aggregate = %+v", a)
+	}
+}
+
+func TestAggregateSamplesKnownValues(t *testing.T) {
+	// Sample 2,4,4,4,5,5,7,9: mean 5, sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	a := AggregateSamples(xs)
+	if a.N != 8 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if math.Abs(a.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", a.Mean)
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %g, want %g", a.Std, wantStd)
+	}
+	wantSE := wantStd / math.Sqrt(8)
+	if math.Abs(a.StdErr-wantSE) > 1e-12 {
+		t.Fatalf("stderr = %g, want %g", a.StdErr, wantSE)
+	}
+	// df = 7 → t = 2.365.
+	if math.Abs(a.CI95-2.365*wantSE) > 1e-9 {
+		t.Fatalf("ci95 = %g, want %g", a.CI95, 2.365*wantSE)
+	}
+}
+
+func TestAggregateSamplesConstantSample(t *testing.T) {
+	a := AggregateSamples([]float64{3, 3, 3, 3})
+	if a.Std != 0 || a.CI95 != 0 {
+		t.Fatalf("constant sample has dispersion: %+v", a)
+	}
+	if a.Mean != 3 {
+		t.Fatalf("mean = %g", a.Mean)
+	}
+}
+
+func TestAggregateSamplesLargeSampleApproachesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	a := AggregateSamples(xs)
+	// df=99: the tail approximation sits just above the normal 1.96.
+	ratio := a.CI95 / a.StdErr
+	if ratio <= 1.960 || ratio >= 2.0 {
+		t.Fatalf("large-sample t factor = %g, want just above 1.96", ratio)
+	}
+}
+
+// TestAggregateTFactorMonotoneAcrossTableBoundary guards the df=30→31
+// hand-off: the critical factor must keep decreasing, not jump.
+func TestAggregateTFactorMonotoneAcrossTableBoundary(t *testing.T) {
+	factor := func(n int) float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i % 7) // same dispersion pattern at every n
+		}
+		a := AggregateSamples(xs)
+		return a.CI95 / a.StdErr
+	}
+	prev := factor(28)          // df=27, inside the table
+	for n := 29; n <= 40; n++ { // crosses df=30 → df=31
+		cur := factor(n)
+		if cur >= prev {
+			t.Fatalf("t factor not decreasing at n=%d: %g -> %g", n, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestAggregateMatchesSummarizeMean(t *testing.T) {
+	xs := []float64{0.3, 0.7, 0.9, 1.4, -0.2}
+	a := AggregateSamples(xs)
+	s := Summarize(xs)
+	if math.Abs(a.Mean-s.Mean) > 1e-12 {
+		t.Fatalf("aggregate mean %g != summary mean %g", a.Mean, s.Mean)
+	}
+	// Sample std must exceed the population std for n > 1 with variation.
+	if a.Std <= s.Std {
+		t.Fatalf("sample std %g not above population std %g", a.Std, s.Std)
+	}
+}
