@@ -5,11 +5,20 @@
 // across a worker pool; -out writes a run manifest (JSON + CSV)
 // recording every task's configuration, results and wall time.
 //
+// -shards N lifts the fan-out from goroutines to worker OS processes:
+// a coordinator re-invokes this binary with the hidden -shard-worker
+// flag once per shard, ships each worker its slice of the task matrix
+// over stdin (length-prefixed JSON), streams back one manifest row per
+// finished task, requeues a crashed worker's unfinished tasks on a
+// fresh process, and merges the shard manifests in global task order —
+// bit-identical to the in-process run, wall times aside.
+//
 // Examples:
 //
 //	experiments -artifact table2 -parallel 8
+//	experiments -artifact table2 -shards 4 -out runs/
 //	experiments -artifact fig5 -train 100000
-//	experiments -artifact replicate -replications 10 -out runs/
+//	experiments -artifact replicate -replications 10 -shards 2 -out runs/
 //	experiments -artifact all -n 1000 -outdir artifacts/ -out runs/
 package main
 
@@ -23,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
+	"repro/internal/experiments/shard"
 	"repro/internal/records"
 	"repro/internal/stats"
 )
@@ -74,12 +84,20 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		fleetSeed = flag.Int64("fleet-seed", 2025, "calibration snapshot seed")
 		outdir    = flag.String("outdir", "", "optional directory for CSV artifacts")
-		parallel  = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
+		parallel  = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS); with -shards, the per-worker-process pool size (0 = sequential workers)")
 		reps      = flag.Int("replications", 5, "workload seeds for -artifact replicate")
 		out       = flag.String("out", "", "optional directory for the run manifest (manifest.json + manifest.csv)")
 		progress  = flag.Bool("progress", true, "report per-task completion on stderr")
+		shards    = flag.Int("shards", 0, "fan tasks out across this many worker OS processes instead of in-process goroutines (table2 and replicate artifacts); 0 = in-process")
+		shardWork = flag.Bool("shard-worker", false, "internal: serve the shard worker protocol on stdin/stdout and exit (spawned by -shards coordinators)")
 	)
 	flag.Parse()
+
+	// Worker mode: the coordinator process ships the full experiment
+	// spec over stdin, so no other flag matters here.
+	if *shardWork {
+		return experiments.ServeShardWorker(context.Background(), os.Stdin, os.Stdout)
+	}
 
 	h := &harness{cs: experiments.Default()}
 	h.cs.Workload.N = *n
@@ -112,30 +130,11 @@ func run() error {
 	}
 
 	var err error
-	switch *artifact {
-	case "replicate":
-		err = replicate(h, *reps)
-	case "table2":
-		err = table2(h, *outdir)
-	case "fig5":
-		err = fig5(h.cs, *outdir)
-	case "fig6":
-		err = fig6(h, *outdir)
-	case "ablations":
-		err = ablations(h)
-	case "all":
-		for _, step := range []func() error{
-			func() error { return fig5(h.cs, *outdir) },
-			func() error { return table2(h, *outdir) },
-			func() error { return fig6(h, *outdir) },
-			func() error { return ablations(h) },
-		} {
-			if err = step(); err != nil {
-				break
-			}
-		}
+	switch {
+	case *shards > 0:
+		err = runSharded(h, *artifact, *shards, *parallel, *reps, *outdir, *progress)
 	default:
-		return fmt.Errorf("unknown artifact %q", *artifact)
+		err = runInProcess(h, *artifact, *reps, *outdir)
 	}
 	if err != nil {
 		return err
@@ -151,6 +150,170 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+func runInProcess(h *harness, artifact string, reps int, outdir string) error {
+	var err error
+	switch artifact {
+	case "replicate":
+		err = replicate(h, reps)
+	case "table2":
+		err = table2(h, outdir)
+	case "fig5":
+		err = fig5(h.cs, outdir)
+	case "fig6":
+		err = fig6(h, outdir)
+	case "ablations":
+		err = ablations(h)
+	case "all":
+		for _, step := range []func() error{
+			func() error { return fig5(h.cs, outdir) },
+			func() error { return table2(h, outdir) },
+			func() error { return fig6(h, outdir) },
+			func() error { return ablations(h) },
+		} {
+			if err = step(); err != nil {
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return err
+}
+
+// runSharded executes the artifact across worker OS processes: the
+// coordinator re-invokes this binary with -shard-worker once per shard,
+// streams back per-task manifest rows, requeues crashed workers'
+// unfinished tasks, and merges the shard manifests in global task
+// order. Only artifacts made of independent pool tasks shard; figure
+// artifacts need in-process run state (training history, per-job
+// fidelity records) that never leaves a worker.
+func runSharded(h *harness, artifact string, shards, parallel, reps int, outdir string, progress bool) error {
+	// The manifest header records total concurrent simulation capacity:
+	// processes × per-process pool, matching the merged-manifest
+	// semantics of records.MergeManifests.
+	h.opt.Workers = shards * max(1, parallel)
+	// -parallel composes with -shards: each worker process runs its
+	// shard through a pool of that size (0 keeps workers sequential —
+	// the process fan-out is the parallelism).
+	opt := experiments.ShardOptions{Shards: shards, Workers: parallel}
+	if progress {
+		opt.OnProgress = func(p shard.Progress) {
+			switch p.Event {
+			case "result":
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s (shard %d)\n", p.Done, p.Total, p.Label, p.Shard)
+			case "retry":
+				fmt.Fprintf(os.Stderr, "shard %d attempt %d crashed (%v); respawning on the remainder\n", p.Shard, p.Attempt, p.Err)
+			}
+		}
+	}
+	switch artifact {
+	case "table2":
+		return table2Sharded(h, opt, outdir)
+	case "replicate":
+		return replicateSharded(h, opt, reps)
+	default:
+		return fmt.Errorf("artifact %q does not support -shards (table2 and replicate do)", artifact)
+	}
+}
+
+func table2Sharded(h *harness, opt experiments.ShardOptions, outdir string) error {
+	fmt.Printf("== Table 2 (sharded across %d worker processes): %d large circuits ==\n", opt.Shards, h.cs.Workload.N)
+	m, err := h.cs.RunAllSharded(context.Background(), opt)
+	if err != nil {
+		return err
+	}
+	h.sums = append(h.sums, m.Runs...)
+	rows := make([]t2row, len(m.Runs))
+	for i, r := range m.Runs {
+		rows[i] = t2row{
+			mode: r.Mode, tsim: r.TsimS, muF: r.FidelityMean, sigmaF: r.FidelityStd,
+			tcomm: r.TcommS, kMean: r.MeanDevicesPerJob, wait: r.MeanWaitS,
+		}
+	}
+	printTable2(rows)
+	return writeTable2CSV(outdir, rows)
+}
+
+func replicateSharded(h *harness, opt experiments.ShardOptions, reps int) error {
+	seeds, err := replicationSeeds(reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Table 2 replicated over %d workload seeds (sharded across %d worker processes) ==\n", len(seeds), opt.Shards)
+	printReplicateHeader()
+	for _, mode := range experiments.Modes {
+		m, err := h.cs.RunReplicatedSharded(context.Background(), opt, mode, seeds)
+		if err != nil {
+			return err
+		}
+		h.sums = append(h.sums, m.Runs...)
+		var tsim, muF, tcomm []float64
+		for _, r := range m.Runs {
+			tsim = append(tsim, r.TsimS)
+			muF = append(muF, r.FidelityMean)
+			tcomm = append(tcomm, r.TcommS)
+		}
+		ts, mf, tc := stats.AggregateSamples(tsim), stats.AggregateSamples(muF), stats.AggregateSamples(tcomm)
+		printReplicateRow(mode, ts.Mean, ts.Std, mf.Mean, mf.Std, tc.Mean, tc.Std, mf.CI95)
+	}
+	return nil
+}
+
+// t2row is one Table 2 line — the shape shared by the in-process
+// renderer (fed from core.Results) and the sharded one (fed from
+// manifest rows), so the two paths cannot drift apart.
+type t2row struct {
+	mode                                  string
+	tsim, muF, sigmaF, tcomm, kMean, wait float64
+}
+
+func printTable2(rows []t2row) {
+	fmt.Printf("%-10s %14s %22s %14s\n", "Mode", "T_sim (s)", "muF +- sigmaF", "T_comm (s)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %14.2f %14.5f +- %.5f %14.2f\n", r.mode, r.tsim, r.muF, r.sigmaF, r.tcomm)
+	}
+}
+
+func writeTable2CSV(outdir string, rows []t2row) error {
+	if outdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(outdir, "table2.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%g,%g,%g,%g,%g,%g\n",
+			r.mode, r.tsim, r.muF, r.sigmaF, r.tcomm, r.kMean, r.wait)
+	}
+	fmt.Println("wrote", f.Name())
+	return nil
+}
+
+// replicationSeeds is the canonical seed list for -artifact replicate:
+// 1..reps, identical for the in-process and sharded paths.
+func replicationSeeds(reps int) ([]int64, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("need at least 1 replication, have %d", reps)
+	}
+	seeds := make([]int64, reps)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds, nil
+}
+
+func printReplicateHeader() {
+	fmt.Printf("%-10s %26s %24s %24s %12s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)", "muF CI95")
+}
+
+func printReplicateRow(mode string, tsimMean, tsimStd, mufMean, mufStd, tcommMean, tcommStd, ci float64) {
+	fmt.Printf("%-10s %14.0f +- %8.0f %14.5f +- %.5f %14.0f +- %7.0f %12.5f\n",
+		mode, tsimMean, tsimStd, mufMean, mufStd, tcommMean, tcommStd, ci)
 }
 
 // writeManifest exports the accumulated run summaries as JSON and CSV.
@@ -181,23 +344,19 @@ func writeManifest(h *harness, label, dir string) error {
 // the mean) over independent workload seeds — the statistical
 // replication the paper's single run lacks.
 func replicate(h *harness, reps int) error {
-	if reps < 1 {
-		return fmt.Errorf("need at least 1 replication, have %d", reps)
-	}
-	seeds := make([]int64, reps)
-	for i := range seeds {
-		seeds[i] = int64(i + 1)
+	seeds, err := replicationSeeds(reps)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("== Table 2 replicated over %d workload seeds ==\n", len(seeds))
-	fmt.Printf("%-10s %26s %24s %24s %12s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)", "muF CI95")
+	printReplicateHeader()
 	for _, mode := range experiments.Modes {
 		rep, arts, err := h.cs.RunReplicatedParallel(context.Background(), h.opt, mode, seeds)
 		if err != nil {
 			return err
 		}
 		h.collect(arts)
-		fmt.Printf("%-10s %14.0f +- %8.0f %14.5f +- %.5f %14.0f +- %7.0f %12.5f\n",
-			mode, rep.TsimStat.Mean, rep.TsimStat.Std,
+		printReplicateRow(mode, rep.TsimStat.Mean, rep.TsimStat.Std,
 			rep.MuFStat.Mean, rep.MuFStat.Std,
 			rep.TcommStat.Mean, rep.TcommStat.Std,
 			rep.MuFStat.CI95)
@@ -211,28 +370,16 @@ func table2(h *harness, outdir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %14s %22s %14s\n", "Mode", "T_sim (s)", "muF +- sigmaF", "T_comm (s)")
+	rows := make([]t2row, 0, len(experiments.Modes))
 	for _, mode := range experiments.Modes {
 		r := runs[mode].Results
-		fmt.Printf("%-10s %14.2f %14.5f +- %.5f %14.2f\n",
-			r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd, r.TotalCommTime)
+		rows = append(rows, t2row{
+			mode: r.Policy, tsim: r.TotalSimTime, muF: r.FidelityMean, sigmaF: r.FidelityStd,
+			tcomm: r.TotalCommTime, kMean: r.MeanDevicesPerJob, wait: r.MeanWaitTime,
+		})
 	}
-	if outdir != "" {
-		f, err := os.Create(filepath.Join(outdir, "table2.csv"))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		fmt.Fprintln(f, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
-		for _, mode := range experiments.Modes {
-			r := runs[mode].Results
-			fmt.Fprintf(f, "%s,%g,%g,%g,%g,%g,%g\n",
-				r.Policy, r.TotalSimTime, r.FidelityMean, r.FidelityStd,
-				r.TotalCommTime, r.MeanDevicesPerJob, r.MeanWaitTime)
-		}
-		fmt.Println("wrote", f.Name())
-	}
-	return nil
+	printTable2(rows)
+	return writeTable2CSV(outdir, rows)
 }
 
 func fig5(cs *experiments.CaseStudy, outdir string) error {

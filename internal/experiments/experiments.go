@@ -46,6 +46,11 @@ type CaseStudy struct {
 
 	trained *rl.GaussianPolicy
 	history []rl.TrainStats
+	// injected marks a policy supplied via UseTrainedPolicy rather than
+	// trained here: it is not reproducible from the config fields alone,
+	// which the sharded executor must know (workers rebuild everything
+	// from the serialized config).
+	injected bool
 }
 
 // Default returns the paper's case-study configuration with a reduced
@@ -111,8 +116,14 @@ func (cs *CaseStudy) TrainRL(onIter func(rl.TrainStats)) (*rl.GaussianPolicy, []
 }
 
 // UseTrainedPolicy injects an externally trained policy (e.g. loaded
-// from disk), skipping TrainRL.
-func (cs *CaseStudy) UseTrainedPolicy(pol *rl.GaussianPolicy) { cs.trained = pol }
+// from disk), skipping TrainRL. Injected policies are confined to
+// in-process execution: the sharded entry points reject them, because
+// worker processes rebuild the rlbase policy from the serialized
+// config's seeds and would silently diverge from the injected weights.
+func (cs *CaseStudy) UseTrainedPolicy(pol *rl.GaussianPolicy) {
+	cs.trained = pol
+	cs.injected = pol != nil
+}
 
 // policyFor resolves a mode name to its Policy implementation.
 func (cs *CaseStudy) policyFor(mode string) (policy.Policy, error) {

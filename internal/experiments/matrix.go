@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TaskMatrix declaratively describes the task set of one orchestrated
+// run. It is the single enumeration source of truth shared by the
+// in-process parallel entry points and the multi-process shard
+// executor: both expand the same matrix into the same spec list in the
+// same order, which is what lets a shard coordinator ship bare task
+// indices to worker processes and still merge their manifests back
+// into the exact sequential row order. The type is JSON-portable so it
+// travels inside a ShardSpec.
+type TaskMatrix struct {
+	// Kind selects the expansion: "modes" (one task per strategy,
+	// Table 2 / Fig. 6), "phi-sweep" / "lambda-sweep" (one task per
+	// Values entry running Mode), "replicate" (one task per Seeds entry
+	// running Mode), or "rl-deploy" (the sampled and deterministic
+	// rlbase deployments).
+	Kind string `json:"kind"`
+	// Modes restricts the "modes" expansion; empty means all four, in
+	// the paper's Table 2 order.
+	Modes []string `json:"modes,omitempty"`
+	// Mode is the strategy for sweep and replicate kinds.
+	Mode string `json:"mode,omitempty"`
+	// Values are the swept parameter values (sweep kinds only).
+	Values []float64 `json:"values,omitempty"`
+	// Seeds are the workload seeds (replicate kind only).
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// Label names a manifest produced from this matrix, e.g. "modes" or
+// "phi-sweep/speed".
+func (m TaskMatrix) Label() string {
+	switch m.Kind {
+	case "modes", "rl-deploy":
+		return m.Kind
+	default:
+		return m.Kind + "/" + m.Mode
+	}
+}
+
+// modes returns every strategy the matrix will run, for the upfront
+// rlbase training check.
+func (m TaskMatrix) modes() []string {
+	switch m.Kind {
+	case "modes":
+		if len(m.Modes) == 0 {
+			return Modes
+		}
+		return m.Modes
+	case "rl-deploy":
+		return []string{"rlbase"}
+	default:
+		return []string{m.Mode}
+	}
+}
+
+// checkMode rejects strategies RunMode would reject, so a malformed
+// matrix fails during planning — before any worker process is spawned —
+// rather than deep inside a shard.
+func checkMode(mode string) error {
+	for _, m := range Modes {
+		if m == mode {
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: unknown mode %q (want one of %v)", mode, Modes)
+}
+
+// specs expands the matrix into the ordered task list. keepRun retains
+// each task's full ModeRun on its artifact (records, per-job
+// fidelities); leave it false when only Results is consumed so a
+// 100-seed replication does not pin 100 record sets in memory.
+func (m TaskMatrix) specs(keepRun bool) ([]runSpec, error) {
+	switch m.Kind {
+	case "modes":
+		modes := m.modes()
+		specs := make([]runSpec, len(modes))
+		for i, mode := range modes {
+			if err := checkMode(mode); err != nil {
+				return nil, err
+			}
+			specs[i] = runSpec{id: "mode/" + mode, kind: "mode", mode: mode, keepRun: keepRun}
+		}
+		return specs, nil
+	case "phi-sweep", "lambda-sweep":
+		if err := checkMode(m.Mode); err != nil {
+			return nil, err
+		}
+		if len(m.Values) == 0 {
+			return nil, fmt.Errorf("experiments: empty sweep")
+		}
+		set := func(c *core.Config, v float64) { c.Phi = v }
+		if m.Kind == "lambda-sweep" {
+			set = func(c *core.Config, v float64) { c.Lambda = v }
+		}
+		specs := make([]runSpec, len(m.Values))
+		for i, v := range m.Values {
+			specs[i] = runSpec{
+				id: fmt.Sprintf("%s/%s/%g", m.Kind, m.Mode, v), kind: m.Kind,
+				mode: m.Mode, param: v, keepRun: keepRun,
+				mutate: func(snap *CaseStudy) { set(&snap.Core, v) },
+			}
+		}
+		return specs, nil
+	case "replicate":
+		if err := checkMode(m.Mode); err != nil {
+			return nil, err
+		}
+		if len(m.Seeds) == 0 {
+			return nil, fmt.Errorf("experiments: no seeds")
+		}
+		specs := make([]runSpec, len(m.Seeds))
+		for i, s := range m.Seeds {
+			specs[i] = runSpec{
+				id: fmt.Sprintf("replicate/%s/seed%d", m.Mode, s), kind: "replicate",
+				mode: m.Mode, keepRun: keepRun,
+				mutate: func(snap *CaseStudy) { snap.Workload.Seed = s },
+			}
+		}
+		return specs, nil
+	case "rl-deploy":
+		return []runSpec{
+			{id: "rl-deploy/sampled", kind: "rl-deploy", mode: "rlbase", keepRun: keepRun,
+				mutate: func(snap *CaseStudy) { snap.RLDeterministic = false }},
+			{id: "rl-deploy/deterministic", kind: "rl-deploy", mode: "rlbase", keepRun: keepRun,
+				mutate: func(snap *CaseStudy) { snap.RLDeterministic = true }},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown task-matrix kind %q", m.Kind)
+	}
+}
+
+// TaskLabels returns the matrix's task IDs in execution order — the
+// descriptor list a shard coordinator partitions.
+func (m TaskMatrix) TaskLabels() ([]string, error) {
+	specs, err := m.specs(false)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(specs))
+	for i, s := range specs {
+		labels[i] = s.id
+	}
+	return labels, nil
+}
+
+// runMatrix expands and executes a matrix through the in-process worker
+// pool, training the rlbase policy up front when any task needs it.
+func (cs *CaseStudy) runMatrix(ctx context.Context, opt ParallelOptions, m TaskMatrix, keepRun bool) ([]RunArtifact, error) {
+	specs, err := m.specs(keepRun)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.ensureTrained(m.modes()...); err != nil {
+		return nil, fmt.Errorf("experiments: training rlbase: %w", err)
+	}
+	return cs.runSpecs(ctx, opt, specs)
+}

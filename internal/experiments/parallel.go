@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"time"
 
@@ -177,14 +176,7 @@ func (cs *CaseStudy) runSpecs(ctx context.Context, opt ParallelOptions, specs []
 // task runs on a private snapshot seeded only from the case study's
 // configured seeds. The rlbase policy is trained (once) before fan-out.
 func (cs *CaseStudy) RunAllParallel(ctx context.Context, opt ParallelOptions) (map[string]*ModeRun, []RunArtifact, error) {
-	if err := cs.ensureTrained(Modes...); err != nil {
-		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
-	}
-	specs := make([]runSpec, len(Modes))
-	for i, mode := range Modes {
-		specs[i] = runSpec{id: "mode/" + mode, kind: "mode", mode: mode, keepRun: true}
-	}
-	arts, err := cs.runSpecs(ctx, opt, specs)
+	arts, err := cs.runMatrix(ctx, opt, TaskMatrix{Kind: "modes"}, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -197,35 +189,22 @@ func (cs *CaseStudy) RunAllParallel(ctx context.Context, opt ParallelOptions) (m
 
 // PhiSweepParallel is the parallel form of PhiSweep.
 func (cs *CaseStudy) PhiSweepParallel(ctx context.Context, opt ParallelOptions, mode string, phis []float64) ([]SweepPoint, []RunArtifact, error) {
-	return cs.sweepParallel(ctx, opt, "phi-sweep", mode, phis, func(c *core.Config, v float64) { c.Phi = v })
+	return cs.sweepParallel(ctx, opt, TaskMatrix{Kind: "phi-sweep", Mode: mode, Values: phis})
 }
 
 // LambdaSweepParallel is the parallel form of LambdaSweep.
 func (cs *CaseStudy) LambdaSweepParallel(ctx context.Context, opt ParallelOptions, mode string, lambdas []float64) ([]SweepPoint, []RunArtifact, error) {
-	return cs.sweepParallel(ctx, opt, "lambda-sweep", mode, lambdas, func(c *core.Config, v float64) { c.Lambda = v })
+	return cs.sweepParallel(ctx, opt, TaskMatrix{Kind: "lambda-sweep", Mode: mode, Values: lambdas})
 }
 
-func (cs *CaseStudy) sweepParallel(ctx context.Context, opt ParallelOptions, kind, mode string, values []float64, set func(*core.Config, float64)) ([]SweepPoint, []RunArtifact, error) {
-	if len(values) == 0 {
-		return nil, nil, fmt.Errorf("experiments: empty sweep")
-	}
-	if err := cs.ensureTrained(mode); err != nil {
-		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
-	}
-	specs := make([]runSpec, len(values))
-	for i, v := range values {
-		specs[i] = runSpec{
-			id: fmt.Sprintf("%s/%s/%g", kind, mode, v), kind: kind, mode: mode, param: v,
-			mutate: func(snap *CaseStudy) { set(&snap.Core, v) },
-		}
-	}
-	arts, err := cs.runSpecs(ctx, opt, specs)
+func (cs *CaseStudy) sweepParallel(ctx context.Context, opt ParallelOptions, m TaskMatrix) ([]SweepPoint, []RunArtifact, error) {
+	arts, err := cs.runMatrix(ctx, opt, m, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	points := make([]SweepPoint, len(arts))
 	for i := range arts {
-		points[i] = SweepPoint{Param: arts[i].Param, Mode: mode, Results: arts[i].Results}
+		points[i] = SweepPoint{Param: arts[i].Param, Mode: m.Mode, Results: arts[i].Results}
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].Param < points[j].Param })
 	return points, arts, nil
@@ -235,16 +214,7 @@ func (cs *CaseStudy) sweepParallel(ctx context.Context, opt ParallelOptions, kin
 // rlbase deployments as two pool tasks and returns both runs plus
 // their artifacts.
 func (cs *CaseStudy) RLDeploymentAblationParallel(ctx context.Context, opt ParallelOptions) (sampled, deterministic *ModeRun, arts []RunArtifact, err error) {
-	if err := cs.ensureTrained("rlbase"); err != nil {
-		return nil, nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
-	}
-	specs := []runSpec{
-		{id: "rl-deploy/sampled", kind: "rl-deploy", mode: "rlbase", keepRun: true,
-			mutate: func(snap *CaseStudy) { snap.RLDeterministic = false }},
-		{id: "rl-deploy/deterministic", kind: "rl-deploy", mode: "rlbase", keepRun: true,
-			mutate: func(snap *CaseStudy) { snap.RLDeterministic = true }},
-	}
-	arts, err = cs.runSpecs(ctx, opt, specs)
+	arts, err = cs.runMatrix(ctx, opt, TaskMatrix{Kind: "rl-deploy"}, true)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -255,20 +225,7 @@ func (cs *CaseStudy) RLDeploymentAblationParallel(ctx context.Context, opt Paral
 // per workload seed, aggregated into mean/std/min/max and a 95%
 // confidence interval per headline metric.
 func (cs *CaseStudy) RunReplicatedParallel(ctx context.Context, opt ParallelOptions, mode string, seeds []int64) (*ReplicatedResults, []RunArtifact, error) {
-	if len(seeds) == 0 {
-		return nil, nil, fmt.Errorf("experiments: no seeds")
-	}
-	if err := cs.ensureTrained(mode); err != nil {
-		return nil, nil, fmt.Errorf("experiments: training rlbase: %w", err)
-	}
-	specs := make([]runSpec, len(seeds))
-	for i, s := range seeds {
-		specs[i] = runSpec{
-			id: fmt.Sprintf("replicate/%s/seed%d", mode, s), kind: "replicate", mode: mode,
-			mutate: func(snap *CaseStudy) { snap.Workload.Seed = s },
-		}
-	}
-	arts, err := cs.runSpecs(ctx, opt, specs)
+	arts, err := cs.runMatrix(ctx, opt, TaskMatrix{Kind: "replicate", Mode: mode, Seeds: seeds}, false)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -190,6 +190,130 @@ func TestPoolProgressReports(t *testing.T) {
 	}
 }
 
+// TestPoolCancelRacingLastTask drives the race where the final task
+// finishes exactly as the caller's context is cancelled. The outcome
+// must be binary: either the complete result set with a nil error, or
+// nil results with the bare context.Canceled identity — never partial
+// results, never a wrapped or masked error.
+func TestPoolCancelRacingLastTask(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		finishing := make(chan struct{})
+		tasks := make([]Task[int], 8)
+		for i := range tasks {
+			tasks[i] = Task[int]{
+				Label: fmt.Sprintf("race/%d", i),
+				Run: func(context.Context) (int, error) {
+					if i == len(tasks)-1 {
+						close(finishing) // signal: last task is returning now
+					}
+					return i * i, nil
+				},
+			}
+		}
+		go func() {
+			<-finishing
+			cancel() // races the last task's result bookkeeping
+		}()
+		got, err := (&Pool[int]{Workers: 2}).Run(ctx, tasks)
+		switch {
+		case err == nil:
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("iter %d: result %d = %d, want %d (partial write)", iter, i, v, i*i)
+				}
+			}
+		case err == context.Canceled: // identity, not just errors.Is
+			if got != nil {
+				t.Fatalf("iter %d: results %v alongside error %v", iter, got, err)
+			}
+		default:
+			t.Fatalf("iter %d: err = %#v, want nil or bare context.Canceled", iter, err)
+		}
+		cancel()
+	}
+}
+
+// TestPoolCancelAfterAllTasksDone pins the deterministic side of the
+// race: when every task has already succeeded, a subsequent cancel must
+// not void the run.
+func TestPoolCancelAfterAllTasksDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{}, 1)
+	tasks := []Task[int]{{Label: "only", Run: func(context.Context) (int, error) {
+		ran <- struct{}{}
+		return 42, nil
+	}}}
+	p := Pool[int]{Workers: 1, OnProgress: func(Progress) {
+		<-ran
+		cancel() // by now the task's result is recorded
+	}}
+	got, err := p.Run(ctx, tasks)
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Run = %v, %v; want complete results despite late cancel", got, err)
+	}
+}
+
+// TestPoolOnResultStreamsBeforeFailure: OnResult deliveries are not
+// rolled back when a later task fails — the shard worker depends on
+// completed results surviving a mid-batch abort.
+func TestPoolOnResultStreamsBeforeFailure(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := make([]Task[int], 5)
+	for i := range tasks {
+		tasks[i] = Task[int]{
+			Label: fmt.Sprintf("t/%d", i),
+			Run: func(context.Context) (int, error) {
+				if i == 3 {
+					return 0, boom
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	delivered := map[int]int{}
+	p := Pool[int]{Workers: 1, OnResult: func(i, v int) { delivered[i] = v }}
+	if _, err := p.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Single worker: tasks 0–2 complete and stream before 3 fails.
+	want := map[int]int{0: 0, 1: 10, 2: 20}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", delivered, want)
+	}
+	for i, v := range want {
+		if delivered[i] != v {
+			t.Fatalf("delivered[%d] = %d, want %d", i, delivered[i], v)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	tasks := squares(10)
+	sub, err := Subset(tasks, []int{7, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Pool[int]{Workers: 1}).Run(context.Background(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, i := range []int{7, 2, 5} {
+		if got[j] != i*i {
+			t.Fatalf("subset result %d = %d, want %d", j, got[j], i*i)
+		}
+	}
+	if _, err := Subset(tasks, []int{10}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := Subset(tasks, []int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := Subset(tasks, []int{4, 4}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}
+
 // TestPoolTasksOverlap proves tasks genuinely run concurrently (valid
 // even on one CPU): four 100ms sleeps across 4 workers must finish in
 // well under the 400ms a serial pass needs. The 300ms bound leaves

@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/records"
+)
+
+// RunFunc is the worker-side task executor. It receives the opaque
+// experiment spec from the order frame, the worker's assigned global
+// task indices with their matching labels, and an emit function that
+// streams one finished task's manifest row back to the coordinator.
+// emit must be called exactly once per completed index; calls may come
+// from any goroutine (ServeWorker serializes the writes). Returning an
+// error reports a deliberate task failure — the coordinator fails the
+// whole run rather than retrying, because the simulations are
+// deterministic.
+type RunFunc func(ctx context.Context, spec []byte, indices []int, labels []string, emit func(index int, s records.RunSummary) error) error
+
+// ServeWorker runs the worker half of the shard protocol on r/w
+// (stdin/stdout when invoked as a subprocess): it reads the single
+// order frame, hands the assignment to run, streams emitted results,
+// and terminates the stream with a done frame — or an error frame
+// carrying run's failure.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, run RunFunc) error {
+	var o order
+	if err := readFrame(r, &o); err != nil {
+		return fmt.Errorf("shard worker: reading order: %w", err)
+	}
+	if len(o.Labels) != len(o.Indices) {
+		return fmt.Errorf("shard worker: order has %d labels for %d indices", len(o.Labels), len(o.Indices))
+	}
+	var mu sync.Mutex
+	emit := func(index int, s records.RunSummary) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return writeFrame(w, reply{Type: msgResult, Index: index, Summary: &s})
+	}
+	if err := run(ctx, o.Spec, o.Indices, o.Labels, emit); err != nil {
+		mu.Lock()
+		defer mu.Unlock()
+		// Best-effort: the coordinator learns the root cause from this
+		// frame; if the pipe is already gone it sees a crash instead.
+		_ = writeFrame(w, reply{Type: msgError, Error: err.Error()})
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return writeFrame(w, reply{Type: msgDone})
+}

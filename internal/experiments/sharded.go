@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments/runner"
+	"repro/internal/experiments/shard"
+	"repro/internal/job"
+	"repro/internal/records"
+	"repro/internal/rl"
+)
+
+// ShardSpec is the JSON-portable description of one orchestrated run:
+// the full case-study configuration plus the task matrix. It is the
+// opaque spec a shard coordinator ships to every worker process, and it
+// pins everything a worker needs to reproduce its tasks bit-identically
+// — all random streams derive from the seeds captured here, including
+// the rlbase policy, which each worker (re)trains deterministically
+// from PPO.Seed when its subset needs it.
+type ShardSpec struct {
+	Workload        job.SyntheticConfig `json:"workload"`
+	Core            core.Config         `json:"core"`
+	FleetSeed       int64               `json:"fleet_seed"`
+	TrainSteps      int                 `json:"train_steps"`
+	PPO             rl.PPOConfig        `json:"ppo"`
+	RLSeed          int64               `json:"rl_seed"`
+	RLDeterministic bool                `json:"rl_deterministic"`
+	// Matrix enumerates the run's tasks; workers expand it exactly like
+	// the in-process entry points do.
+	Matrix TaskMatrix `json:"matrix"`
+	// Workers sizes each worker process's in-process pool (<= 1 means
+	// sequential within the worker; parallelism normally comes from the
+	// process fan-out itself).
+	Workers int `json:"workers,omitempty"`
+}
+
+// shardSpec captures the case study's portable configuration.
+func (cs *CaseStudy) shardSpec(m TaskMatrix, workers int) ShardSpec {
+	return ShardSpec{
+		Workload:        cs.Workload,
+		Core:            cs.Core,
+		FleetSeed:       cs.FleetSeed,
+		TrainSteps:      cs.TrainSteps,
+		PPO:             cs.PPO,
+		RLSeed:          cs.RLSeed,
+		RLDeterministic: cs.RLDeterministic,
+		Matrix:          m,
+		Workers:         workers,
+	}
+}
+
+// caseStudy reconstructs the worker-side case study.
+func (s ShardSpec) caseStudy() *CaseStudy {
+	return &CaseStudy{
+		Workload:        s.Workload,
+		Core:            s.Core,
+		FleetSeed:       s.FleetSeed,
+		TrainSteps:      s.TrainSteps,
+		PPO:             s.PPO,
+		RLSeed:          s.RLSeed,
+		RLDeterministic: s.RLDeterministic,
+	}
+}
+
+// Fault-injection hooks for the shard worker, used by the fault
+// tolerance tests (and usable against a real run to rehearse failure
+// semantics). Both make the worker process kill itself after streaming
+// its first result — mid-shard, so the coordinator sees a crashed
+// worker with the shard only partially delivered:
+//
+//	EXPERIMENTS_SHARD_CRASH_ONCE=<path>  only the first worker process
+//	                                     to create <path> crashes;
+//	                                     respawned workers find the
+//	                                     file and run clean.
+//	EXPERIMENTS_SHARD_CRASH_ALWAYS=1     every worker crashes, so
+//	                                     retries are exhausted.
+const (
+	crashOnceEnv   = "EXPERIMENTS_SHARD_CRASH_ONCE"
+	crashAlwaysEnv = "EXPERIMENTS_SHARD_CRASH_ALWAYS"
+)
+
+// crashArmed reports whether this worker process should self-kill
+// after its first emitted result.
+func crashArmed() bool {
+	if os.Getenv(crashAlwaysEnv) == "1" {
+		return true
+	}
+	if path := os.Getenv(crashOnceEnv); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false // a previous worker already took the crash
+		}
+		f.Close()
+		return true
+	}
+	return false
+}
+
+// ServeShardWorker runs the worker half of the shard protocol on r/w —
+// stdin/stdout when the experiments binary is re-invoked with
+// -shard-worker. It decodes the ShardSpec, re-enumerates the task
+// matrix, verifies the coordinator's labels against its own enumeration
+// (a mismatch means the two processes disagree about the experiment and
+// nothing may run), trains the rlbase policy once iff its assigned
+// subset contains an rlbase task, and streams one manifest row per
+// finished task.
+func ServeShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	return shard.ServeWorker(ctx, r, w, func(ctx context.Context, raw []byte, indices []int, labels []string, emit func(int, records.RunSummary) error) error {
+		var spec ShardSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return fmt.Errorf("experiments: decoding shard spec: %w", err)
+		}
+		cs := spec.caseStudy()
+		specs, err := spec.Matrix.specs(false)
+		if err != nil {
+			return err
+		}
+		tasks := make([]runner.Task[RunArtifact], len(specs))
+		needsRL := false
+		for j, i := range indices {
+			if i < 0 || i >= len(specs) {
+				return fmt.Errorf("experiments: shard order index %d outside task matrix of %d", i, len(specs))
+			}
+			if specs[i].id != labels[j] {
+				return fmt.Errorf("experiments: shard order label %q != enumerated task %q at index %d", labels[j], specs[i].id, i)
+			}
+			if specs[i].mode == "rlbase" {
+				needsRL = true
+			}
+		}
+		if needsRL {
+			if err := cs.ensureTrained("rlbase"); err != nil {
+				return fmt.Errorf("experiments: training rlbase: %w", err)
+			}
+		}
+		for i, s := range specs {
+			tasks[i] = cs.task(s)
+		}
+		sub, err := runner.Subset(tasks, indices)
+		if err != nil {
+			return err
+		}
+		// Stream each finished task through emit immediately: results
+		// delivered before a crash survive it, so a respawned worker
+		// only re-runs the genuinely unfinished remainder.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		die := crashArmed()
+		var mu sync.Mutex
+		var emitErr error
+		pool := runner.Pool[RunArtifact]{
+			Workers: max(1, spec.Workers),
+			OnResult: func(j int, art RunArtifact) {
+				if err := emit(indices[j], art.Summary()); err != nil {
+					mu.Lock()
+					if emitErr == nil {
+						emitErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				if die {
+					os.Exit(3) // injected fault: die mid-shard, after one result
+				}
+			},
+		}
+		_, runErr := pool.Run(wctx, sub)
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			return emitErr
+		}
+		return runErr
+	})
+}
+
+// ShardOptions configures the multi-process executor behind the
+// *Sharded entry points.
+type ShardOptions struct {
+	// Shards is the worker process count; <= 0 means 1.
+	Shards int
+	// Workers sizes each worker's in-process pool; <= 1 runs a worker's
+	// tasks sequentially (the usual choice — parallelism comes from the
+	// process fan-out).
+	Workers int
+	// Retries is the per-shard respawn budget after worker crashes:
+	// 0 means shard.DefaultRetries, negative disables retries.
+	Retries int
+	// Command returns a fresh worker process command. Nil re-invokes
+	// the current executable with -shard-worker, which is correct for
+	// the experiments binary and any binary that wires that flag to
+	// ServeShardWorker.
+	Command func(ctx context.Context) *exec.Cmd
+	// OnProgress, if set, receives coordinator events.
+	OnProgress func(shard.Progress)
+	// Stderr receives worker stderr; nil means os.Stderr.
+	Stderr io.Writer
+}
+
+func (o ShardOptions) command() func(ctx context.Context) *exec.Cmd {
+	if o.Command != nil {
+		return o.Command
+	}
+	return func(ctx context.Context) *exec.Cmd {
+		exe, err := os.Executable()
+		if err != nil {
+			exe = os.Args[0]
+		}
+		return exec.CommandContext(ctx, exe, "-shard-worker")
+	}
+}
+
+// RunMatrixSharded executes an arbitrary task matrix across worker OS
+// processes and returns the merged manifest in global task order. The
+// merge fails loudly if crash retries ever produced a duplicate or
+// dropped a task, so a returned manifest is complete by construction.
+// Results are bit-identical to the in-process paths (wall times aside):
+// workers rebuild the exact per-task snapshots from the ShardSpec's
+// seeds, sharing the enumeration in TaskMatrix.specs with
+// RunAllParallel and friends.
+func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m TaskMatrix) (*records.RunManifest, error) {
+	labels, err := m.TaskLabels()
+	if err != nil {
+		return nil, err
+	}
+	// An injected policy (UseTrainedPolicy) never reaches worker
+	// processes — they retrain from PPO.Seed — so running rlbase tasks
+	// with one would silently break the bit-identical guarantee.
+	if cs.injected {
+		for _, mode := range m.modes() {
+			if mode == "rlbase" {
+				return nil, fmt.Errorf("experiments: sharded execution cannot use a policy injected via UseTrainedPolicy; workers retrain from the serialized config (train in-process instead, or drop rlbase from the matrix)")
+			}
+		}
+	}
+	// Duplicate task IDs (e.g. a repeated replication seed) would only
+	// surface in the final merge, after every simulation already ran;
+	// reject them before any worker is spawned.
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			return nil, fmt.Errorf("experiments: task matrix enumerates %q twice; sharded runs need unique task IDs", l)
+		}
+		seen[l] = true
+	}
+	spec, err := json.Marshal(cs.shardSpec(m, opt.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoding shard spec: %w", err)
+	}
+	coord := shard.Coordinator{
+		Shards:          opt.Shards,
+		Retries:         opt.Retries,
+		Command:         opt.command(),
+		PerShardWorkers: opt.Workers,
+		OnProgress:      opt.OnProgress,
+		Stderr:          opt.Stderr,
+	}
+	return coord.Run(ctx, m.Label(), spec, labels)
+}
+
+// RunAllSharded is RunAllParallel across worker processes: the four
+// strategies of Table 2 partitioned over OS-process shards, returned as
+// one merged manifest.
+func (cs *CaseStudy) RunAllSharded(ctx context.Context, opt ShardOptions) (*records.RunManifest, error) {
+	return cs.RunMatrixSharded(ctx, opt, TaskMatrix{Kind: "modes"})
+}
+
+// RunReplicatedSharded is RunReplicatedParallel across worker
+// processes: one task per workload seed for the named mode. Aggregate
+// statistics over the manifest rows with stats.AggregateSamples.
+func (cs *CaseStudy) RunReplicatedSharded(ctx context.Context, opt ShardOptions, mode string, seeds []int64) (*records.RunManifest, error) {
+	return cs.RunMatrixSharded(ctx, opt, TaskMatrix{Kind: "replicate", Mode: mode, Seeds: seeds})
+}

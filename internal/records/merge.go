@@ -1,0 +1,76 @@
+package records
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MergeManifests reassembles per-shard manifests into one manifest whose
+// rows follow the given global task order — the ID list the coordinator
+// enumerated before partitioning. Beyond reordering, the merge is the
+// shard run's integrity check: it fails if any ordered task is missing
+// a row, any task appears in more than one shard (a requeued crash
+// re-running finished work), or a shard reports a task the order never
+// named. The merged Workers field sums the shard caps — the run's total
+// concurrent simulation capacity.
+func MergeManifests(label string, order []string, shards ...*RunManifest) (*RunManifest, error) {
+	inOrder := make(map[string]bool, len(order))
+	for _, id := range order {
+		if inOrder[id] {
+			return nil, fmt.Errorf("records: merge order lists task %q twice", id)
+		}
+		inOrder[id] = true
+	}
+	byID := make(map[string]RunSummary, len(order))
+	workers := 0
+	var duplicate, unknown []string
+	for _, s := range shards {
+		workers += s.Workers
+		for _, r := range s.Runs {
+			switch {
+			case !inOrder[r.ID]:
+				unknown = append(unknown, r.ID)
+			case hasID(byID, r.ID):
+				duplicate = append(duplicate, r.ID)
+			default:
+				byID[r.ID] = r
+			}
+		}
+	}
+	var missing []string
+	for _, id := range order {
+		if !hasID(byID, id) {
+			missing = append(missing, id)
+		}
+	}
+	if len(duplicate)+len(unknown)+len(missing) > 0 {
+		return nil, mergeError(duplicate, unknown, missing)
+	}
+	merged := &RunManifest{Label: label, Workers: workers, Runs: make([]RunSummary, 0, len(order))}
+	for _, id := range order {
+		merged.Runs = append(merged.Runs, byID[id])
+	}
+	return merged, nil
+}
+
+func hasID(m map[string]RunSummary, id string) bool {
+	_, ok := m[id]
+	return ok
+}
+
+// mergeError reports every integrity violation at once, sorted, so a
+// bad shard run is diagnosable from a single error.
+func mergeError(duplicate, unknown, missing []string) error {
+	var parts []string
+	for _, c := range []struct {
+		what string
+		ids  []string
+	}{{"duplicate", duplicate}, {"unknown", unknown}, {"missing", missing}} {
+		if len(c.ids) > 0 {
+			sort.Strings(c.ids)
+			parts = append(parts, fmt.Sprintf("%s tasks: %s", c.what, strings.Join(c.ids, ", ")))
+		}
+	}
+	return fmt.Errorf("records: merging shard manifests: %s", strings.Join(parts, "; "))
+}

@@ -1,0 +1,87 @@
+package records
+
+import (
+	"strings"
+	"testing"
+)
+
+func shardWith(label string, ids ...string) *RunManifest {
+	m := &RunManifest{Label: label, Workers: 1}
+	for _, id := range ids {
+		m.Runs = append(m.Runs, RunSummary{ID: id, Kind: "replicate", Mode: "speed"})
+	}
+	return m
+}
+
+func TestMergeManifestsRestoresOrder(t *testing.T) {
+	order := []string{"t/0", "t/1", "t/2", "t/3", "t/4"}
+	merged, err := MergeManifests("run", order,
+		shardWith("s1", "t/3", "t/1"),
+		shardWith("s0", "t/4", "t/0", "t/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Runs) != len(order) {
+		t.Fatalf("%d rows, want %d", len(merged.Runs), len(order))
+	}
+	for i, r := range merged.Runs {
+		if r.ID != order[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.ID, order[i])
+		}
+	}
+	if merged.Label != "run" || merged.Workers != 2 {
+		t.Fatalf("merged header = %q/%d, want run/2", merged.Label, merged.Workers)
+	}
+}
+
+func TestMergeManifestsDetectsMissing(t *testing.T) {
+	_, err := MergeManifests("run", []string{"t/0", "t/1", "t/2"}, shardWith("s0", "t/0"))
+	if err == nil {
+		t.Fatal("missing tasks accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "missing") || !strings.Contains(msg, "t/1") || !strings.Contains(msg, "t/2") {
+		t.Fatalf("err = %v, want both missing IDs named", err)
+	}
+}
+
+func TestMergeManifestsDetectsDuplicates(t *testing.T) {
+	_, err := MergeManifests("run", []string{"t/0", "t/1"},
+		shardWith("s0", "t/0", "t/1"),
+		shardWith("s1", "t/1"))
+	if err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "duplicate") || !strings.Contains(msg, "t/1") {
+		t.Fatalf("err = %v, want duplicate t/1 named", err)
+	}
+}
+
+func TestMergeManifestsDetectsUnknown(t *testing.T) {
+	_, err := MergeManifests("run", []string{"t/0"}, shardWith("s0", "t/0", "rogue"))
+	if err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "unknown") || !strings.Contains(msg, "rogue") {
+		t.Fatalf("err = %v, want rogue named", err)
+	}
+}
+
+func TestMergeManifestsRejectsDuplicateOrder(t *testing.T) {
+	if _, err := MergeManifests("run", []string{"t/0", "t/0"}, shardWith("s0", "t/0")); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+}
+
+func TestMergeManifestsReportsAllViolationsAtOnce(t *testing.T) {
+	_, err := MergeManifests("run", []string{"t/0", "t/1"},
+		shardWith("s0", "t/0", "t/0", "rogue"))
+	if err == nil {
+		t.Fatal("violations accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"duplicate", "unknown", "missing", "t/0", "rogue", "t/1"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("err = %v, want %q mentioned", err, want)
+		}
+	}
+}
