@@ -1,25 +1,34 @@
 // Command experiments regenerates the paper's evaluation artifacts:
 // Table 2, Figure 5, Figure 6, and the ablation sweeps. Artifacts print
-// to stdout; -outdir additionally writes CSVs for external plotting.
-// Independent simulations (modes, sweep points, replications) fan out
-// across a worker pool; -out writes a run manifest (JSON + CSV)
-// recording every task's configuration, results and wall time.
+// to stdout; -outdir additionally writes CSVs for external plotting,
+// and -out writes a run manifest (JSON + CSV) recording every task's
+// configuration, results and wall time.
 //
-// -shards N lifts the fan-out from goroutines to worker OS processes:
+// The manifest-producing artifacts (table2, replicate, ablations) are
+// compiled down to a declarative experiments.Spec and executed through
+// experiments.Run, the same code path that serves -spec files — so a
+// flag-driven run and its spec-file equivalent are the same run:
+//
+//	experiments -artifact table2 -n 30 -train 2048 -out runs/
+//	experiments -spec specs/smoke.json -out runs/
+//
+// The executor is chosen by flags: the in-process worker pool by
+// default (-workers caps it), or worker OS processes with -shards N —
 // a coordinator re-invokes this binary with the hidden -shard-worker
-// flag once per shard, ships each worker its slice of the task matrix
-// over stdin (length-prefixed JSON), streams back one manifest row per
-// finished task, requeues a crashed worker's unfinished tasks on a
-// fresh process, and merges the shard manifests in global task order —
-// bit-identical to the in-process run, wall times aside.
+// flag once per shard, streams back one manifest row per finished
+// task, requeues crashed workers' unfinished tasks, and merges the
+// shard manifests in global task order, bit-identical to the
+// in-process run (wall times aside).
 //
-// Examples:
+// The figure artifacts (fig5, fig6, and the combined "all") need
+// in-process run state — training history, per-job fidelity records —
+// that never leaves a worker, so they always run in-process.
 //
-//	experiments -artifact table2 -parallel 8
-//	experiments -artifact table2 -shards 4 -out runs/
-//	experiments -artifact fig5 -train 100000
-//	experiments -artifact replicate -replications 10 -shards 2 -out runs/
-//	experiments -artifact all -n 1000 -outdir artifacts/ -out runs/
+// -diff compares two saved manifests and exits non-zero when they
+// disagree on any task result — the determinism gate CI uses, and the
+// quickest way to check whether a change moved any metric:
+//
+//	experiments -diff runs/a/manifest.json runs/b/manifest.json
 package main
 
 import (
@@ -44,81 +53,41 @@ func main() {
 	}
 }
 
-// harness bundles the case study with the orchestration options and
-// accumulates a manifest row per task it runs. Only the flat summaries
-// are kept — holding full RunArtifacts would pin every simulation's
-// record set in memory until exit.
-type harness struct {
-	cs   *experiments.CaseStudy
-	opt  experiments.ParallelOptions
-	sums []records.RunSummary
-	// runs caches the four-mode fan-out so "all" reuses one execution
-	// for both Table 2 and Figure 6.
-	runs map[string]*experiments.ModeRun
-}
-
-func (h *harness) collect(arts []experiments.RunArtifact) {
-	for i := range arts {
-		h.sums = append(h.sums, arts[i].Summary())
-	}
-}
-
-func (h *harness) runAll() (map[string]*experiments.ModeRun, error) {
-	if h.runs != nil {
-		return h.runs, nil
-	}
-	runs, arts, err := h.cs.RunAllParallel(context.Background(), h.opt)
-	if err != nil {
-		return nil, err
-	}
-	h.collect(arts)
-	h.runs = runs
-	return runs, nil
-}
-
 func run() error {
 	var (
 		artifact  = flag.String("artifact", "all", "which artifact: table2|fig5|fig6|ablations|replicate|all")
+		specPath  = flag.String("spec", "", "declarative experiment spec file (JSON); replaces -artifact, -scenario and the workload flags")
+		scenario  = flag.String("scenario", "", "registered scenario for flag-driven runs (default: paper); see experiments.ScenarioNames")
 		n         = flag.Int("n", 1000, "workload size (paper: 1000)")
 		train     = flag.Int("train", 100000, "PPO training timesteps (paper: 100000)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		fleetSeed = flag.Int64("fleet-seed", 2025, "calibration snapshot seed")
 		outdir    = flag.String("outdir", "", "optional directory for CSV artifacts")
-		parallel  = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS); with -shards, the per-worker-process pool size (0 = sequential workers)")
+		workers   = flag.Int("workers", 0, "worker pool size for independent simulations, >= 1 (omit for GOMAXPROCS); with -shards, the per-worker-process pool size (omit for sequential workers)")
 		reps      = flag.Int("replications", 5, "workload seeds for -artifact replicate")
 		out       = flag.String("out", "", "optional directory for the run manifest (manifest.json + manifest.csv)")
 		progress  = flag.Bool("progress", true, "report per-task completion on stderr")
-		shards    = flag.Int("shards", 0, "fan tasks out across this many worker OS processes instead of in-process goroutines (table2 and replicate artifacts); 0 = in-process")
+		shards    = flag.Int("shards", 0, "fan tasks out across this many worker OS processes (>= 1) instead of in-process goroutines; omit for in-process execution")
+		diff      = flag.Bool("diff", false, "compare two run manifests: -diff a.json b.json (exit 1 on any difference)")
 		shardWork = flag.Bool("shard-worker", false, "internal: serve the shard worker protocol on stdin/stdout and exit (spawned by -shards coordinators)")
 	)
+	flag.IntVar(workers, "parallel", 0, "deprecated alias for -workers")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set, flag.Args(), *artifact, *specPath, *n, *train, *workers, *reps, *shards, *diff, *shardWork); err != nil {
+		return err
+	}
+
 	// Worker mode: the coordinator process ships the full experiment
-	// spec over stdin, so no other flag matters here.
+	// spec over stdin, so no other flag matters here (and validateFlags
+	// rejects any that were passed).
 	if *shardWork {
 		return experiments.ServeShardWorker(context.Background(), os.Stdin, os.Stdout)
 	}
-
-	h := &harness{cs: experiments.Default()}
-	h.cs.Workload.N = *n
-	h.cs.Workload.Seed = *seed
-	h.cs.FleetSeed = *fleetSeed
-	h.cs.TrainSteps = *train
-	// Resolve the auto default now so the manifest records a concrete
-	// pool cap instead of 0 (batches smaller than the cap use fewer
-	// workers).
-	h.opt.Workers = *parallel
-	if h.opt.Workers <= 0 {
-		h.opt.Workers = runtime.GOMAXPROCS(0)
-	}
-	if *progress {
-		h.opt.OnProgress = func(p runner.Progress) {
-			status := fmt.Sprintf("%.2fs", p.Wall.Seconds())
-			if p.Err != nil {
-				status = "FAILED: " + p.Err.Error()
-			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", p.Done, p.Total, p.Label, status)
-		}
+	if *diff {
+		return diffManifests(flag.Arg(0), flag.Arg(1))
 	}
 
 	for _, dir := range []string{*outdir, *out} {
@@ -129,141 +98,286 @@ func run() error {
 		}
 	}
 
-	var err error
-	switch {
-	case *shards > 0:
-		err = runSharded(h, *artifact, *shards, *parallel, *reps, *outdir, *progress)
-	default:
-		err = runInProcess(h, *artifact, *reps, *outdir)
-	}
-	if err != nil {
-		return err
-	}
+	exec := buildExecutor(*shards, *workers, *progress)
 
-	if *out != "" {
-		if len(h.sums) == 0 {
-			fmt.Fprintf(os.Stderr, "experiments: -artifact %s produces no simulation tasks; no manifest written to %s\n", *artifact, *out)
-			return nil
-		}
-		if err := writeManifest(h, *artifact, *out); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runInProcess(h *harness, artifact string, reps int, outdir string) error {
-	var err error
-	switch artifact {
-	case "replicate":
-		err = replicate(h, reps)
-	case "table2":
-		err = table2(h, outdir)
-	case "fig5":
-		err = fig5(h.cs, outdir)
-	case "fig6":
-		err = fig6(h, outdir)
-	case "ablations":
-		err = ablations(h)
-	case "all":
-		for _, step := range []func() error{
-			func() error { return fig5(h.cs, outdir) },
-			func() error { return table2(h, outdir) },
-			func() error { return fig6(h, outdir) },
-			func() error { return ablations(h) },
-		} {
-			if err = step(); err != nil {
-				break
-			}
-		}
-	default:
-		return fmt.Errorf("unknown artifact %q", artifact)
-	}
-	return err
-}
-
-// runSharded executes the artifact across worker OS processes: the
-// coordinator re-invokes this binary with -shard-worker once per shard,
-// streams back per-task manifest rows, requeues crashed workers'
-// unfinished tasks, and merges the shard manifests in global task
-// order. Only artifacts made of independent pool tasks shard; figure
-// artifacts need in-process run state (training history, per-job
-// fidelity records) that never leaves a worker.
-func runSharded(h *harness, artifact string, shards, parallel, reps int, outdir string, progress bool) error {
-	// The manifest header records total concurrent simulation capacity:
-	// processes × per-process pool, matching the merged-manifest
-	// semantics of records.MergeManifests.
-	h.opt.Workers = shards * max(1, parallel)
-	// -parallel composes with -shards: each worker process runs its
-	// shard through a pool of that size (0 keeps workers sequential —
-	// the process fan-out is the parallelism).
-	opt := experiments.ShardOptions{Shards: shards, Workers: parallel}
-	if progress {
-		opt.OnProgress = func(p shard.Progress) {
-			switch p.Event {
-			case "result":
-				fmt.Fprintf(os.Stderr, "[%d/%d] %s (shard %d)\n", p.Done, p.Total, p.Label, p.Shard)
-			case "retry":
-				fmt.Fprintf(os.Stderr, "shard %d attempt %d crashed (%v); respawning on the remainder\n", p.Shard, p.Attempt, p.Err)
-			}
-		}
-	}
-	switch artifact {
-	case "table2":
-		return table2Sharded(h, opt, outdir)
-	case "replicate":
-		return replicateSharded(h, opt, reps)
-	default:
-		return fmt.Errorf("artifact %q does not support -shards (table2 and replicate do)", artifact)
-	}
-}
-
-func table2Sharded(h *harness, opt experiments.ShardOptions, outdir string) error {
-	fmt.Printf("== Table 2 (sharded across %d worker processes): %d large circuits ==\n", opt.Shards, h.cs.Workload.N)
-	m, err := h.cs.RunAllSharded(context.Background(), opt)
-	if err != nil {
-		return err
-	}
-	h.sums = append(h.sums, m.Runs...)
-	rows := make([]t2row, len(m.Runs))
-	for i, r := range m.Runs {
-		rows[i] = t2row{
-			mode: r.Mode, tsim: r.TsimS, muF: r.FidelityMean, sigmaF: r.FidelityStd,
-			tcomm: r.TcommS, kMean: r.MeanDevicesPerJob, wait: r.MeanWaitS,
-		}
-	}
-	printTable2(rows)
-	return writeTable2CSV(outdir, rows)
-}
-
-func replicateSharded(h *harness, opt experiments.ShardOptions, reps int) error {
-	seeds, err := replicationSeeds(reps)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("== Table 2 replicated over %d workload seeds (sharded across %d worker processes) ==\n", len(seeds), opt.Shards)
-	printReplicateHeader()
-	for _, mode := range experiments.Modes {
-		m, err := h.cs.RunReplicatedSharded(context.Background(), opt, mode, seeds)
+	// Spec path: the file IS the experiment; only execution knobs come
+	// from flags.
+	if *specPath != "" {
+		spec, err := experiments.LoadSpecFile(*specPath)
 		if err != nil {
 			return err
 		}
-		h.sums = append(h.sums, m.Runs...)
-		var tsim, muF, tcomm []float64
-		for _, r := range m.Runs {
-			tsim = append(tsim, r.TsimS)
-			muF = append(muF, r.FidelityMean)
-			tcomm = append(tcomm, r.TcommS)
+		m, err := experiments.Run(context.Background(), *spec, exec)
+		if err != nil {
+			return err
 		}
-		ts, mf, tc := stats.AggregateSamples(tsim), stats.AggregateSamples(muF), stats.AggregateSamples(tcomm)
-		printReplicateRow(mode, ts.Mean, ts.Std, mf.Mean, mf.Std, tc.Mean, tc.Std, mf.CI95)
+		fmt.Fprintf(os.Stderr, "spec %q: %d task(s) via the %s executor\n", m.Label, len(m.Runs), exec.Name())
+		if *out == "" {
+			// No manifest directory: the manifest is the output, so emit
+			// it on stdout for pipelines.
+			return m.WriteJSON(os.Stdout)
+		}
+		return writeManifest(m, *out)
+	}
+
+	// Flag path. Manifest artifacts compile to a Spec and share the
+	// exact Run code path with -spec; figure artifacts stay on the
+	// in-process harness.
+	switch *artifact {
+	case "table2", "replicate", "ablations":
+		spec, err := compileSpec(*artifact, *scenario, *n, *seed, *fleetSeed, *train, *reps)
+		if err != nil {
+			return err
+		}
+		m, err := experiments.Run(context.Background(), spec, exec)
+		if err != nil {
+			return err
+		}
+		if err := renderArtifact(*artifact, m, *shards, *outdir); err != nil {
+			return err
+		}
+		if *out != "" {
+			return writeManifest(m, *out)
+		}
+		return nil
+	case "fig5", "fig6", "all":
+		return runFigures(*artifact, *scenario, *n, *seed, *fleetSeed, *train, *workers, *progress, *outdir, *out)
+	default:
+		return fmt.Errorf("unknown artifact %q", *artifact)
+	}
+}
+
+// validateFlags rejects inconsistent flag combinations up front, with
+// actionable messages, instead of failing late inside a run (or worse,
+// silently ignoring a flag the user set).
+func validateFlags(set map[string]bool, args []string, artifact, specPath string, n, train, workers, reps, shards int, diff, shardWork bool) error {
+	switch {
+	case shardWork:
+		if len(set) > 1 || len(args) > 0 {
+			return fmt.Errorf("-shard-worker is internal (spawned by -shards coordinators) and takes no other flags or arguments")
+		}
+		return nil
+	case diff:
+		if len(set) > 1 {
+			return fmt.Errorf("-diff takes exactly two manifest paths and no other flags")
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("-diff takes exactly two manifest paths, have %d", len(args))
+		}
+		return nil
+	case len(args) > 0:
+		return fmt.Errorf("unexpected arguments %q (all inputs are flags; -diff takes the only positional arguments)", args)
+	}
+	if (set["workers"] || set["parallel"]) && workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (omit the flag for the automatic default)")
+	}
+	if set["shards"] && shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (omit the flag for in-process execution)")
+	}
+	if reps < 1 {
+		return fmt.Errorf("-replications must be >= 1, have %d", reps)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n must be >= 1, have %d", n)
+	}
+	if train < 1 {
+		return fmt.Errorf("-train must be >= 1, have %d", train)
+	}
+	if specPath != "" {
+		for _, f := range []string{"artifact", "scenario", "n", "train", "seed", "fleet-seed", "replications", "outdir"} {
+			if set[f] {
+				return fmt.Errorf("-spec is a self-contained experiment description; -%s conflicts with it (set it inside the spec file)", f)
+			}
+		}
+		return nil
+	}
+	if shards > 0 {
+		switch artifact {
+		case "table2", "replicate", "ablations":
+		default:
+			return fmt.Errorf("artifact %q does not support -shards: figure artifacts need in-process run state (table2, replicate and ablations do)", artifact)
+		}
 	}
 	return nil
 }
 
-// t2row is one Table 2 line — the shape shared by the in-process
-// renderer (fed from core.Results) and the sharded one (fed from
-// manifest rows), so the two paths cannot drift apart.
+// progressPrinter reports per-task completion on stderr — the one
+// progress format shared by every execution path. Wall time is omitted
+// when unknown (sharded rows spend it inside the worker process).
+func progressPrinter(p runner.Progress) {
+	status := ""
+	if p.Wall > 0 {
+		status = fmt.Sprintf(" (%.2fs)", p.Wall.Seconds())
+	}
+	if p.Err != nil {
+		status = " (FAILED: " + p.Err.Error() + ")"
+	}
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", p.Done, p.Total, p.Label, status)
+}
+
+// buildExecutor maps the execution flags onto an Executor: worker OS
+// processes when -shards is set, the in-process pool otherwise. Both
+// share one progress wiring through ExecOptions.
+func buildExecutor(shards, workers int, progress bool) experiments.Executor {
+	opt := experiments.ExecOptions{Workers: workers}
+	if progress {
+		opt.OnProgress = progressPrinter
+	}
+	if shards > 0 {
+		so := experiments.ShardOptions{ExecOptions: opt, Shards: shards}
+		if progress {
+			so.OnEvent = func(p shard.Progress) {
+				if p.Event == "retry" {
+					fmt.Fprintf(os.Stderr, "shard %d attempt %d crashed (%v); respawning on the remainder\n", p.Shard, p.Attempt, p.Err)
+				}
+			}
+		}
+		return experiments.Sharded{Options: so}
+	}
+	return experiments.Parallel{Options: opt}
+}
+
+// compileSpec lowers the artifact flags onto the declarative Spec the
+// -spec path consumes, so both are one code path by construction.
+func compileSpec(artifact, scenario string, n int, seed, fleetSeed int64, train, reps int) (experiments.Spec, error) {
+	s := experiments.Spec{
+		Name:       artifact,
+		Scenario:   scenario,
+		Jobs:       n,
+		Seed:       &seed,
+		FleetSeed:  &fleetSeed,
+		TrainSteps: train,
+	}
+	switch artifact {
+	case "table2":
+		s.Matrices = []experiments.TaskMatrix{{Kind: "modes"}}
+	case "replicate":
+		seeds := replicationSeeds(reps)
+		for _, mode := range experiments.Modes {
+			s.Matrices = append(s.Matrices, experiments.TaskMatrix{Kind: "replicate", Mode: mode, Seeds: seeds})
+		}
+	case "ablations":
+		s.Matrices = []experiments.TaskMatrix{
+			{Kind: "phi-sweep", Mode: "speed", Values: []float64{0.85, 0.90, 0.95, 1.0}},
+			{Kind: "lambda-sweep", Mode: "fair", Values: []float64{0.0, 0.02, 0.05, 0.1}},
+			{Kind: "rl-deploy"},
+		}
+	default:
+		return experiments.Spec{}, fmt.Errorf("artifact %q has no spec form", artifact)
+	}
+	return s, nil
+}
+
+// renderArtifact prints the artifact's stdout report from the
+// manifest rows — one renderer regardless of which executor ran the
+// tasks.
+func renderArtifact(artifact string, m *records.RunManifest, shards int, outdir string) error {
+	how := "in-process"
+	if shards > 0 {
+		how = fmt.Sprintf("sharded across %d worker processes", shards)
+	}
+	switch artifact {
+	case "table2":
+		fmt.Printf("== Table 2 (%s): performance of allocation strategies on %d large circuits ==\n", how, m.Runs[0].Jobs)
+		rows := make([]t2row, 0, len(m.Runs))
+		for _, r := range m.Runs {
+			if r.Kind != "mode" {
+				continue
+			}
+			rows = append(rows, t2row{
+				mode: r.Mode, tsim: r.TsimS, muF: r.FidelityMean, sigmaF: r.FidelityStd,
+				tcomm: r.TcommS, kMean: r.MeanDevicesPerJob, wait: r.MeanWaitS,
+			})
+		}
+		printTable2(rows)
+		return writeTable2CSV(outdir, rows)
+	case "replicate":
+		byMode := map[string][]records.RunSummary{}
+		for _, r := range m.Runs {
+			if r.Kind == "replicate" {
+				byMode[r.Mode] = append(byMode[r.Mode], r)
+			}
+		}
+		fmt.Printf("== Table 2 replicated over %d workload seeds (%s) ==\n", len(byMode[experiments.Modes[0]]), how)
+		printReplicateHeader()
+		for _, mode := range experiments.Modes {
+			var tsim, muF, tcomm []float64
+			for _, r := range byMode[mode] {
+				tsim = append(tsim, r.TsimS)
+				muF = append(muF, r.FidelityMean)
+				tcomm = append(tcomm, r.TcommS)
+			}
+			ts, mf, tc := stats.AggregateSamples(tsim), stats.AggregateSamples(muF), stats.AggregateSamples(tcomm)
+			printReplicateRow(mode, ts.Mean, ts.Std, mf.Mean, mf.Std, tc.Mean, tc.Std, mf.CI95)
+		}
+		return nil
+	case "ablations":
+		fmt.Println("== Ablation: communication penalty phi (speed mode) ==")
+		for _, r := range m.Runs {
+			if r.Kind == "phi-sweep" {
+				fmt.Printf("  phi=%.2f  muF=%.5f\n", r.Param, r.FidelityMean)
+			}
+		}
+		fmt.Println("== Ablation: per-qubit latency lambda (fair mode) ==")
+		for _, r := range m.Runs {
+			if r.Kind == "lambda-sweep" {
+				fmt.Printf("  lambda=%.2f  Tcomm=%.1f  Tsim=%.1f\n", r.Param, r.TcommS, r.TsimS)
+			}
+		}
+		fmt.Println("== Ablation: RL deployment mode (sampled vs deterministic) ==")
+		for _, r := range m.Runs {
+			if r.Kind != "rl-deploy" {
+				continue
+			}
+			name := "sampled:      "
+			if r.RLDeterministic != nil && *r.RLDeterministic {
+				name = "deterministic:"
+			}
+			fmt.Printf("  %s muF=%.5f sigma=%.5f Tcomm=%.1f k=%.2f\n",
+				name, r.FidelityMean, r.FidelityStd, r.TcommS, r.MeanDevicesPerJob)
+		}
+		return nil
+	default:
+		return fmt.Errorf("artifact %q has no manifest renderer", artifact)
+	}
+}
+
+// diffManifests loads two saved manifests and reports their per-task
+// deltas; any difference is an error so scripts and CI can gate on the
+// exit code.
+func diffManifests(pathA, pathB string) error {
+	load := func(path string) (*records.RunManifest, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := records.ReadManifestJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	a, err := load(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := load(pathB)
+	if err != nil {
+		return err
+	}
+	d := records.DiffManifests(a, b)
+	if err := d.Write(os.Stdout); err != nil {
+		return err
+	}
+	if !d.Empty() {
+		return fmt.Errorf("manifests differ: %d task(s) with deltas, %d only in %s, %d only in %s",
+			len(d.Rows), len(d.OnlyInA), pathA, len(d.OnlyInB), pathB)
+	}
+	return nil
+}
+
+// t2row is one Table 2 line.
 type t2row struct {
 	mode                                  string
 	tsim, muF, sigmaF, tcomm, kMean, wait float64
@@ -295,16 +409,14 @@ func writeTable2CSV(outdir string, rows []t2row) error {
 }
 
 // replicationSeeds is the canonical seed list for -artifact replicate:
-// 1..reps, identical for the in-process and sharded paths.
-func replicationSeeds(reps int) ([]int64, error) {
-	if reps < 1 {
-		return nil, fmt.Errorf("need at least 1 replication, have %d", reps)
-	}
+// 1..reps, so the flag path and a spec file listing the same seeds
+// describe the same run.
+func replicationSeeds(reps int) []int64 {
 	seeds := make([]int64, reps)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
-	return seeds, nil
+	return seeds
 }
 
 func printReplicateHeader() {
@@ -316,9 +428,8 @@ func printReplicateRow(mode string, tsimMean, tsimStd, mufMean, mufStd, tcommMea
 		mode, tsimMean, tsimStd, mufMean, mufStd, tcommMean, tcommStd, ci)
 }
 
-// writeManifest exports the accumulated run summaries as JSON and CSV.
-func writeManifest(h *harness, label, dir string) error {
-	m := &records.RunManifest{Label: label, Workers: h.opt.Workers, Runs: h.sums}
+// writeManifest exports a run manifest as JSON and CSV.
+func writeManifest(m *records.RunManifest, dir string) error {
 	for _, name := range []string{"manifest.json", "manifest.csv"} {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
@@ -340,31 +451,93 @@ func writeManifest(h *harness, label, dir string) error {
 	return nil
 }
 
-// replicate reports Table 2 metrics as mean ± std (with a 95% CI for
-// the mean) over independent workload seeds — the statistical
-// replication the paper's single run lacks.
-func replicate(h *harness, reps int) error {
-	seeds, err := replicationSeeds(reps)
+// runFigures drives the artifacts that need in-process run state
+// (training history for fig5, per-job fidelity records for fig6, and
+// the combined "all", which also prints Table 2 and the ablations from
+// its cached four-mode fan-out).
+func runFigures(artifact, scenario string, n int, seed, fleetSeed int64, train, workers int, progress bool, outdir, out string) error {
+	base := experiments.Spec{Scenario: scenario, Jobs: n, Seed: &seed, FleetSeed: &fleetSeed, TrainSteps: train}
+	cs, err := base.CaseStudy()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== Table 2 replicated over %d workload seeds ==\n", len(seeds))
-	printReplicateHeader()
-	for _, mode := range experiments.Modes {
-		rep, arts, err := h.cs.RunReplicatedParallel(context.Background(), h.opt, mode, seeds)
-		if err != nil {
-			return err
+	h := &harness{cs: cs}
+	// Resolve the auto default now so the manifest records a concrete
+	// pool cap instead of 0.
+	h.opt.Workers = workers
+	if h.opt.Workers <= 0 {
+		h.opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if progress {
+		h.opt.OnProgress = progressPrinter
+	}
+
+	switch artifact {
+	case "fig5":
+		err = fig5(h.cs, outdir)
+	case "fig6":
+		err = fig6(h, outdir)
+	case "all":
+		for _, step := range []func() error{
+			func() error { return fig5(h.cs, outdir) },
+			func() error { return table2All(h, outdir) },
+			func() error { return fig6(h, outdir) },
+			func() error { return ablationsAll(h) },
+		} {
+			if err = step(); err != nil {
+				break
+			}
 		}
-		h.collect(arts)
-		printReplicateRow(mode, rep.TsimStat.Mean, rep.TsimStat.Std,
-			rep.MuFStat.Mean, rep.MuFStat.Std,
-			rep.TcommStat.Mean, rep.TcommStat.Std,
-			rep.MuFStat.CI95)
+	}
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if len(h.sums) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -artifact %s produces no simulation tasks; no manifest written to %s\n", artifact, out)
+			return nil
+		}
+		return writeManifest(&records.RunManifest{Label: artifact, Workers: h.opt.Workers, Runs: h.sums}, out)
 	}
 	return nil
 }
 
-func table2(h *harness, outdir string) error {
+// harness bundles the case study with the orchestration options and
+// accumulates a manifest row per task it runs, for the figure
+// artifacts that need full in-process runs. Only the flat summaries
+// are kept — holding full RunArtifacts would pin every simulation's
+// record set in memory until exit.
+type harness struct {
+	cs   *experiments.CaseStudy
+	opt  experiments.ExecOptions
+	sums []records.RunSummary
+	// runs caches the four-mode fan-out so "all" reuses one execution
+	// for Table 2, Figure 6 and the manifest.
+	runs map[string]*experiments.ModeRun
+}
+
+func (h *harness) collect(arts []experiments.RunArtifact) {
+	for i := range arts {
+		h.sums = append(h.sums, arts[i].Summary())
+	}
+}
+
+func (h *harness) runAll() (map[string]*experiments.ModeRun, error) {
+	if h.runs != nil {
+		return h.runs, nil
+	}
+	runs, arts, err := h.cs.RunAllParallel(context.Background(), h.opt)
+	if err != nil {
+		return nil, err
+	}
+	h.collect(arts)
+	h.runs = runs
+	return runs, nil
+}
+
+// table2All renders Table 2 inside -artifact all from the cached
+// four-mode fan-out (which fig6 shares).
+func table2All(h *harness, outdir string) error {
 	fmt.Printf("== Table 2: performance of allocation strategies on %d large circuits ==\n", h.cs.Workload.N)
 	runs, err := h.runAll()
 	if err != nil {
@@ -441,7 +614,10 @@ func fig6(h *harness, outdir string) error {
 	return nil
 }
 
-func ablations(h *harness) error {
+// ablationsAll renders the ablation sweeps inside -artifact all via
+// the legacy in-process entry points (sharing the harness's manifest
+// accumulation).
+func ablationsAll(h *harness) error {
 	ctx := context.Background()
 	fmt.Println("== Ablation: communication penalty phi (speed mode) ==")
 	phiPoints, arts, err := h.cs.PhiSweepParallel(ctx, h.opt, "speed", []float64{0.85, 0.90, 0.95, 1.0})

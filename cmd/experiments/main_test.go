@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestCommittedSpecsLoad: every spec file shipped under specs/ (the
+// README examples and the CI smoke spec) must load and validate — a
+// broken example is a broken promise.
+func TestCommittedSpecsLoad(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed spec files found under specs/")
+	}
+	for _, path := range matches {
+		if _, err := experiments.LoadSpecFile(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
+
+// TestCompileSpecRoundTrips: every manifest artifact compiles to a
+// valid Spec that survives the spec-file encoding unchanged — the
+// flag path and the -spec path describe runs in the same currency.
+func TestCompileSpecRoundTrips(t *testing.T) {
+	for _, artifact := range []string{"table2", "replicate", "ablations"} {
+		spec, err := compileSpec(artifact, "", 30, 1, 2025, 2048, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", artifact, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: compiled spec invalid: %v", artifact, err)
+		}
+		var buf bytes.Buffer
+		if err := spec.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := experiments.LoadSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s: reloading compiled spec: %v", artifact, err)
+		}
+		if !reflect.DeepEqual(*loaded, spec) {
+			t.Fatalf("%s: compiled spec does not round-trip:\n%+v\n%+v", artifact, spec, *loaded)
+		}
+	}
+	if _, err := compileSpec("fig5", "", 30, 1, 2025, 2048, 3); err == nil {
+		t.Fatal("figure artifact compiled to a spec")
+	}
+}
+
+// TestCompileSpecShapes pins the task matrices each artifact lowers
+// to: table2 is the four-mode fan-out, replicate is one matrix per
+// mode over seeds 1..reps, ablations is the paper's three sweeps.
+func TestCompileSpecShapes(t *testing.T) {
+	table2, _ := compileSpec("table2", "stress-arrivals", 50, 9, 7, 100, 3)
+	if table2.Scenario != "stress-arrivals" || table2.Jobs != 50 || *table2.Seed != 9 ||
+		*table2.FleetSeed != 7 || table2.TrainSteps != 100 {
+		t.Fatalf("flag overrides lost: %+v", table2)
+	}
+	if len(table2.Matrices) != 1 || table2.Matrices[0].Kind != "modes" {
+		t.Fatalf("table2 matrices = %+v", table2.Matrices)
+	}
+	rep, _ := compileSpec("replicate", "", 30, 1, 2025, 2048, 3)
+	if len(rep.Matrices) != len(experiments.Modes) {
+		t.Fatalf("replicate matrices = %d, want one per mode", len(rep.Matrices))
+	}
+	for i, m := range rep.Matrices {
+		if m.Kind != "replicate" || m.Mode != experiments.Modes[i] || len(m.Seeds) != 3 || m.Seeds[0] != 1 {
+			t.Fatalf("replicate matrix %d = %+v", i, m)
+		}
+	}
+	abl, _ := compileSpec("ablations", "", 30, 1, 2025, 2048, 3)
+	kinds := make([]string, len(abl.Matrices))
+	for i, m := range abl.Matrices {
+		kinds[i] = m.Kind
+	}
+	if !reflect.DeepEqual(kinds, []string{"phi-sweep", "lambda-sweep", "rl-deploy"}) {
+		t.Fatalf("ablation kinds = %v", kinds)
+	}
+}
+
+// TestValidateFlags drives the upfront flag-combination validation:
+// each rejected combination must fail before any simulation starts,
+// with a message naming the offending flag.
+func TestValidateFlags(t *testing.T) {
+	type args struct {
+		set       map[string]bool
+		args      []string
+		artifact  string
+		spec      string
+		n         int
+		train     int
+		workers   int
+		reps      int
+		shards    int
+		diff      bool
+		shardWork bool
+	}
+	ok := func(a args) args { // fill valid defaults
+		if a.artifact == "" {
+			a.artifact = "all"
+		}
+		if a.n == 0 {
+			a.n = 1000
+		}
+		if a.train == 0 {
+			a.train = 100000
+		}
+		if a.reps == 0 {
+			a.reps = 5
+		}
+		if a.set == nil {
+			a.set = map[string]bool{}
+		}
+		return a
+	}
+	cases := []struct {
+		name string
+		a    args
+		want string // "" means accepted
+	}{
+		{"defaults", ok(args{}), ""},
+		{"shard worker alone", ok(args{set: map[string]bool{"shard-worker": true}, shardWork: true}), ""},
+		{"shard worker with flags", ok(args{set: map[string]bool{"shard-worker": true, "n": true}, shardWork: true}), "internal"},
+		{"diff two paths", ok(args{set: map[string]bool{"diff": true}, args: []string{"a.json", "b.json"}, diff: true}), ""},
+		{"diff one path", ok(args{set: map[string]bool{"diff": true}, args: []string{"a.json"}, diff: true}), "exactly two"},
+		{"diff with flags", ok(args{set: map[string]bool{"diff": true, "n": true}, args: []string{"a.json", "b.json"}, diff: true}), "no other flags"},
+		{"stray args", ok(args{args: []string{"table2"}}), "unexpected arguments"},
+		{"workers zero", ok(args{set: map[string]bool{"workers": true}}), "-workers must be >= 1"},
+		{"parallel alias zero", ok(args{set: map[string]bool{"parallel": true}}), "-workers must be >= 1"},
+		{"workers set valid", ok(args{set: map[string]bool{"workers": true}, workers: 4}), ""},
+		{"shards zero", ok(args{set: map[string]bool{"shards": true}}), "-shards must be >= 1"},
+		{"shards valid", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "table2"}), ""},
+		{"replications zero", ok(args{set: map[string]bool{"replications": true}, reps: -5}), "-replications"},
+		{"n zero", ok(args{set: map[string]bool{"n": true}, n: -1}), "-n"},
+		{"train zero", ok(args{set: map[string]bool{"train": true}, train: -1}), "-train"},
+		{"spec with artifact", ok(args{set: map[string]bool{"spec": true, "artifact": true}, spec: "s.json"}), "-artifact conflicts"},
+		{"spec with seed", ok(args{set: map[string]bool{"spec": true, "seed": true}, spec: "s.json"}), "-seed conflicts"},
+		{"spec with shards", ok(args{set: map[string]bool{"spec": true, "shards": true}, spec: "s.json", shards: 2}), ""},
+		{"fig5 sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "fig5"}), "does not support -shards"},
+		{"all sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "all"}), "does not support -shards"},
+		{"ablations sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "ablations"}), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.a.set, c.a.args, c.a.artifact, c.a.spec,
+				c.a.n, c.a.train, c.a.workers, c.a.reps, c.a.shards, c.a.diff, c.a.shardWork)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,20 +1,25 @@
-// Command shardedrun walks through the multi-process shard executor:
-// how a coordinator process fans an experiment's task matrix out across
-// worker OS processes, and how any binary becomes its own worker.
+// Command shardedrun walks through the declarative experiments API on
+// its multi-process backend: one experiments.Spec — scenario, task
+// matrices, overrides — executed by experiments.Run on the Sharded
+// executor, which fans the expanded task list out across worker OS
+// processes.
 //
-// The protocol in one paragraph: the coordinator enumerates the task
-// matrix (here: one replicated Table 2 run per workload seed),
-// partitions the task indices into contiguous shards, and re-invokes
-// THIS binary with -shard-worker once per shard. Each worker receives
-// one length-prefixed JSON frame on stdin — the full experiment spec
-// plus its assigned indices — re-enumerates the identical task list,
-// verifies the labels match, and streams one manifest row per finished
-// simulation back over stdout. Because results stream as they finish, a
-// worker that dies mid-shard only forfeits its unfinished tasks: the
-// coordinator respawns a fresh process on the remainder (bounded
-// retries), and the final records.MergeManifests pass fails loudly if
-// any task ever went missing or ran twice. For fixed seeds the merged
-// manifest is bit-identical to an in-process run, wall times aside.
+// The protocol in one paragraph: Run expands the spec's task matrix
+// (here: one replicated Table 2 run per workload seed), the shard
+// coordinator partitions the task indices into contiguous shards and
+// re-invokes THIS binary with -shard-worker once per shard. Each
+// worker receives one length-prefixed JSON frame on stdin — the full
+// experiment spec plus its assigned indices — re-enumerates the
+// identical task list, verifies the labels match, and streams one
+// manifest row per finished simulation back over stdout. Because
+// results stream as they finish, a worker that dies mid-shard only
+// forfeits its unfinished tasks: the coordinator respawns a fresh
+// process on the remainder (bounded retries), and the final
+// records.MergeManifests pass fails loudly if any task ever went
+// missing or ran twice. For fixed seeds the merged manifest is
+// bit-identical to the same spec run on the Sequential or Parallel
+// executor — swapping executors changes how tasks run, never what
+// they produce.
 //
 // Run it:
 //
@@ -50,16 +55,24 @@ func main() {
 		return
 	}
 
-	// Coordinator half: a scaled-down case study (60 jobs instead of
-	// 1,000) replicated across five workload seeds under the speed
-	// strategy — five independent simulations to partition.
-	cs := experiments.Default()
-	cs.Workload.N = 60
-	seeds := []int64{1, 2, 3, 4, 5}
+	// Coordinator half: declare the experiment as a Spec — the paper
+	// scenario scaled down to 60 jobs, replicated across five workload
+	// seeds under the speed strategy — five independent simulations to
+	// partition. The same Spec runs unchanged on the Sequential or
+	// Parallel executor, or from a JSON file via
+	// `go run ./cmd/experiments -spec`.
+	spec := experiments.Spec{
+		Name:     "shardedrun",
+		Scenario: "paper",
+		Jobs:     60,
+		Matrices: []experiments.TaskMatrix{
+			{Kind: "replicate", Mode: "speed", Seeds: []int64{1, 2, 3, 4, 5}},
+		},
+	}
 
-	opt := experiments.ShardOptions{
+	exec := experiments.Sharded{Options: experiments.ShardOptions{
 		Shards: *shards,
-		OnProgress: func(p shard.Progress) {
+		OnEvent: func(p shard.Progress) {
 			switch p.Event {
 			case "result":
 				fmt.Fprintf(os.Stderr, "[%d/%d] %s finished on shard %d\n", p.Done, p.Total, p.Label, p.Shard)
@@ -67,8 +80,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "shard %d crashed (%v); respawning on its remainder\n", p.Shard, p.Err)
 			}
 		},
-	}
-	m, err := cs.RunReplicatedSharded(context.Background(), opt, "speed", seeds)
+	}}
+	m, err := experiments.Run(context.Background(), spec, exec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shardedrun:", err)
 		os.Exit(1)

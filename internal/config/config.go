@@ -108,8 +108,9 @@ type ModelSpec struct {
 type Spec struct {
 	Devices  []DeviceSpec `json:"devices"`
 	Workload WorkloadSpec `json:"workload"`
-	// Policy is "speed", "fidelity", "fair", "rlbase",
-	// "speed-proportional", or "fair-proportional".
+	// Policy names any registered allocation policy (policy.Names():
+	// "speed", "fidelity", "fair", "rlbase", the proportional
+	// variants, "oracle", plus user registrations).
 	Policy string `json:"policy"`
 	// RLModelPath locates a trained policy for "rlbase".
 	RLModelPath string `json:"rl_model_path,omitempty"`
@@ -182,14 +183,11 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("config: unknown workload source %q", s.Workload.Source)
 	}
-	switch s.Policy {
-	case "speed", "fidelity", "fair", "speed-proportional", "fair-proportional":
-	case "rlbase":
-		if s.RLModelPath == "" {
-			return fmt.Errorf("config: rlbase policy needs rl_model_path")
-		}
-	default:
-		return fmt.Errorf("config: unknown policy %q", s.Policy)
+	if !policy.Registered(s.Policy) {
+		return fmt.Errorf("config: unknown policy %q (registered: %v)", s.Policy, policy.Names())
+	}
+	if policy.NeedsModel(s.Policy) && s.RLModelPath == "" {
+		return fmt.Errorf("config: %s policy needs rl_model_path", s.Policy)
 	}
 	if s.Model.M <= 0 || s.Model.K <= 0 {
 		return fmt.Errorf("config: model constants M=%d K=%d", s.Model.M, s.Model.K)
@@ -327,21 +325,17 @@ func (s *Spec) BuildWorkload(baseDir string) ([]*job.QJob, error) {
 	}
 }
 
-// BuildPolicy constructs the specified allocation policy. Relative RL
-// model paths are resolved against baseDir.
+// BuildPolicy constructs the specified allocation policy through the
+// policy registry, so user-registered strategies resolve here without
+// touching this package. Model-requiring policies (rlbase) load their
+// trained model from RLModelPath; relative paths resolve against
+// baseDir.
 func (s *Spec) BuildPolicy(baseDir string) (policy.Policy, error) {
-	switch s.Policy {
-	case "speed":
-		return policy.Speed{}, nil
-	case "fidelity":
-		return policy.Fidelity{}, nil
-	case "fair":
-		return policy.Fair{}, nil
-	case "speed-proportional":
-		return policy.ProportionalSpeed{}, nil
-	case "fair-proportional":
-		return policy.ProportionalFair{}, nil
-	case "rlbase":
+	p := policy.Params{Seed: s.RLSeed, Phi: s.Model.Phi}
+	if policy.NeedsModel(s.Policy) {
+		if s.RLModelPath == "" {
+			return nil, fmt.Errorf("config: %s policy needs rl_model_path", s.Policy)
+		}
 		path := s.RLModelPath
 		if !filepath.IsAbs(path) && baseDir != "" {
 			path = filepath.Join(baseDir, path)
@@ -350,10 +344,9 @@ func (s *Spec) BuildPolicy(baseDir string) (policy.Policy, error) {
 		if err != nil {
 			return nil, err
 		}
-		return rlsched.NewRLPolicy(trained, s.RLSeed), nil
-	default:
-		return nil, fmt.Errorf("config: unknown policy %q", s.Policy)
+		p.Model = trained
 	}
+	return policy.New(s.Policy, p)
 }
 
 // CoreConfig converts the model block.

@@ -1,0 +1,151 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/calib"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// A fleet preset is a named, seeded fleet constructor: everything a
+// worker process needs to rebuild the same cloud is the preset name
+// plus the calibration seed, which is what lets scenario variants
+// travel inside a JSON ShardSpec. The standard (paper) fleet is the
+// empty-name default.
+type presetDef struct {
+	build func(env *sim.Environment, seed int64, opts ...Option) ([]*Device, error)
+	// maxSingle and total are the preset's largest single-device and
+	// whole-cloud qubit capacities — the Eq. 1 constraint bounds.
+	maxSingle, total int
+}
+
+var presets = map[string]presetDef{
+	"":         {build: StandardFleet, maxSingle: 127, total: 635},
+	"standard": {build: StandardFleet, maxSingle: 127, total: 635},
+	"hetero":   {build: HeterogeneousFleet, maxSingle: 127, total: 426},
+}
+
+// PresetFleet builds the named fleet preset: "" or "standard" for the
+// paper's five 127-qubit devices, "hetero" for the mixed-capacity
+// variant.
+func PresetFleet(name string, env *sim.Environment, seed int64, opts ...Option) ([]*Device, error) {
+	p, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("device: unknown fleet preset %q (have %v)", name, PresetNames())
+	}
+	return p.build(env, seed, opts...)
+}
+
+// PresetCapacity returns the named preset's largest single-device and
+// total cloud qubit capacities — the bounds of the Eq. 1 distributed
+// constraint a workload must sit between.
+func PresetCapacity(name string) (maxSingle, total int, err error) {
+	p, ok := presets[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("device: unknown fleet preset %q (have %v)", name, PresetNames())
+	}
+	return p.maxSingle, p.total, nil
+}
+
+// PresetNames lists the registered fleet presets, sorted, with the
+// empty default omitted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// heteroProfiles describes the mixed-capacity fleet: two full Eagle
+// processors backed by three smaller machines, so allocation policies
+// face genuinely unequal devices (capacity, speed, and calibration all
+// vary) instead of the paper's uniform 127-qubit cloud.
+func heteroProfiles() []calib.Profile {
+	return []calib.Profile{
+		{
+			Name: "hx_large_a", NumQubits: 127,
+			MedianReadout: 0.0110, Median1Q: 2.3e-4, Median2Q: 7.2e-3,
+			MedianT1: 275, MedianT2: 195, Spread: 0.30,
+		},
+		{
+			Name: "hx_large_b", NumQubits: 127,
+			MedianReadout: 0.0150, Median1Q: 2.8e-4, Median2Q: 9.5e-3,
+			MedianT1: 245, MedianT2: 165, Spread: 0.30,
+		},
+		{
+			Name: "hx_mid", NumQubits: 80,
+			MedianReadout: 0.0125, Median1Q: 2.5e-4, Median2Q: 8.0e-3,
+			MedianT1: 260, MedianT2: 180, Spread: 0.30,
+		},
+		{
+			Name: "hx_small_a", NumQubits: 65,
+			MedianReadout: 0.0095, Median1Q: 2.1e-4, Median2Q: 6.5e-3,
+			MedianT1: 290, MedianT2: 210, Spread: 0.30,
+		},
+		{
+			Name: "hx_small_b", NumQubits: 27,
+			MedianReadout: 0.0180, Median1Q: 3.0e-4, Median2Q: 1.2e-2,
+			MedianT1: 235, MedianT2: 155, Spread: 0.30,
+		},
+	}
+}
+
+// heteroCLOPS rates the mixed fleet: the small machines are the fast
+// ones, so the speed and fidelity modes genuinely disagree about
+// device ranking.
+var heteroCLOPS = map[string]float64{
+	"hx_large_a": 32000,
+	"hx_large_b": 30000,
+	"hx_mid":     180000,
+	"hx_small_a": 200000,
+	"hx_small_b": 220000,
+}
+
+// HeterogeneousFleet builds the mixed-capacity preset: 127+127+80+65+27
+// qubits (426 total, largest device 127 — the paper's q ∈ [130,250]
+// workload still satisfies Eq. 1 on it). Sub-Eagle devices use a
+// heavy-hex lattice trimmed to their qubit count, like config-driven
+// custom devices.
+func HeterogeneousFleet(env *sim.Environment, seed int64, opts ...Option) ([]*Device, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var fleet []*Device
+	for _, p := range heteroProfiles() {
+		topo, err := heavyHexSized(p.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		snap := calib.Synthesize(rng, p, topo.Edges(), calib.CalibrationTimestamp)
+		clops, ok := heteroCLOPS[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("device: no CLOPS rating for %s", p.Name)
+		}
+		d, err := New(env, topo, snap, clops, calib.StandardQuantumVolume, opts...)
+		if err != nil {
+			return nil, err
+		}
+		fleet = append(fleet, d)
+	}
+	return fleet, nil
+}
+
+// heavyHexSized builds an n-qubit heavy-hex coupling map: the exact
+// Eagle lattice at 127 qubits, a connected trim of a large-enough
+// lattice otherwise.
+func heavyHexSized(n int) (*graph.Graph, error) {
+	if n == 127 {
+		return graph.Eagle127(), nil
+	}
+	for rows := 3; rows <= 64; rows++ {
+		if g := graph.HeavyHex(rows, 15, 4); g.NumVertices() >= n {
+			return g.ConnectedTrim(n), nil
+		}
+	}
+	return nil, fmt.Errorf("device: heavy-hex cannot reach %d qubits", n)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/records"
+)
+
+// Executor is the pluggable execution backend behind Run: it receives
+// a fully configured case study plus one task matrix and returns the
+// manifest rows in global task order. All three built-ins — Sequential,
+// Parallel, Sharded — are bit-identical for fixed seeds (wall times
+// aside), because they expand the same matrix through the same
+// enumeration and every task runs on a private snapshot seeded only
+// from the case study's configuration. A future hosts-level backend
+// (SSH/TCP transport per ROADMAP) implements this same interface by
+// swapping the process spawn inside the shard coordinator.
+type Executor interface {
+	// Name identifies the backend in logs and errors.
+	Name() string
+	// Execute runs every task of the matrix and returns the manifest.
+	Execute(ctx context.Context, cs *CaseStudy, m TaskMatrix) (*records.RunManifest, error)
+}
+
+// Sequential executes the matrix one task at a time in-process — the
+// reference backend the others are measured against.
+type Sequential struct {
+	// Options' Workers is ignored (forced to 1); OnProgress applies.
+	Options ExecOptions
+}
+
+// Name implements Executor.
+func (Sequential) Name() string { return "sequential" }
+
+// Execute implements Executor.
+func (e Sequential) Execute(ctx context.Context, cs *CaseStudy, m TaskMatrix) (*records.RunManifest, error) {
+	opt := e.Options
+	opt.Workers = 1
+	return runMatrixManifest(ctx, cs, m, opt)
+}
+
+// Parallel executes the matrix across an in-process worker pool.
+type Parallel struct {
+	Options ExecOptions
+}
+
+// Name implements Executor.
+func (Parallel) Name() string { return "parallel" }
+
+// Execute implements Executor.
+func (e Parallel) Execute(ctx context.Context, cs *CaseStudy, m TaskMatrix) (*records.RunManifest, error) {
+	return runMatrixManifest(ctx, cs, m, e.Options)
+}
+
+// runMatrixManifest is the shared in-process backend: expand, run
+// through the pool, flatten artifacts to manifest rows.
+func runMatrixManifest(ctx context.Context, cs *CaseStudy, m TaskMatrix, opt ExecOptions) (*records.RunManifest, error) {
+	arts, err := cs.runMatrix(ctx, opt, m, false)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		// Record the resolved pool cap, not the 0 sentinel, so the
+		// manifest states the run's actual concurrency budget.
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := &records.RunManifest{Label: m.Label(), Workers: workers, Runs: make([]records.RunSummary, 0, len(arts))}
+	for i := range arts {
+		out.Runs = append(out.Runs, arts[i].Summary())
+	}
+	return out, nil
+}
+
+// Sharded executes the matrix across worker OS processes through the
+// shard coordinator. The zero value re-invokes the current executable
+// with -shard-worker on a single shard; set Options.Shards to fan out.
+type Sharded struct {
+	Options ShardOptions
+}
+
+// Name implements Executor.
+func (Sharded) Name() string { return "sharded" }
+
+// Execute implements Executor.
+func (e Sharded) Execute(ctx context.Context, cs *CaseStudy, m TaskMatrix) (*records.RunManifest, error) {
+	return cs.RunMatrixSharded(ctx, e.Options, m)
+}

@@ -3,11 +3,21 @@
 // large circuits), Figure 5 (PPO training curves), Figure 6 (per-strategy
 // fidelity distributions), plus the ablation sweeps for the model
 // constants the paper fixes (φ, λ) and the RL deployment mode.
+//
+// The API is declarative: describe a run as a Spec — a registered
+// scenario ("paper", "hetero-fleet", "stress-arrivals", or your own
+// via RegisterScenario) plus task matrices and overrides — and hand it
+// to Run with any Executor (Sequential, Parallel across a goroutine
+// pool, or Sharded across worker OS processes). All executors produce
+// identical manifests for fixed seeds; allocation strategies resolve
+// through the internal/policy registry, so new policies and new
+// scenarios plug in without touching this package. The per-artifact
+// entry points below (RunAll, PhiSweep, RunAllParallel, …) predate the
+// Spec API and survive as thin wrappers over the same engine.
 package experiments
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -32,6 +42,11 @@ type CaseStudy struct {
 	Workload job.SyntheticConfig
 	// Core carries the model constants (M, K, φ, λ).
 	Core core.Config
+	// FleetPreset names the device fleet (see device.PresetFleet):
+	// "" or "standard" is the paper's five-Eagle cloud, "hetero" the
+	// mixed-capacity variant. The name travels inside a ShardSpec, so
+	// scenario fleets survive the trip into worker processes.
+	FleetPreset string
 	// FleetSeed draws the synthetic calibration snapshot.
 	FleetSeed int64
 	// TrainSteps is the PPO training budget for the rlbase mode (the
@@ -67,19 +82,24 @@ func Default() *CaseStudy {
 	}
 }
 
-// Fleet builds the five-device cloud on a fresh simulation environment.
+// Fleet builds the configured device cloud (FleetPreset; the paper's
+// five-Eagle fleet by default) on a fresh simulation environment.
 func (cs *CaseStudy) Fleet(env *sim.Environment) ([]*device.Device, error) {
-	return device.StandardFleet(env, cs.FleetSeed)
+	return device.PresetFleet(cs.FleetPreset, env, cs.FleetSeed)
 }
 
 // Jobs generates the workload and checks the Eq. 1 constraint against
-// the standard cloud.
+// the configured fleet preset's capacities.
 func (cs *CaseStudy) Jobs() ([]*job.QJob, error) {
 	jobs, err := job.Synthetic(cs.Workload)
 	if err != nil {
 		return nil, err
 	}
-	if err := job.CheckDistributedConstraint(jobs, 127, 635); err != nil {
+	maxSingle, total, err := device.PresetCapacity(cs.FleetPreset)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.CheckDistributedConstraint(jobs, maxSingle, total); err != nil {
 		return nil, err
 	}
 	return jobs, nil
@@ -125,26 +145,24 @@ func (cs *CaseStudy) UseTrainedPolicy(pol *rl.GaussianPolicy) {
 	cs.injected = pol != nil
 }
 
-// policyFor resolves a mode name to its Policy implementation.
+// policyFor resolves a mode name through the policy registry. Any
+// registered policy is a valid mode; model-requiring policies (rlbase)
+// get the case study's trained PPO policy as their model handle, so new
+// allocation strategies plug in by registration without touching this
+// package.
 func (cs *CaseStudy) policyFor(mode string) (policy.Policy, error) {
-	switch mode {
-	case "speed":
-		return policy.Speed{}, nil
-	case "fidelity":
-		return policy.Fidelity{}, nil
-	case "fair":
-		return policy.Fair{}, nil
-	case "rlbase":
+	if err := checkMode(mode); err != nil {
+		return nil, err
+	}
+	p := policy.Params{Seed: cs.RLSeed, Deterministic: cs.RLDeterministic, Phi: cs.Core.Phi}
+	if policy.NeedsModel(mode) {
 		trained, _, err := cs.TrainRL(nil)
 		if err != nil {
 			return nil, err
 		}
-		rp := rlsched.NewRLPolicy(trained, cs.RLSeed)
-		rp.Deterministic = cs.RLDeterministic
-		return rp, nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown mode %q (want one of %v)", mode, Modes)
+		p.Model = trained
 	}
+	return policy.New(mode, p)
 }
 
 // ModeRun is one complete simulation of the workload under one strategy.
@@ -190,6 +208,9 @@ func (cs *CaseStudy) RunMode(mode string) (*ModeRun, error) {
 // RunAll runs every strategy and returns runs keyed by mode name. It is
 // a sequential (single-worker) wrapper over RunAllParallel, so both
 // paths share one execution engine and produce identical results.
+//
+// Deprecated: prefer Run with a {Kind: "modes"} matrix; RunAll remains
+// for callers that need the full ModeRun state (Figure 6).
 func (cs *CaseStudy) RunAll() (map[string]*ModeRun, error) {
 	runs, _, err := cs.RunAllParallel(context.Background(), ParallelOptions{Workers: 1})
 	return runs, err
@@ -259,6 +280,8 @@ type SweepPoint struct {
 // quantifying how the paper's fixed φ=0.95 drives the fidelity gap
 // between low-k and high-k strategies. It is a sequential wrapper over
 // PhiSweepParallel.
+//
+// Deprecated: prefer Run with a {Kind: "phi-sweep"} matrix.
 func (cs *CaseStudy) PhiSweep(mode string, phis []float64) ([]SweepPoint, error) {
 	points, _, err := cs.PhiSweepParallel(context.Background(), ParallelOptions{Workers: 1}, mode, phis)
 	return points, err
@@ -267,6 +290,8 @@ func (cs *CaseStudy) PhiSweep(mode string, phis []float64) ([]SweepPoint, error)
 // LambdaSweep re-runs the given mode across per-qubit communication
 // latencies, the Eq. 9 parameter. It is a sequential wrapper over
 // LambdaSweepParallel.
+//
+// Deprecated: prefer Run with a {Kind: "lambda-sweep"} matrix.
 func (cs *CaseStudy) LambdaSweep(mode string, lambdas []float64) ([]SweepPoint, error) {
 	points, _, err := cs.LambdaSweepParallel(context.Background(), ParallelOptions{Workers: 1}, mode, lambdas)
 	return points, err
@@ -296,6 +321,9 @@ type ReplicatedResults struct {
 // aggregates the headline metrics. The fleet (calibration) is held fixed
 // so the variation isolates workload randomness. It is a sequential
 // wrapper over RunReplicatedParallel.
+//
+// Deprecated: prefer Run with a {Kind: "replicate"} matrix and
+// stats.AggregateSamples over the manifest rows.
 func (cs *CaseStudy) RunReplicated(mode string, seeds []int64) (*ReplicatedResults, error) {
 	rep, _, err := cs.RunReplicatedParallel(context.Background(), ParallelOptions{Workers: 1}, mode, seeds)
 	return rep, err
@@ -305,6 +333,8 @@ func (cs *CaseStudy) RunReplicated(mode string, seeds []int64) (*ReplicatedResul
 // of the trained policy — isolating how much of the RL mode's fidelity
 // loss comes from retained exploration noise. It is a sequential
 // wrapper over RLDeploymentAblationParallel.
+//
+// Deprecated: prefer Run with a {Kind: "rl-deploy"} matrix.
 func (cs *CaseStudy) RLDeploymentAblation() (sampled, deterministic *ModeRun, err error) {
 	sampled, deterministic, _, err = cs.RLDeploymentAblationParallel(context.Background(), ParallelOptions{Workers: 1})
 	return sampled, deterministic, err

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"repro/internal/policy"
 )
 
 // smallCase returns a scaled-down case study that keeps test time low
@@ -21,6 +23,22 @@ func smallCase() *CaseStudy {
 func TestRunModeUnknown(t *testing.T) {
 	if _, err := smallCase().RunMode("warp"); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestPolicyForPassesSimulationPhi: registry-built policies receive the
+// case study's configured φ, so a phi-sweep over a fidelity-predictive
+// mode (oracle) scores allocations with the same penalty the
+// simulation applies — including the swept value on task snapshots.
+func TestPolicyForPassesSimulationPhi(t *testing.T) {
+	cs := smallCase()
+	cs.Core.Phi = 0.88
+	pol, err := cs.policyFor("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := pol.(policy.Oracle); !ok || o.Phi != 0.88 {
+		t.Fatalf("oracle policy = %#v, want the simulation's Phi 0.88", pol)
 	}
 }
 

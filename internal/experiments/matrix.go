@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 )
 
 // TaskMatrix declaratively describes the task set of one orchestrated
@@ -60,16 +61,15 @@ func (m TaskMatrix) modes() []string {
 	}
 }
 
-// checkMode rejects strategies RunMode would reject, so a malformed
-// matrix fails during planning — before any worker process is spawned —
-// rather than deep inside a shard.
+// checkMode rejects strategies RunMode would reject — any name without
+// a registered policy factory — so a malformed matrix fails during
+// planning, before any worker process is spawned, rather than deep
+// inside a shard.
 func checkMode(mode string) error {
-	for _, m := range Modes {
-		if m == mode {
-			return nil
-		}
+	if !policy.Registered(mode) {
+		return fmt.Errorf("experiments: unknown mode %q (registered policies: %v)", mode, policy.Names())
 	}
-	return fmt.Errorf("experiments: unknown mode %q (want one of %v)", mode, Modes)
+	return nil
 }
 
 // specs expands the matrix into the ordered task list. keepRun retains

@@ -8,18 +8,33 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments/runner"
 	"repro/internal/job"
+	"repro/internal/policy"
 	"repro/internal/records"
 	"repro/internal/stats"
 )
 
-// ParallelOptions configures the orchestration engine behind the
-// parallel entry points.
-type ParallelOptions struct {
-	// Workers caps concurrent simulations; <= 0 uses GOMAXPROCS.
+// ExecOptions carries the orchestration knobs every executor
+// understands — the single options struct shared by the in-process
+// pool (Sequential, Parallel) and the multi-process Sharded executor,
+// which embeds it in ShardOptions.
+type ExecOptions struct {
+	// Workers caps concurrent simulations. In-process, <= 0 uses
+	// GOMAXPROCS; under sharded execution it sizes each worker
+	// process's internal pool (<= 1 keeps workers sequential).
 	Workers int
-	// OnProgress, if set, receives one callback per finished task.
+	// Retries is the crash respawn budget per shard: 0 means
+	// shard.DefaultRetries, negative disables retries. In-process
+	// executors have no crash domain and ignore it.
+	Retries int
+	// OnProgress, if set, receives one callback per finished task,
+	// whichever executor ran it.
 	OnProgress func(runner.Progress)
 }
+
+// ParallelOptions is the pre-registry name of ExecOptions.
+//
+// Deprecated: use ExecOptions (or the Parallel executor with Run).
+type ParallelOptions = ExecOptions
 
 // RunArtifact is one completed simulation task: the exact configuration
 // that produced it, the headline results, and the full run for deeper
@@ -35,11 +50,12 @@ type RunArtifact struct {
 	// Param is the swept parameter value (sweep kinds only).
 	Param float64
 	// Workload and Core snapshot the configuration the task ran with;
-	// FleetSeed and RLSeed pin the remaining random streams. TrainSteps
-	// and RLDeterministic pin the rlbase policy (training budget and
-	// sampled-vs-mean deployment).
+	// FleetPreset names the device fleet, FleetSeed and RLSeed pin the
+	// remaining random streams. TrainSteps and RLDeterministic pin the
+	// rlbase policy (training budget and sampled-vs-mean deployment).
 	Workload        job.SyntheticConfig
 	Core            core.Config
+	FleetPreset     string
 	FleetSeed       int64
 	RLSeed          int64
 	TrainSteps      int
@@ -66,9 +82,11 @@ func (a *RunArtifact) Summary() records.RunSummary {
 		Param:             a.Param,
 		WorkloadSeed:      a.Workload.Seed,
 		FleetSeed:         a.FleetSeed,
+		FleetPreset:       a.FleetPreset,
 		Phi:               a.Core.Phi,
 		Lambda:            a.Core.Lambda,
 		Jobs:              a.Workload.N,
+		MeanInterarrivalS: a.Workload.MeanInterarrival,
 		TsimS:             a.Results.TotalSimTime,
 		FidelityMean:      a.Results.FidelityMean,
 		FidelityStd:       a.Results.FidelityStd,
@@ -101,11 +119,12 @@ func (cs *CaseStudy) snapshot() *CaseStudy {
 }
 
 // ensureTrained trains the PPO policy up front when any requested mode
-// needs it, so worker snapshots share identical (cloned) weights and
-// training cost is paid once rather than once per task.
+// needs a model (per the policy registry), so worker snapshots share
+// identical (cloned) weights and training cost is paid once rather
+// than once per task.
 func (cs *CaseStudy) ensureTrained(modes ...string) error {
 	for _, m := range modes {
-		if m == "rlbase" {
+		if policy.NeedsModel(m) {
 			_, _, err := cs.TrainRL(nil)
 			return err
 		}
@@ -146,6 +165,7 @@ func (cs *CaseStudy) task(spec runSpec) runner.Task[RunArtifact] {
 				Param:           spec.param,
 				Workload:        snap.Workload,
 				Core:            snap.Core,
+				FleetPreset:     snap.FleetPreset,
 				FleetSeed:       snap.FleetSeed,
 				RLSeed:          snap.RLSeed,
 				TrainSteps:      snap.TrainSteps,

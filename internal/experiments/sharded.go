@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments/runner"
 	"repro/internal/experiments/shard"
 	"repro/internal/job"
+	"repro/internal/policy"
 	"repro/internal/records"
 	"repro/internal/rl"
 )
@@ -27,6 +28,7 @@ import (
 type ShardSpec struct {
 	Workload        job.SyntheticConfig `json:"workload"`
 	Core            core.Config         `json:"core"`
+	FleetPreset     string              `json:"fleet_preset,omitempty"`
 	FleetSeed       int64               `json:"fleet_seed"`
 	TrainSteps      int                 `json:"train_steps"`
 	PPO             rl.PPOConfig        `json:"ppo"`
@@ -46,6 +48,7 @@ func (cs *CaseStudy) shardSpec(m TaskMatrix, workers int) ShardSpec {
 	return ShardSpec{
 		Workload:        cs.Workload,
 		Core:            cs.Core,
+		FleetPreset:     cs.FleetPreset,
 		FleetSeed:       cs.FleetSeed,
 		TrainSteps:      cs.TrainSteps,
 		PPO:             cs.PPO,
@@ -61,6 +64,7 @@ func (s ShardSpec) caseStudy() *CaseStudy {
 	return &CaseStudy{
 		Workload:        s.Workload,
 		Core:            s.Core,
+		FleetPreset:     s.FleetPreset,
 		FleetSeed:       s.FleetSeed,
 		TrainSteps:      s.TrainSteps,
 		PPO:             s.PPO,
@@ -131,7 +135,7 @@ func ServeShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 			if specs[i].id != labels[j] {
 				return fmt.Errorf("experiments: shard order label %q != enumerated task %q at index %d", labels[j], specs[i].id, i)
 			}
-			if specs[i].mode == "rlbase" {
+			if policy.NeedsModel(specs[i].mode) {
 				needsRL = true
 			}
 		}
@@ -183,24 +187,25 @@ func ServeShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 }
 
 // ShardOptions configures the multi-process executor behind the
-// *Sharded entry points.
+// Sharded executor and the legacy *Sharded entry points. The knobs
+// shared with in-process execution (Workers, Retries, OnProgress) live
+// in the embedded ExecOptions; here Workers sizes each worker
+// process's internal pool (<= 1 runs a worker's tasks sequentially —
+// the usual choice, since parallelism comes from the process fan-out)
+// and OnProgress receives one callback per finished task, translated
+// from coordinator result events.
 type ShardOptions struct {
+	ExecOptions
 	// Shards is the worker process count; <= 0 means 1.
 	Shards int
-	// Workers sizes each worker's in-process pool; <= 1 runs a worker's
-	// tasks sequentially (the usual choice — parallelism comes from the
-	// process fan-out).
-	Workers int
-	// Retries is the per-shard respawn budget after worker crashes:
-	// 0 means shard.DefaultRetries, negative disables retries.
-	Retries int
 	// Command returns a fresh worker process command. Nil re-invokes
 	// the current executable with -shard-worker, which is correct for
 	// the experiments binary and any binary that wires that flag to
 	// ServeShardWorker.
 	Command func(ctx context.Context) *exec.Cmd
-	// OnProgress, if set, receives coordinator events.
-	OnProgress func(shard.Progress)
+	// OnEvent, if set, receives raw coordinator lifecycle events
+	// (spawn/result/retry/done) beyond the per-task OnProgress stream.
+	OnEvent func(shard.Progress)
 	// Stderr receives worker stderr; nil means os.Stderr.
 	Stderr io.Writer
 }
@@ -236,7 +241,7 @@ func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m T
 	// with one would silently break the bit-identical guarantee.
 	if cs.injected {
 		for _, mode := range m.modes() {
-			if mode == "rlbase" {
+			if policy.NeedsModel(mode) {
 				return nil, fmt.Errorf("experiments: sharded execution cannot use a policy injected via UseTrainedPolicy; workers retrain from the serialized config (train in-process instead, or drop rlbase from the matrix)")
 			}
 		}
@@ -260,8 +265,18 @@ func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m T
 		Retries:         opt.Retries,
 		Command:         opt.command(),
 		PerShardWorkers: opt.Workers,
-		OnProgress:      opt.OnProgress,
-		Stderr:          opt.Stderr,
+		OnProgress: func(p shard.Progress) {
+			if opt.OnEvent != nil {
+				opt.OnEvent(p)
+			}
+			// Result events feed the shared per-task progress stream, so
+			// one callback wiring serves every executor. Wall time stays
+			// zero: it is spent in the worker process, not here.
+			if opt.OnProgress != nil && p.Event == "result" {
+				opt.OnProgress(runner.Progress{Index: p.Index, Label: p.Label, Done: p.Done, Total: p.Total})
+			}
+		},
+		Stderr: opt.Stderr,
 	}
 	return coord.Run(ctx, m.Label(), spec, labels)
 }
@@ -269,6 +284,9 @@ func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m T
 // RunAllSharded is RunAllParallel across worker processes: the four
 // strategies of Table 2 partitioned over OS-process shards, returned as
 // one merged manifest.
+//
+// Deprecated: prefer Run with a {Kind: "modes"} matrix on the Sharded
+// executor.
 func (cs *CaseStudy) RunAllSharded(ctx context.Context, opt ShardOptions) (*records.RunManifest, error) {
 	return cs.RunMatrixSharded(ctx, opt, TaskMatrix{Kind: "modes"})
 }
@@ -276,6 +294,9 @@ func (cs *CaseStudy) RunAllSharded(ctx context.Context, opt ShardOptions) (*reco
 // RunReplicatedSharded is RunReplicatedParallel across worker
 // processes: one task per workload seed for the named mode. Aggregate
 // statistics over the manifest rows with stats.AggregateSamples.
+//
+// Deprecated: prefer Run with a {Kind: "replicate"} matrix on the
+// Sharded executor.
 func (cs *CaseStudy) RunReplicatedSharded(ctx context.Context, opt ShardOptions, mode string, seeds []int64) (*records.RunManifest, error) {
 	return cs.RunMatrixSharded(ctx, opt, TaskMatrix{Kind: "replicate", Mode: mode, Seeds: seeds})
 }

@@ -180,10 +180,10 @@ func TestShardedWorkerCrashIsRetried(t *testing.T) {
 	var mu sync.Mutex
 	retries := 0
 	opt := ShardOptions{
-		Shards:  2,
-		Retries: 2,
-		Command: selfWorker(t, "EXPERIMENTS_SHARD_CRASH_ONCE="+flag),
-		OnProgress: func(p shard.Progress) {
+		ExecOptions: ExecOptions{Retries: 2},
+		Shards:      2,
+		Command:     selfWorker(t, "EXPERIMENTS_SHARD_CRASH_ONCE="+flag),
+		OnEvent: func(p shard.Progress) {
 			mu.Lock()
 			if p.Event == "retry" {
 				retries++
@@ -230,9 +230,9 @@ func TestShardedWorkerCrashExhaustsRetries(t *testing.T) {
 	cs := smallCase()
 	cs.Workload.N = 30
 	opt := ShardOptions{
-		Shards:  2,
-		Retries: 1,
-		Command: selfWorker(t, "EXPERIMENTS_SHARD_CRASH_ALWAYS=1"),
+		ExecOptions: ExecOptions{Retries: 1},
+		Shards:      2,
+		Command:     selfWorker(t, "EXPERIMENTS_SHARD_CRASH_ALWAYS=1"),
 	}
 	_, err := cs.RunReplicatedSharded(context.Background(), opt, "speed", []int64{1, 2, 3, 4, 5, 6})
 	if err == nil {

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/records"
+	"repro/internal/rl"
+)
+
+// Spec is the declarative, JSON-round-trippable description of one
+// experiment run: which scenario to configure, which task matrices to
+// expand, and the handful of knobs worth overriding per run. It is the
+// single entry currency of the experiments API — Run(ctx, spec, exec)
+// executes a Spec on any Executor, the experiments CLI compiles its
+// flags down to one, and a spec file checked into a repo reproduces a
+// run exactly (all random streams derive from the seeds captured
+// here).
+type Spec struct {
+	// Name labels the run's manifest; empty derives a label from the
+	// scenario and matrices.
+	Name string `json:"name,omitempty"`
+	// Scenario names the registered base configuration; empty means
+	// "paper" (see RegisterScenario).
+	Scenario string `json:"scenario,omitempty"`
+	// Matrices enumerate the tasks to run, in order. Task IDs must be
+	// unique across all matrices, so the combined manifest stays
+	// unambiguous and shard merges can account for every task.
+	Matrices []TaskMatrix `json:"matrices"`
+	// Jobs overrides the scenario's workload size when > 0.
+	Jobs int `json:"jobs,omitempty"`
+	// Seed overrides the workload seed when set (pointer: seed 0 is a
+	// legitimate override).
+	Seed *int64 `json:"seed,omitempty"`
+	// FleetSeed overrides the calibration snapshot seed when set.
+	FleetSeed *int64 `json:"fleet_seed,omitempty"`
+	// TrainSteps overrides the rlbase PPO training budget when > 0.
+	TrainSteps int `json:"train_steps,omitempty"`
+	// PPO overrides the full PPO trainer configuration when set —
+	// mostly useful to shrink rollouts for smoke runs.
+	PPO *rl.PPOConfig `json:"ppo,omitempty"`
+}
+
+// LoadSpec decodes and validates a Spec. Unknown fields and trailing
+// content are errors: a typoed key or a merge-conflict leftover after
+// the closing brace must not silently run a different experiment than
+// the file appears to describe.
+func LoadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("experiments: decoding spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("experiments: spec has trailing content after the JSON document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpecFile is LoadSpec from a path.
+func LoadSpecFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	s, err := LoadSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteJSON emits the spec as indented JSON, the round-trip inverse of
+// LoadSpec.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Validate checks the spec without running anything: the scenario must
+// be registered, every matrix must expand, every override must be
+// sane, and task IDs must be unique across the whole spec. A valid
+// spec is executable by construction — executors re-derive the same
+// expansions.
+func (s *Spec) Validate() error {
+	if !ScenarioRegistered(s.Scenario) {
+		return fmt.Errorf("experiments: unknown scenario %q (registered: %v)", s.Scenario, ScenarioNames())
+	}
+	if len(s.Matrices) == 0 {
+		return fmt.Errorf("experiments: spec has no task matrices")
+	}
+	if s.Jobs < 0 {
+		return fmt.Errorf("experiments: spec jobs override %d < 0", s.Jobs)
+	}
+	if s.TrainSteps < 0 {
+		return fmt.Errorf("experiments: spec train_steps override %d < 0", s.TrainSteps)
+	}
+	seen := make(map[string]bool)
+	for i, m := range s.Matrices {
+		specs, err := m.specs(false)
+		if err != nil {
+			return fmt.Errorf("experiments: spec matrix %d: %w", i, err)
+		}
+		for _, sp := range specs {
+			if seen[sp.id] {
+				return fmt.Errorf("experiments: spec enumerates task %q twice", sp.id)
+			}
+			seen[sp.id] = true
+		}
+	}
+	return nil
+}
+
+// Label names the run's manifest: Name when set, otherwise the
+// resolved scenario joined with the matrix labels.
+func (s *Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	scenario := s.Scenario
+	if scenario == "" {
+		scenario = "paper"
+	}
+	labels := make([]string, len(s.Matrices))
+	for i, m := range s.Matrices {
+		labels[i] = m.Label()
+	}
+	return scenario + ":" + strings.Join(labels, "+")
+}
+
+// CaseStudy materializes the spec: the scenario's fresh case study
+// with the spec's overrides applied. Each call returns an independent
+// value.
+func (s *Spec) CaseStudy() (*CaseStudy, error) {
+	cs, err := NewScenario(s.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if s.Jobs > 0 {
+		cs.Workload.N = s.Jobs
+	}
+	if s.Seed != nil {
+		cs.Workload.Seed = *s.Seed
+	}
+	if s.FleetSeed != nil {
+		cs.FleetSeed = *s.FleetSeed
+	}
+	if s.TrainSteps > 0 {
+		cs.TrainSteps = s.TrainSteps
+	}
+	if s.PPO != nil {
+		cs.PPO = *s.PPO
+	}
+	return cs, nil
+}
+
+// Run executes a declarative spec on the given executor and returns
+// the combined manifest, rows in spec order. A nil executor runs
+// sequentially. This is the experiments API: the legacy per-artifact
+// entry points (RunAllParallel, PhiSweepParallel, RunAllSharded, …)
+// are thin wrappers over the same engine and remain only for
+// compatibility.
+//
+// For fixed seeds the manifest is identical (wall times and worker
+// accounting aside) across the Sequential, Parallel and Sharded
+// executors, and identical to the legacy paths: every backend expands
+// the same matrices into the same task list and every task derives its
+// random streams from seeds the spec pins.
+func Run(ctx context.Context, spec Spec, exec Executor) (*records.RunManifest, error) {
+	if exec == nil {
+		exec = Sequential{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cs, err := spec.CaseStudy()
+	if err != nil {
+		return nil, err
+	}
+	out := &records.RunManifest{Label: spec.Label()}
+	for _, m := range spec.Matrices {
+		mf, err := exec.Execute(ctx, cs, m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s executor: %w", m.Label(), exec.Name(), err)
+		}
+		// Executors agree on the workers accounting across matrices of
+		// one run; keep the last value rather than summing repeats.
+		out.Workers = mf.Workers
+		out.Runs = append(out.Runs, mf.Runs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden spec fixture:
+//
+//	go test ./internal/experiments -run SpecGolden -update
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenSpec exercises every Spec field: overrides behind pointers
+// (seed 0 must survive), a PPO override, and two matrices.
+func goldenSpec() *Spec {
+	seed := int64(0)
+	fleetSeed := int64(2025)
+	ppo := Default().PPO
+	ppo.NSteps = 512
+	ppo.NEpochs = 3
+	return &Spec{
+		Name:       "golden",
+		Scenario:   "paper",
+		Jobs:       30,
+		Seed:       &seed,
+		FleetSeed:  &fleetSeed,
+		TrainSteps: 2048,
+		PPO:        &ppo,
+		Matrices: []TaskMatrix{
+			{Kind: "modes", Modes: []string{"speed", "fair"}},
+			{Kind: "replicate", Mode: "fidelity", Seeds: []int64{1, 2, 3}},
+		},
+	}
+}
+
+// TestSpecGoldenRoundTrip pins the spec file format: WriteJSON's bytes
+// must match the committed fixture, and LoadSpec must restore the
+// exact value and re-emit the same bytes. Spec files are the public
+// currency of the experiments CLI, so their encoding must not drift
+// silently.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "spec_golden.json")
+	var buf bytes.Buffer
+	if err := goldenSpec().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("spec encoding drifted from golden fixture (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	loaded, err := LoadSpec(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, goldenSpec()) {
+		t.Fatalf("loaded spec differs from source:\n%+v\n%+v", loaded, goldenSpec())
+	}
+	var again bytes.Buffer
+	if err := loaded.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("re-encoding a loaded spec changed its bytes")
+	}
+}
+
+// TestLoadSpecRejectsUnknownFields: a typo'd key must not silently
+// fall back to a default.
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := LoadSpec(strings.NewReader(`{"scenario":"paper","matricies":[{"kind":"modes"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "matricies") {
+		t.Fatalf("err = %v, want unknown-field rejection", err)
+	}
+}
+
+// TestLoadSpecRejectsTrailingContent: content after the JSON document
+// (a duplicated object from a bad paste, merge-conflict leftovers)
+// must not be silently ignored — the decoder would otherwise run only
+// the first object.
+func TestLoadSpecRejectsTrailingContent(t *testing.T) {
+	_, err := LoadSpec(strings.NewReader(`{"matrices":[{"kind":"modes"}]}{"jobs":999}`))
+	if err == nil || !strings.Contains(err.Error(), "trailing content") {
+		t.Fatalf("err = %v, want trailing-content rejection", err)
+	}
+	// Trailing whitespace and a final newline stay legal.
+	if _, err := LoadSpec(strings.NewReader("{\"matrices\":[{\"kind\":\"modes\"}]}\n  \n")); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+// TestSpecValidate drives every planning-time rejection: unknown
+// scenario, empty matrix list, malformed matrices, bad overrides, and
+// task IDs duplicated across matrices.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown scenario", Spec{Scenario: "warp", Matrices: []TaskMatrix{{Kind: "modes"}}}, "unknown scenario"},
+		{"no matrices", Spec{Scenario: "paper"}, "no task matrices"},
+		{"bad matrix kind", Spec{Matrices: []TaskMatrix{{Kind: "warp"}}}, "unknown task-matrix kind"},
+		{"bad mode", Spec{Matrices: []TaskMatrix{{Kind: "replicate", Mode: "warp", Seeds: []int64{1}}}}, "unknown mode"},
+		{"negative jobs", Spec{Jobs: -1, Matrices: []TaskMatrix{{Kind: "modes"}}}, "jobs"},
+		{"negative train", Spec{TrainSteps: -1, Matrices: []TaskMatrix{{Kind: "modes"}}}, "train_steps"},
+		{"duplicate across matrices", Spec{Matrices: []TaskMatrix{
+			{Kind: "replicate", Mode: "speed", Seeds: []int64{1, 2}},
+			{Kind: "replicate", Mode: "speed", Seeds: []int64{2, 3}},
+		}}, "twice"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+	good := Spec{Matrices: []TaskMatrix{
+		{Kind: "modes"},
+		{Kind: "replicate", Mode: "speed", Seeds: []int64{1, 2}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSpecCaseStudyOverrides: only the set overrides move off the
+// scenario's defaults.
+func TestSpecCaseStudyOverrides(t *testing.T) {
+	seed := int64(0)
+	spec := Spec{Scenario: "paper", Jobs: 42, Seed: &seed, TrainSteps: 512}
+	cs, err := spec.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Default()
+	if cs.Workload.N != 42 || cs.Workload.Seed != 0 || cs.TrainSteps != 512 {
+		t.Fatalf("overrides not applied: %+v", cs.Workload)
+	}
+	if cs.FleetSeed != def.FleetSeed || !reflect.DeepEqual(cs.PPO, def.PPO) {
+		t.Fatal("unset overrides moved off the scenario defaults")
+	}
+	// No overrides at all: the empty scenario is "paper" verbatim.
+	plain, err := (&Spec{}).CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Workload != def.Workload || plain.Core != def.Core || plain.TrainSteps != def.TrainSteps {
+		t.Fatalf("empty spec diverges from Default(): %+v", plain.Workload)
+	}
+}
+
+// TestScenarioRegistry: built-ins resolve, unknown names fail with the
+// list, duplicates are rejected, and runtime registration works.
+func TestScenarioRegistry(t *testing.T) {
+	for _, name := range []string{"paper", "hetero-fleet", "stress-arrivals"} {
+		if !ScenarioRegistered(name) {
+			t.Fatalf("%s not registered (have %v)", name, ScenarioNames())
+		}
+		cs, err := NewScenario(name)
+		if err != nil || cs == nil {
+			t.Fatalf("NewScenario(%s): %v", name, err)
+		}
+	}
+	if _, err := NewScenario("warp"); err == nil || !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("err = %v, want the registered scenarios listed", err)
+	}
+	if err := RegisterScenario("paper", Default); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration: err = %v", err)
+	}
+	if err := RegisterScenario("", Default); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := RegisterScenario("nil-ctor", nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+	name := "spec-test-registered"
+	if err := RegisterScenario(name, func() *CaseStudy {
+		cs := Default()
+		cs.Workload.N = 7
+		return cs
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewScenario(name)
+	if err != nil || cs.Workload.N != 7 {
+		t.Fatalf("user scenario: %v, %+v", err, cs)
+	}
+}
+
+// TestBuiltinScenarioVariants: the shipped variants genuinely move the
+// axes they claim — fleet preset and arrival pressure — and their
+// workloads still satisfy the Eq. 1 constraint against their own
+// fleets.
+func TestBuiltinScenarioVariants(t *testing.T) {
+	hetero := HeteroFleet()
+	if hetero.FleetPreset != "hetero" {
+		t.Fatalf("hetero-fleet preset = %q", hetero.FleetPreset)
+	}
+	hetero.Workload.N = 20
+	if _, err := hetero.Jobs(); err != nil {
+		t.Fatalf("hetero workload violates its own fleet constraint: %v", err)
+	}
+	stress := StressArrivals()
+	if stress.Workload.MeanInterarrival >= Default().Workload.MeanInterarrival {
+		t.Fatalf("stress-arrivals interarrival %g not tighter than paper %g",
+			stress.Workload.MeanInterarrival, Default().Workload.MeanInterarrival)
+	}
+}
+
+// TestHeteroFleetScenarioRuns drives a scaled-down hetero-fleet
+// simulation end to end through Run: the mixed-capacity preset must
+// survive the scenario → spec → executor path, not just construct.
+func TestHeteroFleetScenarioRuns(t *testing.T) {
+	spec := Spec{
+		Scenario: "hetero-fleet",
+		Jobs:     20,
+		Matrices: []TaskMatrix{{Kind: "modes", Modes: []string{"speed", "fair"}}},
+	}
+	m, err := Run(context.Background(), spec, Parallel{Options: ExecOptions{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 2 {
+		t.Fatalf("%d rows", len(m.Runs))
+	}
+	for _, r := range m.Runs {
+		if r.Jobs != 20 || r.TsimS <= 0 || r.FidelityMean <= 0 || r.FidelityMean >= 1 {
+			t.Fatalf("degenerate hetero row: %+v", r)
+		}
+	}
+}
+
+// ptr64 is a test helper for the pointer-typed spec overrides.
+func ptr64(v int64) *int64 { return &v }
+
+// specForSmallCase mirrors smallCase() as a declarative paper-scenario
+// spec with 30 jobs, so Run results are comparable against the legacy
+// entry points on the same configuration.
+func specForSmallCase(matrices ...TaskMatrix) Spec {
+	small := smallCase()
+	ppo := small.PPO
+	return Spec{
+		Scenario:   "paper",
+		Jobs:       30,
+		Seed:       ptr64(small.Workload.Seed),
+		TrainSteps: small.TrainSteps,
+		PPO:        &ppo,
+		Matrices:   matrices,
+	}
+}
+
+// TestRunSpecMatchesLegacyPaths is the redesign's acceptance gate: for
+// fixed seeds, Run with the "paper" scenario produces a manifest
+// identical (wall times and worker accounting aside) to the legacy
+// RunAllParallel path, across the Sequential, Parallel and Sharded
+// executors. Combined with the legacy sharded-vs-parallel equivalence
+// suite, this pins all six paths to one result.
+func TestRunSpecMatchesLegacyPaths(t *testing.T) {
+	legacy := smallCase()
+	legacy.Workload.N = 30
+	_, arts, err := legacy.RunAllParallel(context.Background(), ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizedJSON(t, manifestFromArts("modes", arts))
+
+	spec := specForSmallCase(TaskMatrix{Kind: "modes"})
+	execs := []Executor{
+		Sequential{},
+		Parallel{Options: ExecOptions{Workers: 4}},
+		Sharded{Options: ShardOptions{Shards: 2, Command: selfWorker(t)}},
+	}
+	for _, exec := range execs {
+		m, err := Run(context.Background(), spec, exec)
+		if err != nil {
+			t.Fatalf("%s: %v", exec.Name(), err)
+		}
+		if got := normalizedJSON(t, m); !bytes.Equal(want, got) {
+			t.Fatalf("%s executor manifest diverges from legacy RunAllParallel:\n%s\n%s", exec.Name(), got, want)
+		}
+	}
+}
+
+// TestRunMultiMatrixSpec: matrices execute in order into one combined
+// manifest, matching their individually-run concatenation row for row.
+func TestRunMultiMatrixSpec(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	phis := []float64{0.9, 1.0}
+	spec := specForSmallCase(
+		TaskMatrix{Kind: "replicate", Mode: "speed", Seeds: seeds},
+		TaskMatrix{Kind: "phi-sweep", Mode: "fair", Values: phis},
+	)
+	m, err := Run(context.Background(), spec, Parallel{Options: ExecOptions{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Label != "paper:replicate/speed+phi-sweep/fair" {
+		t.Fatalf("label = %q", m.Label)
+	}
+	if len(m.Runs) != len(seeds)+len(phis) {
+		t.Fatalf("%d rows, want %d", len(m.Runs), len(seeds)+len(phis))
+	}
+	legacy := smallCase()
+	legacy.Workload.N = 30
+	_, repArts, err := legacy.RunReplicatedParallel(context.Background(), ParallelOptions{Workers: 1}, "speed", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, phiArts, err := legacy.PhiSweepParallel(context.Background(), ParallelOptions{Workers: 1}, "fair", phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizedJSON(t, manifestFromArts("", append(repArts, phiArts...)))
+	if got := normalizedJSON(t, m); !bytes.Equal(want, got) {
+		t.Fatalf("multi-matrix spec diverges from per-matrix legacy runs:\n%s\n%s", got, want)
+	}
+}
+
+// TestRunNilExecutorIsSequential: Run's nil executor default.
+func TestRunNilExecutorIsSequential(t *testing.T) {
+	spec := specForSmallCase(TaskMatrix{Kind: "replicate", Mode: "speed", Seeds: []int64{1, 2}})
+	m, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 2 || m.Workers != 1 {
+		t.Fatalf("manifest = %d rows, workers %d", len(m.Runs), m.Workers)
+	}
+}
+
+// TestRunInvalidSpec: Run validates before executing anything.
+func TestRunInvalidSpec(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Scenario: "warp", Matrices: []TaskMatrix{{Kind: "modes"}}}, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Run(context.Background(), Spec{}, nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params carries the deployment-time inputs a policy factory may need.
+// Heuristic policies ignore it entirely; stochastic and learned
+// policies draw their sampling seed, deployment mode, and trained model
+// from here, so the registry can construct any policy without this
+// package depending on the learning stack.
+type Params struct {
+	// Seed seeds a stochastic policy's action sampling.
+	Seed int64
+	// Deterministic asks a stochastic policy to deploy mean actions
+	// instead of sampling.
+	Deterministic bool
+	// Phi is the simulation's Eq. 8 communication penalty, for
+	// fidelity-predictive policies (oracle) that must score candidate
+	// allocations with the same penalty the simulation applies. Zero
+	// falls back to the policy's own default.
+	Phi float64
+	// Model is an opaque pre-trained model handle for learned policies
+	// (e.g. an *rl.GaussianPolicy for "rlbase"); nil for heuristics.
+	// The factory is responsible for type-asserting it.
+	Model any
+}
+
+// Factory constructs one policy instance from deployment parameters.
+type Factory func(Params) (Policy, error)
+
+// registry maps policy names to their factories. Registration happens
+// in package init functions (built-ins below, "rlbase" in
+// internal/rlsched), so the lock only guards against user packages
+// registering at runtime.
+var registry = struct {
+	sync.RWMutex
+	factories  map[string]Factory
+	needsModel map[string]bool
+}{
+	factories:  make(map[string]Factory),
+	needsModel: make(map[string]bool),
+}
+
+// Register adds a named policy factory. It fails on empty names and on
+// duplicates: two packages claiming the same name is a wiring bug that
+// must surface at startup, not silently shadow a strategy mid-run.
+func Register(name string, f Factory) error {
+	return register(name, f, false)
+}
+
+// RegisterModel is Register for learned policies whose factory requires
+// Params.Model to carry a pre-trained model. Callers discover the
+// requirement via NeedsModel and arrange training or loading before
+// instantiation.
+func RegisterModel(name string, f Factory) error {
+	return register(name, f, true)
+}
+
+func register(name string, f Factory, needsModel bool) error {
+	if name == "" {
+		return fmt.Errorf("policy: Register with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("policy: Register %q with nil factory", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("policy: %q already registered", name)
+	}
+	registry.factories[name] = f
+	registry.needsModel[name] = needsModel
+	return nil
+}
+
+// MustRegister is Register that panics on error, for package init use.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// MustRegisterModel is RegisterModel that panics on error.
+func MustRegisterModel(name string, f Factory) {
+	if err := RegisterModel(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates the named policy with the given parameters. Unknown
+// names list the registered alternatives, so a typo in a spec or flag
+// is diagnosable from the error alone.
+func New(name string, p Params) (Policy, error) {
+	registry.RLock()
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, Names())
+	}
+	pol, err := f(p)
+	if err != nil {
+		return nil, fmt.Errorf("policy: building %q: %w", name, err)
+	}
+	return pol, nil
+}
+
+// Registered reports whether name has a registered factory.
+func Registered(name string) bool {
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.factories[name]
+	return ok
+}
+
+// NeedsModel reports whether the named policy's factory requires a
+// pre-trained model in Params.Model. Unknown names report false; check
+// Registered first.
+func NeedsModel(name string) bool {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.needsModel[name]
+}
+
+// Names returns every registered policy name, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The built-in heuristic strategies register themselves, so any binary
+// linking this package can resolve them by name.
+func init() {
+	MustRegister("speed", func(Params) (Policy, error) { return Speed{}, nil })
+	MustRegister("fidelity", func(Params) (Policy, error) { return Fidelity{}, nil })
+	MustRegister("fair", func(Params) (Policy, error) { return Fair{}, nil })
+	MustRegister("speed-proportional", func(Params) (Policy, error) { return ProportionalSpeed{}, nil })
+	MustRegister("fair-proportional", func(Params) (Policy, error) { return ProportionalFair{}, nil })
+	MustRegister("oracle", func(p Params) (Policy, error) { return Oracle{Phi: p.Phi}, nil })
+}

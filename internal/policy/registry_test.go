@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// TestBuiltinsRegistered: every built-in strategy resolves by name and
+// self-identifies correctly — the contract the experiments mode checks
+// and config validation now depend on.
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{
+		"speed", "fidelity", "fair", "speed-proportional", "fair-proportional", "oracle",
+	} {
+		if !Registered(name) {
+			t.Fatalf("%s not registered", name)
+		}
+		if NeedsModel(name) {
+			t.Fatalf("%s is a heuristic; NeedsModel must be false", name)
+		}
+		pol, err := New(name, Params{})
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("New(%s).Name() = %q", name, pol.Name())
+		}
+	}
+}
+
+// TestOracleReceivesPhi: the oracle's fidelity prediction must use the
+// simulation's communication penalty, so the factory has to honor
+// Params.Phi — a zero-value Oracle would silently score with the
+// default φ while the simulation applies a different one.
+func TestOracleReceivesPhi(t *testing.T) {
+	pol, err := New("oracle", Params{Phi: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := pol.(Oracle); !ok || o.Phi != 0.85 {
+		t.Fatalf("oracle = %#v, want Phi 0.85", pol)
+	}
+}
+
+// TestRegisterDuplicateFails: a second claim on a name is a wiring bug
+// that must surface, not silently shadow the strategy.
+func TestRegisterDuplicateFails(t *testing.T) {
+	if err := Register("speed", func(Params) (Policy, error) { return Speed{}, nil }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Register("", func(Params) (Policy, error) { return Speed{}, nil }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+// TestNewUnknownListsAlternatives: a typo'd name fails with the
+// registered names in the message, so the error alone is actionable.
+func TestNewUnknownListsAlternatives(t *testing.T) {
+	_, err := New("warp", Params{})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if !strings.Contains(err.Error(), "speed") || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v, want the registered names listed", err)
+	}
+	if Registered("warp") || NeedsModel("warp") {
+		t.Fatal("unknown name must report unregistered and model-free")
+	}
+}
+
+// TestUserRegistration: a runtime-registered policy resolves like the
+// built-ins — the extension seam new allocation strategies use.
+func TestUserRegistration(t *testing.T) {
+	name := "test-everything-on-first"
+	if err := Register(name, func(p Params) (Policy, error) {
+		return testFirstFit{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := New(name, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != name {
+		t.Fatalf("Name() = %q", pol.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing %q", Names(), name)
+	}
+}
+
+// TestNamesSorted: the listing is deterministic for error messages and
+// help output.
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+}
+
+// testFirstFit is a trivial user policy for registration tests.
+type testFirstFit struct{}
+
+func (testFirstFit) Name() string { return "test-everything-on-first" }
+func (testFirstFit) Allocate(*job.QJob, []DeviceState) []Allocation {
+	return nil
+}

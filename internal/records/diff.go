@@ -1,0 +1,173 @@
+package records
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MetricDelta is one metric that differs between two runs of the same
+// task.
+type MetricDelta struct {
+	// Name is the manifest column, e.g. "fidelity_mean".
+	Name string
+	// A and B are the two observed values; Delta is B − A.
+	A, B, Delta float64
+}
+
+// ConfigDelta is a configuration field that differs between two rows
+// claiming the same task ID — the runs were not comparable to begin
+// with.
+type ConfigDelta struct {
+	Name string
+	A, B string
+}
+
+// RowDiff collects everything that differs for one task ID.
+type RowDiff struct {
+	ID      string
+	Config  []ConfigDelta
+	Metrics []MetricDelta
+}
+
+// ManifestDiff reports how two run manifests differ, task by task.
+// Wall-clock fields and worker accounting are excluded by design: they
+// legitimately vary between executions of the same experiment, and the
+// diff exists to surface result drift, not scheduling noise.
+type ManifestDiff struct {
+	// LabelA and LabelB name the two runs.
+	LabelA, LabelB string
+	// Rows lists tasks present in both manifests whose configuration
+	// or metrics differ, in manifest-A order.
+	Rows []RowDiff
+	// OnlyInA and OnlyInB list task IDs present in one manifest only.
+	OnlyInA, OnlyInB []string
+	// Compared counts the task IDs present in both manifests.
+	Compared int
+}
+
+// Empty reports whether the two manifests agree on every shared task
+// and neither has tasks the other lacks.
+func (d *ManifestDiff) Empty() bool {
+	return len(d.Rows) == 0 && len(d.OnlyInA) == 0 && len(d.OnlyInB) == 0
+}
+
+// metricCols are the per-task result metrics compared by
+// DiffManifests, in manifest column order. WallMS is deliberately
+// absent.
+var metricCols = []struct {
+	name string
+	get  func(*RunSummary) float64
+}{
+	{"tsim_s", func(r *RunSummary) float64 { return r.TsimS }},
+	{"fidelity_mean", func(r *RunSummary) float64 { return r.FidelityMean }},
+	{"fidelity_std", func(r *RunSummary) float64 { return r.FidelityStd }},
+	{"tcomm_s", func(r *RunSummary) float64 { return r.TcommS }},
+	{"mean_devices_per_job", func(r *RunSummary) float64 { return r.MeanDevicesPerJob }},
+	{"mean_wait_s", func(r *RunSummary) float64 { return r.MeanWaitS }},
+}
+
+// configCols are the per-task configuration fields whose disagreement
+// means the rows are not two runs of the same experiment.
+var configCols = []struct {
+	name string
+	get  func(*RunSummary) string
+}{
+	{"kind", func(r *RunSummary) string { return r.Kind }},
+	{"mode", func(r *RunSummary) string { return r.Mode }},
+	{"param", func(r *RunSummary) string { return formatFloat(r.Param) }},
+	{"workload_seed", func(r *RunSummary) string { return strconv.FormatInt(r.WorkloadSeed, 10) }},
+	{"fleet_seed", func(r *RunSummary) string { return strconv.FormatInt(r.FleetSeed, 10) }},
+	{"fleet_preset", func(r *RunSummary) string { return r.FleetPreset }},
+	{"phi", func(r *RunSummary) string { return formatFloat(r.Phi) }},
+	{"lambda", func(r *RunSummary) string { return formatFloat(r.Lambda) }},
+	{"jobs", func(r *RunSummary) string { return strconv.Itoa(r.Jobs) }},
+	{"mean_interarrival_s", func(r *RunSummary) string { return formatFloat(r.MeanInterarrivalS) }},
+	{"train_steps", func(r *RunSummary) string { return fmtIntPtr(r.TrainSteps) }},
+	{"rl_seed", func(r *RunSummary) string { return fmtInt64Ptr(r.RLSeed) }},
+	{"rl_deterministic", func(r *RunSummary) string { return fmtBoolPtr(r.RLDeterministic) }},
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// DiffManifests compares two run manifests task by task (matched on
+// ID) and reports per-label metric deltas, configuration mismatches,
+// and tasks present on one side only. Wall times and worker accounting
+// are ignored, so diffing a sharded run against an in-process run of
+// the same spec reports Empty — the determinism gate CI relies on.
+func DiffManifests(a, b *RunManifest) *ManifestDiff {
+	d := &ManifestDiff{LabelA: a.Label, LabelB: b.Label}
+	byID := make(map[string]*RunSummary, len(b.Runs))
+	for i := range b.Runs {
+		byID[b.Runs[i].ID] = &b.Runs[i]
+	}
+	seenInA := make(map[string]bool, len(a.Runs))
+	for i := range a.Runs {
+		ra := &a.Runs[i]
+		seenInA[ra.ID] = true
+		rb, ok := byID[ra.ID]
+		if !ok {
+			d.OnlyInA = append(d.OnlyInA, ra.ID)
+			continue
+		}
+		d.Compared++
+		var row RowDiff
+		for _, c := range configCols {
+			if va, vb := c.get(ra), c.get(rb); va != vb {
+				row.Config = append(row.Config, ConfigDelta{Name: c.name, A: va, B: vb})
+			}
+		}
+		for _, c := range metricCols {
+			if va, vb := c.get(ra), c.get(rb); va != vb {
+				row.Metrics = append(row.Metrics, MetricDelta{Name: c.name, A: va, B: vb, Delta: vb - va})
+			}
+		}
+		if len(row.Config)+len(row.Metrics) > 0 {
+			row.ID = ra.ID
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	for i := range b.Runs {
+		if !seenInA[b.Runs[i].ID] {
+			d.OnlyInB = append(d.OnlyInB, b.Runs[i].ID)
+		}
+	}
+	return d
+}
+
+// Write renders the diff as a human-readable report.
+func (d *ManifestDiff) Write(w io.Writer) error {
+	if d.Empty() {
+		_, err := fmt.Fprintf(w, "manifests agree on all %d task(s)\n", d.Compared)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "manifests differ (%q vs %q):\n", d.LabelA, d.LabelB); err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		if _, err := fmt.Fprintf(w, "  %s:\n", row.ID); err != nil {
+			return err
+		}
+		for _, c := range row.Config {
+			if _, err := fmt.Fprintf(w, "    config %-20s %s -> %s\n", c.Name, c.A, c.B); err != nil {
+				return err
+			}
+		}
+		for _, m := range row.Metrics {
+			if _, err := fmt.Fprintf(w, "    %-27s %g -> %g (delta %+g)\n", m.Name, m.A, m.B, m.Delta); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range d.OnlyInA {
+		if _, err := fmt.Fprintf(w, "  only in %q: %s\n", d.LabelA, id); err != nil {
+			return err
+		}
+	}
+	for _, id := range d.OnlyInB {
+		if _, err := fmt.Fprintf(w, "  only in %q: %s\n", d.LabelB, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

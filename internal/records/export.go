@@ -61,11 +61,17 @@ type RunSummary struct {
 	// WorkloadSeed and FleetSeed pin the task's random streams.
 	WorkloadSeed int64 `json:"workload_seed"`
 	FleetSeed    int64 `json:"fleet_seed"`
+	// FleetPreset names the device-fleet preset the task ran on; empty
+	// is the standard paper fleet. Recorded so runs of different
+	// scenarios are distinguishable when diffing manifests.
+	FleetPreset string `json:"fleet_preset,omitempty"`
 	// Phi and Lambda snapshot the model constants in effect.
 	Phi    float64 `json:"phi"`
 	Lambda float64 `json:"lambda"`
-	// Jobs is the workload size.
-	Jobs int `json:"jobs"`
+	// Jobs is the workload size; MeanInterarrivalS the workload's mean
+	// Poisson inter-arrival time in seconds (0 = all jobs at t=0).
+	Jobs              int     `json:"jobs"`
+	MeanInterarrivalS float64 `json:"mean_interarrival_s,omitempty"`
 	// TrainSteps, RLSeed and RLDeterministic pin the rlbase policy:
 	// training budget, deployment sampling seed, and sampled-vs-mean
 	// deployment. Pointers so presence means "rlbase row" and explicit
@@ -112,8 +118,9 @@ func (m *RunManifest) WriteJSON(w io.Writer) error {
 func (m *RunManifest) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"id", "kind", "mode", "param", "workload_seed", "fleet_seed",
-		"phi", "lambda", "jobs", "train_steps", "rl_seed", "rl_deterministic",
+		"id", "kind", "mode", "param", "workload_seed", "fleet_seed", "fleet_preset",
+		"phi", "lambda", "jobs", "mean_interarrival_s",
+		"train_steps", "rl_seed", "rl_deterministic",
 		"tsim_s", "fidelity_mean", "fidelity_std",
 		"tcomm_s", "mean_devices_per_job", "mean_wait_s", "wall_ms",
 	}
@@ -124,8 +131,8 @@ func (m *RunManifest) WriteCSV(w io.Writer) error {
 	for _, r := range m.Runs {
 		row := []string{
 			r.ID, r.Kind, r.Mode, f(r.Param),
-			strconv.FormatInt(r.WorkloadSeed, 10), strconv.FormatInt(r.FleetSeed, 10),
-			f(r.Phi), f(r.Lambda), strconv.Itoa(r.Jobs),
+			strconv.FormatInt(r.WorkloadSeed, 10), strconv.FormatInt(r.FleetSeed, 10), r.FleetPreset,
+			f(r.Phi), f(r.Lambda), strconv.Itoa(r.Jobs), f(r.MeanInterarrivalS),
 			fmtIntPtr(r.TrainSteps), fmtInt64Ptr(r.RLSeed), fmtBoolPtr(r.RLDeterministic),
 			f(r.TsimS), f(r.FidelityMean), f(r.FidelityStd),
 			f(r.TcommS), f(r.MeanDevicesPerJob), f(r.MeanWaitS), f(r.WallMS),

@@ -63,7 +63,7 @@ func TestManifestCSVShape(t *testing.T) {
 	if len(lines) != 4 {
 		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "id,kind,mode,param,workload_seed,fleet_seed,phi,lambda,jobs,") {
+	if !strings.HasPrefix(lines[0], "id,kind,mode,param,workload_seed,fleet_seed,fleet_preset,phi,lambda,jobs,mean_interarrival_s,") {
 		t.Fatalf("header = %q", lines[0])
 	}
 	wantCols := strings.Count(lines[0], ",")

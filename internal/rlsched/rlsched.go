@@ -321,6 +321,23 @@ func NewRLPolicy(trained *rl.GaussianPolicy, seed int64) *RLPolicy {
 	return &RLPolicy{Trained: trained, rng: rand.New(rand.NewSource(seed))}
 }
 
+// The rlbase mode plugs into the policy registry like the heuristics,
+// but as a model-requiring entry: callers must train (or load) the
+// Gaussian policy first and pass it via policy.Params.Model. The
+// registry stays ignorant of the learning stack; this init is the one
+// place the two meet.
+func init() {
+	policy.MustRegisterModel("rlbase", func(p policy.Params) (policy.Policy, error) {
+		trained, ok := p.Model.(*rl.GaussianPolicy)
+		if !ok || trained == nil {
+			return nil, fmt.Errorf("rlsched: rlbase needs a trained *rl.GaussianPolicy in Params.Model, have %T", p.Model)
+		}
+		rp := NewRLPolicy(trained, p.Seed)
+		rp.Deterministic = p.Deterministic
+		return rp, nil
+	})
+}
+
 // Name implements policy.Policy.
 func (p *RLPolicy) Name() string { return "rlbase" }
 
