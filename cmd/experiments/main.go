@@ -29,12 +29,38 @@
 // quickest way to check whether a change moved any metric:
 //
 //	experiments -diff runs/a/manifest.json runs/b/manifest.json
+//	experiments -diff -tol 1e-9 a.json b.json   # absorb float drift
+//
+// For replicated runs (a spec with "replications"/"replication_seeds",
+// or any manifest with "…@seed<k>" task IDs) -out additionally writes
+// aggregated.json / aggregated.csv — per-task mean/std/stderr/CI95
+// across the workload seeds — and -diff -sig compares runs
+// statistically instead of exactly: Welch's t on the stored aggregates
+// (CI95-overlap when a task has fewer than two replicas), exiting
+// non-zero only on significant deltas. Either file may be a run
+// manifest (aggregated on the fly) or an aggregated manifest:
+//
+//	experiments -diff -sig runs/a/aggregated.json runs/b/manifest.json
+//
+// -trend ingests a directory of per-commit artifacts — CI's
+// BENCH_<sha>.json bench files, aggregated manifests, or plain run
+// manifests — ordered by their embedded date when every file has one,
+// by filename otherwise (name files in commit order), and reports each
+// metric's trajectory, exiting non-zero when the newest point shifted
+// significantly (Welch where stderr is stored, a relative threshold
+// otherwise):
+//
+//	experiments -trend perf-history/
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -69,6 +95,11 @@ func run() error {
 		progress  = flag.Bool("progress", true, "report per-task completion on stderr")
 		shards    = flag.Int("shards", 0, "fan tasks out across this many worker OS processes (>= 1) instead of in-process goroutines; omit for in-process execution")
 		diff      = flag.Bool("diff", false, "compare two run manifests: -diff a.json b.json (exit 1 on any difference)")
+		sig       = flag.Bool("sig", false, "with -diff: significance comparison of replicated runs (Welch's t at alpha=0.05, CI95-overlap below 2 replicas); accepts run or aggregated manifests")
+		tol       = flag.Float64("tol", 0, "with -diff: absolute tolerance on metric deltas, for cross-platform float drift (0 = exact)")
+		rtol      = flag.Float64("rtol", 0, "with -diff: relative tolerance on metric deltas (0 = exact)")
+		trendDir  = flag.String("trend", "", "report per-metric trajectories over a directory of BENCH_*.json / manifest artifacts and exit 1 on a significant shift in the newest one")
+		trendTol  = flag.Float64("trend-tol", 0.05, "with -trend: relative shift threshold for metrics without a stored stderr (e.g. bench ns/op)")
 		shardWork = flag.Bool("shard-worker", false, "internal: serve the shard worker protocol on stdin/stdout and exit (spawned by -shards coordinators)")
 	)
 	flag.IntVar(workers, "parallel", 0, "deprecated alias for -workers")
@@ -76,7 +107,8 @@ func run() error {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateFlags(set, flag.Args(), *artifact, *specPath, *n, *train, *workers, *reps, *shards, *diff, *shardWork); err != nil {
+	if err := validateFlags(set, flag.Args(), *artifact, *specPath, *n, *train, *workers, *reps, *shards, *diff, *shardWork,
+		*sig, *tol, *rtol, *trendDir, *trendTol); err != nil {
 		return err
 	}
 
@@ -86,8 +118,11 @@ func run() error {
 	if *shardWork {
 		return experiments.ServeShardWorker(context.Background(), os.Stdin, os.Stdout)
 	}
+	if *trendDir != "" {
+		return runTrend(os.Stdout, *trendDir, *trendTol)
+	}
 	if *diff {
-		return diffManifests(flag.Arg(0), flag.Arg(1))
+		return diffManifests(flag.Arg(0), flag.Arg(1), *sig, *tol, *rtol)
 	}
 
 	for _, dir := range []string{*outdir, *out} {
@@ -150,21 +185,52 @@ func run() error {
 // validateFlags rejects inconsistent flag combinations up front, with
 // actionable messages, instead of failing late inside a run (or worse,
 // silently ignoring a flag the user set).
-func validateFlags(set map[string]bool, args []string, artifact, specPath string, n, train, workers, reps, shards int, diff, shardWork bool) error {
+func validateFlags(set map[string]bool, args []string, artifact, specPath string, n, train, workers, reps, shards int, diff, shardWork bool,
+	sig bool, tol, rtol float64, trendDir string, trendTol float64) error {
 	switch {
 	case shardWork:
 		if len(set) > 1 || len(args) > 0 {
 			return fmt.Errorf("-shard-worker is internal (spawned by -shards coordinators) and takes no other flags or arguments")
 		}
 		return nil
+	case set["trend"]:
+		if trendDir == "" {
+			return fmt.Errorf("-trend needs the artifact directory as its value (an empty one usually means an unset shell variable)")
+		}
+		for f := range set {
+			if f != "trend" && f != "trend-tol" {
+				return fmt.Errorf("-trend reads saved artifacts only; -%s conflicts with it", f)
+			}
+		}
+		if len(args) > 0 {
+			return fmt.Errorf("-trend takes the artifact directory as its value and no positional arguments")
+		}
+		if trendTol <= 0 {
+			return fmt.Errorf("-trend-tol must be > 0, have %g", trendTol)
+		}
+		return nil
 	case diff:
-		if len(set) > 1 {
-			return fmt.Errorf("-diff takes exactly two manifest paths and no other flags")
+		for f := range set {
+			switch f {
+			case "diff", "sig", "tol", "rtol":
+			default:
+				return fmt.Errorf("-diff takes exactly two manifest paths and no other flags beyond -sig/-tol/-rtol")
+			}
 		}
 		if len(args) != 2 {
 			return fmt.Errorf("-diff takes exactly two manifest paths, have %d", len(args))
 		}
+		if tol < 0 || rtol < 0 {
+			return fmt.Errorf("-tol and -rtol must be >= 0")
+		}
+		if sig && (set["tol"] || set["rtol"]) {
+			return fmt.Errorf("-sig decides by statistics, not tolerances; drop -tol/-rtol")
+		}
 		return nil
+	case set["sig"] || set["tol"] || set["rtol"]:
+		return fmt.Errorf("-sig, -tol and -rtol modify -diff; pass -diff with them")
+	case set["trend-tol"]:
+		return fmt.Errorf("-trend-tol modifies -trend; pass -trend with it")
 	case len(args) > 0:
 		return fmt.Errorf("unexpected arguments %q (all inputs are flags; -diff takes the only positional arguments)", args)
 	}
@@ -252,7 +318,7 @@ func compileSpec(artifact, scenario string, n int, seed, fleetSeed int64, train,
 	case "table2":
 		s.Matrices = []experiments.TaskMatrix{{Kind: "modes"}}
 	case "replicate":
-		seeds := replicationSeeds(reps)
+		seeds := experiments.CanonicalReplicationSeeds(reps)
 		for _, mode := range experiments.Modes {
 			s.Matrices = append(s.Matrices, experiments.TaskMatrix{Kind: "replicate", Mode: mode, Seeds: seeds})
 		}
@@ -343,9 +409,12 @@ func renderArtifact(artifact string, m *records.RunManifest, shards int, outdir 
 }
 
 // diffManifests loads two saved manifests and reports their per-task
-// deltas; any difference is an error so scripts and CI can gate on the
-// exit code.
-func diffManifests(pathA, pathB string) error {
+// deltas; any difference (any *significant* difference under -sig) is
+// an error so scripts and CI can gate on the exit code.
+func diffManifests(pathA, pathB string, sig bool, absTol, relTol float64) error {
+	if sig {
+		return diffSignificance(pathA, pathB)
+	}
 	load := func(path string) (*records.RunManifest, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -366,7 +435,7 @@ func diffManifests(pathA, pathB string) error {
 	if err != nil {
 		return err
 	}
-	d := records.DiffManifests(a, b)
+	d := records.DiffManifestsOpt(a, b, records.DiffOptions{AbsTol: absTol, RelTol: relTol})
 	if err := d.Write(os.Stdout); err != nil {
 		return err
 	}
@@ -375,6 +444,80 @@ func diffManifests(pathA, pathB string) error {
 			len(d.Rows), len(d.OnlyInA), pathA, len(d.OnlyInB), pathB)
 	}
 	return nil
+}
+
+// diffSignificance is -diff -sig: compare two runs statistically via
+// their aggregated forms, folding run manifests on the fly.
+func diffSignificance(pathA, pathB string) error {
+	a, err := loadAggregatedAny(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := loadAggregatedAny(pathB)
+	if err != nil {
+		return err
+	}
+	d, err := records.DiffAggregated(a, b, records.SigOptions{})
+	if err != nil {
+		return err
+	}
+	if err := d.Write(os.Stdout); err != nil {
+		return err
+	}
+	if !d.Empty() {
+		return fmt.Errorf("runs differ significantly: %d base task(s) flagged, %d only in %s, %d only in %s",
+			len(d.Rows), len(d.OnlyInA), pathA, len(d.OnlyInB), pathB)
+	}
+	return nil
+}
+
+// errUnknownArtifact marks a JSON document that is neither manifest
+// form — callers name the path and the forms they accept.
+var errUnknownArtifact = errors.New(`no "rows" or "runs" array`)
+
+// aggregatedFromJSON decodes an aggregated manifest, or a run manifest
+// which it folds on the fly. The two forms are told apart by their row
+// container ("rows" vs "runs"); anything else — say a BENCH_<sha>.json
+// bench artifact handed to -diff -sig by mistake — is
+// errUnknownArtifact, not a silently empty manifest (unknown JSON
+// fields decode to zero tasks otherwise).
+func aggregatedFromJSON(data []byte) (*records.AggregatedManifest, error) {
+	var probe struct {
+		Rows []json.RawMessage `json:"rows"`
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	switch {
+	case probe.Rows != nil:
+		return records.ReadAggregatedJSON(bytes.NewReader(data))
+	case probe.Runs != nil:
+		m, err := records.ReadManifestJSON(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return records.AggregateManifests(m)
+	default:
+		return nil, errUnknownArtifact
+	}
+}
+
+// loadAggregatedAny is aggregatedFromJSON from a path — what -diff
+// -sig calls on each argument.
+func loadAggregatedAny(path string) (*records.AggregatedManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := aggregatedFromJSON(data)
+	if errors.Is(err, errUnknownArtifact) {
+		return nil, fmt.Errorf("%s: neither an aggregated manifest nor a run manifest (%w)", path, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return agg, nil
 }
 
 // t2row is one Table 2 line.
@@ -408,17 +551,6 @@ func writeTable2CSV(outdir string, rows []t2row) error {
 	return nil
 }
 
-// replicationSeeds is the canonical seed list for -artifact replicate:
-// 1..reps, so the flag path and a spec file listing the same seeds
-// describe the same run.
-func replicationSeeds(reps int) []int64 {
-	seeds := make([]int64, reps)
-	for i := range seeds {
-		seeds[i] = int64(i + 1)
-	}
-	return seeds
-}
-
 func printReplicateHeader() {
 	fmt.Printf("%-10s %26s %24s %24s %12s\n", "Mode", "T_sim (s)", "muF", "T_comm (s)", "muF CI95")
 }
@@ -428,27 +560,59 @@ func printReplicateRow(mode string, tsimMean, tsimStd, mufMean, mufStd, tcommMea
 		mode, tsimMean, tsimStd, mufMean, mufStd, tcommMean, tcommStd, ci)
 }
 
-// writeManifest exports a run manifest as JSON and CSV.
+// writeManifest exports a run manifest as JSON and CSV. Replicated
+// runs (any "…@seed<k>" task ID) additionally get their aggregated
+// form — aggregated.json / aggregated.csv — the artifact -diff -sig
+// and -trend consume.
 func writeManifest(m *records.RunManifest, dir string) error {
-	for _, name := range []string{"manifest.json", "manifest.csv"} {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		if name == "manifest.json" {
-			err = m.WriteJSON(f)
-		} else {
-			err = m.WriteCSV(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Println("wrote", filepath.Join(dir, name))
+	if err := writeArtifactFile(dir, "manifest.json", m.WriteJSON); err != nil {
+		return err
 	}
+	if err := writeArtifactFile(dir, "manifest.csv", m.WriteCSV); err != nil {
+		return err
+	}
+	if !hasReplicas(m) {
+		return nil
+	}
+	agg, err := records.AggregateManifests(m)
+	if err != nil {
+		return err
+	}
+	if err := writeArtifactFile(dir, "aggregated.json", agg.WriteJSON); err != nil {
+		return err
+	}
+	return writeArtifactFile(dir, "aggregated.csv", agg.WriteCSV)
+}
+
+// writeArtifactFile creates dir/name, runs the writer, and reports the
+// path — the one create/write/close/announce sequence every manifest
+// artifact shares.
+func writeArtifactFile(dir, name string, write func(io.Writer) error) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
 	return nil
+}
+
+// hasReplicas reports whether any task of the manifest is a seed
+// replica — the trigger for the aggregated export.
+func hasReplicas(m *records.RunManifest) bool {
+	for i := range m.Runs {
+		if _, _, ok := records.SplitReplicaID(m.Runs[i].ID); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // runFigures drives the artifacts that need in-process run state

@@ -104,6 +104,11 @@ func TestValidateFlags(t *testing.T) {
 		shards    int
 		diff      bool
 		shardWork bool
+		sig       bool
+		tol       float64
+		rtol      float64
+		trend     string
+		trendTol  float64
 	}
 	ok := func(a args) args { // fill valid defaults
 		if a.artifact == "" {
@@ -120,6 +125,9 @@ func TestValidateFlags(t *testing.T) {
 		}
 		if a.set == nil {
 			a.set = map[string]bool{}
+		}
+		if a.trendTol == 0 {
+			a.trendTol = 0.05
 		}
 		return a
 	}
@@ -149,11 +157,26 @@ func TestValidateFlags(t *testing.T) {
 		{"fig5 sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "fig5"}), "does not support -shards"},
 		{"all sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "all"}), "does not support -shards"},
 		{"ablations sharded", ok(args{set: map[string]bool{"shards": true}, shards: 2, artifact: "ablations"}), ""},
+		{"diff sig", ok(args{set: map[string]bool{"diff": true, "sig": true}, args: []string{"a.json", "b.json"}, diff: true, sig: true}), ""},
+		{"diff tol", ok(args{set: map[string]bool{"diff": true, "tol": true}, args: []string{"a.json", "b.json"}, diff: true, tol: 1e-9}), ""},
+		{"diff negative tol", ok(args{set: map[string]bool{"diff": true, "tol": true}, args: []string{"a.json", "b.json"}, diff: true, tol: -1}), ">= 0"},
+		{"diff sig with tol", ok(args{set: map[string]bool{"diff": true, "sig": true, "tol": true}, args: []string{"a.json", "b.json"}, diff: true, sig: true, tol: 1e-9}), "drop -tol"},
+		{"diff sig with other flags", ok(args{set: map[string]bool{"diff": true, "sig": true, "n": true}, args: []string{"a.json", "b.json"}, diff: true, sig: true}), "no other flags"},
+		{"sig without diff", ok(args{set: map[string]bool{"sig": true}, sig: true}), "pass -diff"},
+		{"tol without diff", ok(args{set: map[string]bool{"tol": true}, tol: 1e-9}), "pass -diff"},
+		{"trend alone", ok(args{set: map[string]bool{"trend": true}, trend: "dir"}), ""},
+		{"trend empty value", ok(args{set: map[string]bool{"trend": true}, trend: ""}), "unset shell variable"},
+		{"trend with tol", ok(args{set: map[string]bool{"trend": true, "trend-tol": true}, trend: "dir", trendTol: 0.1}), ""},
+		{"trend with n", ok(args{set: map[string]bool{"trend": true, "n": true}, trend: "dir"}), "conflicts"},
+		{"trend with args", ok(args{set: map[string]bool{"trend": true}, trend: "dir", args: []string{"x"}}), "no positional"},
+		{"trend bad tol", ok(args{set: map[string]bool{"trend": true, "trend-tol": true}, trend: "dir", trendTol: -1}), "-trend-tol"},
+		{"trend-tol without trend", ok(args{set: map[string]bool{"trend-tol": true}, trendTol: 0.1}), "pass -trend"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateFlags(c.a.set, c.a.args, c.a.artifact, c.a.spec,
-				c.a.n, c.a.train, c.a.workers, c.a.reps, c.a.shards, c.a.diff, c.a.shardWork)
+				c.a.n, c.a.train, c.a.workers, c.a.reps, c.a.shards, c.a.diff, c.a.shardWork,
+				c.a.sig, c.a.tol, c.a.rtol, c.a.trend, c.a.trendTol)
 			if c.want == "" {
 				if err != nil {
 					t.Fatalf("rejected: %v", err)

@@ -305,7 +305,11 @@ func (cs *CaseStudy) LambdaSweep(mode string, lambdas []float64) ([]SweepPoint, 
 type ReplicatedStat struct {
 	N                   int
 	Mean, Std, Min, Max float64
-	CI95                float64
+	// StdErr is Std/√N, the standard error of the mean — the
+	// denominator of Welch's t, so significance diffing of replicated
+	// results needs it alongside CI95.
+	StdErr float64
+	CI95   float64
 }
 
 // ReplicatedResults aggregates a mode's Table 2 metrics across

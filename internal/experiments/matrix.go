@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/records"
 )
 
 // TaskMatrix declaratively describes the task set of one orchestrated
@@ -32,6 +33,16 @@ type TaskMatrix struct {
 	Values []float64 `json:"values,omitempty"`
 	// Seeds are the workload seeds (replicate kind only).
 	Seeds []int64 `json:"seeds,omitempty"`
+	// ReplicationSeeds fans every task of the matrix out across these
+	// workload seeds: each base task becomes one replica per seed, ID
+	// suffixed "@seed<k>" (records.ReplicaID), run with the workload
+	// seed overridden. Replicas expand task-major (all seeds of task 0,
+	// then task 1, …), and the field travels inside a ShardSpec, so
+	// every executor — including worker OS processes — rebuilds the
+	// identical fan-out. Usually lowered from the spec-level
+	// Replications/ReplicationSeeds by Run rather than set directly.
+	// Invalid on "replicate" matrices, which already enumerate seeds.
+	ReplicationSeeds []int64 `json:"replication_seeds,omitempty"`
 }
 
 // Label names a manifest produced from this matrix, e.g. "modes" or
@@ -72,11 +83,43 @@ func checkMode(mode string) error {
 	return nil
 }
 
-// specs expands the matrix into the ordered task list. keepRun retains
-// each task's full ModeRun on its artifact (records, per-job
+// specs expands the matrix into the ordered task list — the base
+// enumeration fanned out across ReplicationSeeds when set. keepRun
+// retains each task's full ModeRun on its artifact (records, per-job
 // fidelities); leave it false when only Results is consumed so a
 // 100-seed replication does not pin 100 record sets in memory.
 func (m TaskMatrix) specs(keepRun bool) ([]runSpec, error) {
+	base, err := m.baseSpecs(keepRun)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.ReplicationSeeds) == 0 {
+		return base, nil
+	}
+	if m.Kind == "replicate" {
+		return nil, fmt.Errorf("experiments: replication seeds on a %q matrix: it already enumerates workload seeds (use one or the other)", m.Kind)
+	}
+	out := make([]runSpec, 0, len(base)*len(m.ReplicationSeeds))
+	for _, b := range base {
+		for _, seed := range m.ReplicationSeeds {
+			r := b
+			r.id = records.ReplicaID(b.id, seed)
+			inner, s := b.mutate, seed
+			r.mutate = func(snap *CaseStudy) {
+				if inner != nil {
+					inner(snap)
+				}
+				snap.Workload.Seed = s
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// baseSpecs expands the matrix's own enumeration, before any
+// replication fan-out.
+func (m TaskMatrix) baseSpecs(keepRun bool) ([]runSpec, error) {
 	switch m.Kind {
 	case "modes":
 		modes := m.modes()

@@ -264,10 +264,12 @@ func (cs *CaseStudy) RunReplicatedParallel(ctx context.Context, opt ParallelOpti
 	}, arts, nil
 }
 
-// replicate summarizes one metric across replicated runs.
+// replicate summarizes one metric across replicated runs. Every field
+// stats.AggregateSamples computes is carried over — dropping StdErr
+// here once left significance tests without their denominator.
 func replicate(xs []float64) ReplicatedStat {
 	a := stats.AggregateSamples(xs)
-	st := ReplicatedStat{N: a.N, Mean: a.Mean, Std: a.Std, CI95: a.CI95}
+	st := ReplicatedStat{N: a.N, Mean: a.Mean, Std: a.Std, StdErr: a.StdErr, CI95: a.CI95}
 	for i, x := range xs {
 		if i == 0 || x < st.Min {
 			st.Min = x

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/records"
+	"repro/internal/stats"
+)
+
+// TestReplicationExpansion pins the fan-out: task-major order, replica
+// IDs via records.ReplicaID, the workload seed overridden after the
+// base task's own mutation, and replicate-kind matrices left exempt
+// from spec-level replication.
+func TestReplicationExpansion(t *testing.T) {
+	spec := Spec{
+		ReplicationSeeds: []int64{7, 8},
+		Matrices: []TaskMatrix{
+			{Kind: "modes", Modes: []string{"speed", "fair"}},
+			{Kind: "replicate", Mode: "speed", Seeds: []int64{1}},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	effective := spec.runMatrices()
+	labels, err := effective[0].TaskLabels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mode/speed@seed7", "mode/speed@seed8", "mode/fair@seed7", "mode/fair@seed8"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	if len(effective[1].ReplicationSeeds) != 0 {
+		t.Fatalf("replicate matrix inherited spec-level replication: %+v", effective[1])
+	}
+	// The declared spec is untouched — lowering happens on a copy.
+	if len(spec.Matrices[0].ReplicationSeeds) != 0 {
+		t.Fatal("runMatrices mutated the spec's own matrices")
+	}
+
+	// Replications: N is the canonical 1..N seed list.
+	counted := Spec{Replications: 3, Matrices: []TaskMatrix{{Kind: "modes", Modes: []string{"fair"}}}}
+	labels, err = counted.runMatrices()[0].TaskLabels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"mode/fair@seed1", "mode/fair@seed2", "mode/fair@seed3"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+}
+
+// TestReplicatedSweepComposesMutations: replicating a sweep matrix
+// keeps the swept value AND overrides the workload seed — the two
+// mutations compose rather than clobber.
+func TestReplicatedSweepComposesMutations(t *testing.T) {
+	m := TaskMatrix{Kind: "phi-sweep", Mode: "speed", Values: []float64{0.9}, ReplicationSeeds: []int64{5}}
+	specs, err := m.specs(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].id != "phi-sweep/speed/0.9@seed5" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	snap := smallCase()
+	specs[0].mutate(snap)
+	if snap.Core.Phi != 0.9 || snap.Workload.Seed != 5 {
+		t.Fatalf("mutations did not compose: phi=%g seed=%d", snap.Core.Phi, snap.Workload.Seed)
+	}
+}
+
+// TestReplicatedSpecExecutorEquivalence is the tentpole's acceptance
+// gate: one replicated Spec produces bit-identical manifests — and
+// therefore bit-identical aggregated manifests — under the Sequential,
+// Parallel and Sharded executors, the per-seed rows record the
+// replication seeds, and significance-diffing two such runs is Empty
+// while a run over different seeds is flagged.
+func TestReplicatedSpecExecutorEquivalence(t *testing.T) {
+	spec := specForSmallCase(TaskMatrix{Kind: "modes", Modes: []string{"speed", "fair"}})
+	spec.ReplicationSeeds = []int64{5, 6, 7}
+
+	manifests := make([]*records.RunManifest, 0, 3)
+	for _, exec := range []Executor{
+		Sequential{},
+		Parallel{Options: ExecOptions{Workers: 4}},
+		Sharded{Options: ShardOptions{Shards: 2, Command: selfWorker(t)}},
+	} {
+		m, err := Run(context.Background(), spec, exec)
+		if err != nil {
+			t.Fatalf("%s: %v", exec.Name(), err)
+		}
+		if len(m.Runs) != 6 {
+			t.Fatalf("%s: %d rows, want 6", exec.Name(), len(m.Runs))
+		}
+		manifests = append(manifests, m)
+	}
+	wantRaw := normalizedJSON(t, manifests[0])
+	var wantAgg bytes.Buffer
+	agg0, err := records.AggregateManifests(manifests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg0.Label = ""
+	if err := agg0.WriteJSON(&wantAgg); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range manifests[1:] {
+		if got := normalizedJSON(t, m); !bytes.Equal(wantRaw, got) {
+			t.Fatalf("executor %d manifest diverges:\n%s\n%s", i+1, got, wantRaw)
+		}
+		agg, err := records.AggregateManifests(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Label = ""
+		var got bytes.Buffer
+		if err := agg.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantAgg.Bytes(), got.Bytes()) {
+			t.Fatalf("executor %d aggregated manifest diverges:\n%s\n%s", i+1, got.Bytes(), wantAgg.Bytes())
+		}
+	}
+
+	// The per-seed rows genuinely ran the replication seeds.
+	for i, r := range manifests[0].Runs {
+		_, seed, ok := records.SplitReplicaID(r.ID)
+		if !ok || seed != r.WorkloadSeed {
+			t.Fatalf("row %d (%s) seed %d not a replica of its ID", i, r.ID, r.WorkloadSeed)
+		}
+	}
+	if agg0.Rows[0].N != 3 || !reflect.DeepEqual(agg0.Rows[0].Seeds, []int64{5, 6, 7}) {
+		t.Fatalf("aggregated row = %+v", agg0.Rows[0])
+	}
+
+	// Two executors' aggregations are statistically indistinguishable;
+	// a run over different seeds is flagged (drifted seed config at
+	// minimum — it is a different replication by construction).
+	aggB, err := records.AggregateManifests(manifests[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := records.DiffAggregated(agg0, aggB, records.SigOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		var buf bytes.Buffer
+		d.Write(&buf)
+		t.Fatalf("same spec, two executors, significant diff:\n%s", buf.String())
+	}
+	shifted := spec
+	shifted.ReplicationSeeds = []int64{8, 9, 10}
+	sm, err := Run(context.Background(), shifted, Sequential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggS, err := records.AggregateManifests(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = records.DiffAggregated(agg0, aggS, records.SigOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("different replication seeds diffed Empty")
+	}
+}
+
+// TestReplicateCarriesStdErr is the satellite bugfix gate:
+// RunReplicated's per-metric stats carry the StdErr that
+// stats.AggregateSamples computes, instead of silently dropping it.
+func TestReplicateCarriesStdErr(t *testing.T) {
+	cs := smallCase()
+	cs.Workload.N = 30
+	rep, arts, err := cs.RunReplicatedParallel(context.Background(), ParallelOptions{Workers: 2}, "speed", []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsim []float64
+	for i := range arts {
+		tsim = append(tsim, arts[i].Results.TotalSimTime)
+	}
+	want := stats.AggregateSamples(tsim)
+	if rep.TsimStat.StdErr != want.StdErr {
+		t.Fatalf("StdErr = %g, want %g", rep.TsimStat.StdErr, want.StdErr)
+	}
+	if want.StdErr <= 0 {
+		t.Fatalf("degenerate fixture: StdErr = %g (seeds produced identical runs)", want.StdErr)
+	}
+	if rep.TsimStat.CI95 != want.CI95 || rep.TsimStat.Std != want.Std {
+		t.Fatalf("replicated stat drifted from AggregateSamples: %+v vs %+v", rep.TsimStat, want)
+	}
+}

@@ -31,6 +31,18 @@ type Spec struct {
 	// unique across all matrices, so the combined manifest stays
 	// unambiguous and shard merges can account for every task.
 	Matrices []TaskMatrix `json:"matrices"`
+	// Replications fans every matrix task out across the workload
+	// seeds 1..Replications (one replica per seed, matching the
+	// -replications flag's canonical seed list), so the paper-style
+	// "mean over replicated workload seeds" tables are one spec field
+	// instead of hand-written seed lists. Matrices that already
+	// enumerate workload seeds themselves — kind "replicate", or an
+	// explicit matrix-level ReplicationSeeds — are left untouched.
+	// Mutually exclusive with ReplicationSeeds.
+	Replications int `json:"replications,omitempty"`
+	// ReplicationSeeds is Replications with an explicit seed list, for
+	// runs that must pin particular seeds.
+	ReplicationSeeds []int64 `json:"replication_seeds,omitempty"`
 	// Jobs overrides the scenario's workload size when > 0.
 	Jobs int `json:"jobs,omitempty"`
 	// Seed overrides the workload seed when set (pointer: seed 0 is a
@@ -105,8 +117,14 @@ func (s *Spec) Validate() error {
 	if s.TrainSteps < 0 {
 		return fmt.Errorf("experiments: spec train_steps override %d < 0", s.TrainSteps)
 	}
+	if s.Replications < 0 {
+		return fmt.Errorf("experiments: spec replications %d < 0", s.Replications)
+	}
+	if s.Replications > 0 && len(s.ReplicationSeeds) > 0 {
+		return fmt.Errorf("experiments: spec sets both replications and replication_seeds; pick one")
+	}
 	seen := make(map[string]bool)
-	for i, m := range s.Matrices {
+	for i, m := range s.runMatrices() {
 		specs, err := m.specs(false)
 		if err != nil {
 			return fmt.Errorf("experiments: spec matrix %d: %w", i, err)
@@ -119,6 +137,53 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CanonicalReplicationSeeds is the seed list a bare replication count
+// expands to: 1..n. It is the one definition shared by the spec-level
+// Replications field and the CLI's -replications flag, so
+// `"replications": 5` in a spec and `-replications 5` on the command
+// line describe the same run by construction.
+func CanonicalReplicationSeeds(n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// replicationSeeds resolves the spec-level replication request to an
+// explicit seed list: ReplicationSeeds verbatim, or the canonical
+// 1..Replications. Nil when the spec requests no replication.
+func (s *Spec) replicationSeeds() []int64 {
+	if len(s.ReplicationSeeds) > 0 {
+		return s.ReplicationSeeds
+	}
+	if s.Replications > 0 {
+		return CanonicalReplicationSeeds(s.Replications)
+	}
+	return nil
+}
+
+// runMatrices returns the matrices Run actually executes: the declared
+// matrices with spec-level replication lowered onto each one that does
+// not already enumerate workload seeds itself. Lowering onto the
+// TaskMatrix (rather than looping in Run) is what makes replication
+// executor-agnostic: the seeds travel inside the ShardSpec, so worker
+// processes rebuild the identical fan-out.
+func (s *Spec) runMatrices() []TaskMatrix {
+	seeds := s.replicationSeeds()
+	if seeds == nil {
+		return s.Matrices
+	}
+	out := append([]TaskMatrix(nil), s.Matrices...)
+	for i := range out {
+		if out[i].Kind == "replicate" || len(out[i].ReplicationSeeds) > 0 {
+			continue
+		}
+		out[i].ReplicationSeeds = seeds
+	}
+	return out
 }
 
 // Label names the run's manifest: Name when set, otherwise the
@@ -188,7 +253,7 @@ func Run(ctx context.Context, spec Spec, exec Executor) (*records.RunManifest, e
 		return nil, err
 	}
 	out := &records.RunManifest{Label: spec.Label()}
-	for _, m := range spec.Matrices {
+	for _, m := range spec.runMatrices() {
 		mf, err := exec.Execute(ctx, cs, m)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s executor: %w", m.Label(), exec.Name(), err)

@@ -17,7 +17,9 @@ import (
 var update = flag.Bool("update", false, "rewrite golden fixtures")
 
 // goldenSpec exercises every Spec field: overrides behind pointers
-// (seed 0 must survive), a PPO override, and two matrices.
+// (seed 0 must survive), a PPO override, spec-level replication (which
+// the replicate matrix is exempt from — it enumerates its own seeds),
+// and two matrices.
 func goldenSpec() *Spec {
 	seed := int64(0)
 	fleetSeed := int64(2025)
@@ -36,6 +38,7 @@ func goldenSpec() *Spec {
 			{Kind: "modes", Modes: []string{"speed", "fair"}},
 			{Kind: "replicate", Mode: "fidelity", Seeds: []int64{1, 2, 3}},
 		},
+		Replications: 2,
 	}
 }
 
@@ -120,6 +123,16 @@ func TestSpecValidate(t *testing.T) {
 		{"duplicate across matrices", Spec{Matrices: []TaskMatrix{
 			{Kind: "replicate", Mode: "speed", Seeds: []int64{1, 2}},
 			{Kind: "replicate", Mode: "speed", Seeds: []int64{2, 3}},
+		}}, "twice"},
+		{"negative replications", Spec{Replications: -1, Matrices: []TaskMatrix{{Kind: "modes"}}}, "replications"},
+		{"replications and seeds", Spec{Replications: 2, ReplicationSeeds: []int64{1}, Matrices: []TaskMatrix{{Kind: "modes"}}}, "pick one"},
+		{"replication on replicate matrix", Spec{Matrices: []TaskMatrix{
+			{Kind: "replicate", Mode: "speed", Seeds: []int64{1}, ReplicationSeeds: []int64{2}},
+		}}, "already enumerates"},
+		{"duplicate replication seeds", Spec{ReplicationSeeds: []int64{4, 4}, Matrices: []TaskMatrix{{Kind: "modes"}}}, "twice"},
+		{"replicated duplicate across matrices", Spec{Replications: 2, Matrices: []TaskMatrix{
+			{Kind: "modes", Modes: []string{"speed"}},
+			{Kind: "modes", Modes: []string{"speed"}},
 		}}, "twice"},
 	}
 	for _, c := range cases {

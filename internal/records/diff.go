@@ -3,6 +3,7 @@ package records
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -90,12 +91,59 @@ var configCols = []struct {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// DiffOptions tunes the metric comparison of DiffManifests. The zero
+// value preserves the exact gate: metrics are equal only when their
+// bits say so (with NaN equal to NaN — see metricsEqual).
+type DiffOptions struct {
+	// AbsTol treats two metric values within this absolute distance as
+	// equal, for cross-platform float drift. 0 means exact.
+	AbsTol float64
+	// RelTol treats two metric values within RelTol·max(|a|,|b|) of
+	// each other as equal. 0 means exact. When both tolerances are set,
+	// a value passing either one is equal.
+	RelTol float64
+}
+
+// metricsEqual is the metric comparison under opt. NaN compares equal
+// to NaN: a manifest is equal to a byte-identical copy of itself even
+// when a metric is NaN (mean wait of a run that finished no jobs, a
+// degenerate sweep) — under IEEE semantics NaN != NaN, which made the
+// exact-equality gate fail spuriously on identical replicated runs.
+// (NaN manifests live in memory and CSV only: encoding/json has no NaN
+// literal, so WriteJSON rejects them — the JSON diff path can never
+// present two NaN files, but the API and CSV paths can.)
+func (opt DiffOptions) metricsEqual(a, b float64) bool {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return true
+	}
+	diff := math.Abs(b - a) // NaN on one side only: all checks below stay false
+	if math.IsInf(diff, 0) {
+		// An infinite disagreement (one side ±Inf, or opposite
+		// infinities) is never within tolerance — without this guard
+		// the relative bound would compare Inf <= Inf and pass it.
+		return false
+	}
+	if opt.AbsTol > 0 && diff <= opt.AbsTol {
+		return true
+	}
+	return opt.RelTol > 0 && diff <= opt.RelTol*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // DiffManifests compares two run manifests task by task (matched on
 // ID) and reports per-label metric deltas, configuration mismatches,
 // and tasks present on one side only. Wall times and worker accounting
 // are ignored, so diffing a sharded run against an in-process run of
 // the same spec reports Empty — the determinism gate CI relies on.
+// Metrics compare exactly (NaN equal to NaN); use DiffManifestsOpt for
+// a drift tolerance.
 func DiffManifests(a, b *RunManifest) *ManifestDiff {
+	return DiffManifestsOpt(a, b, DiffOptions{})
+}
+
+// DiffManifestsOpt is DiffManifests with an explicit metric-comparison
+// tolerance. Configuration fields always compare exactly: two runs
+// with drifted configs are not the same experiment at any tolerance.
+func DiffManifestsOpt(a, b *RunManifest, opt DiffOptions) *ManifestDiff {
 	d := &ManifestDiff{LabelA: a.Label, LabelB: b.Label}
 	byID := make(map[string]*RunSummary, len(b.Runs))
 	for i := range b.Runs {
@@ -118,7 +166,7 @@ func DiffManifests(a, b *RunManifest) *ManifestDiff {
 			}
 		}
 		for _, c := range metricCols {
-			if va, vb := c.get(ra), c.get(rb); va != vb {
+			if va, vb := c.get(ra), c.get(rb); !opt.metricsEqual(va, vb) {
 				row.Metrics = append(row.Metrics, MetricDelta{Name: c.name, A: va, B: vb, Delta: vb - va})
 			}
 		}

@@ -2,6 +2,7 @@ package records
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -122,5 +123,80 @@ func TestDiffReportsMissingTasks(t *testing.T) {
 	}
 	if d.Compared != 1 {
 		t.Fatalf("compared %d", d.Compared)
+	}
+}
+
+// TestDiffNaNMetricsEqual is the bugfix gate: two byte-identical
+// manifests whose metrics contain NaN (e.g. mean wait of a run that
+// finished no jobs) must diff Empty. Under IEEE semantics NaN != NaN,
+// so the exact-equality comparison used to report every NaN metric as
+// drift — a spurious CI failure on identical replicated runs.
+func TestDiffNaNMetricsEqual(t *testing.T) {
+	a := diffFixture()
+	a.Runs[0].MeanWaitS = math.NaN()
+	a.Runs[1].FidelityMean = math.NaN()
+	b := diffFixture()
+	b.Runs[0].MeanWaitS = math.NaN()
+	b.Runs[1].FidelityMean = math.NaN()
+	d := DiffManifests(a, b)
+	if !d.Empty() {
+		var buf bytes.Buffer
+		d.Write(&buf)
+		t.Fatalf("identical NaN metrics reported as drift:\n%s", buf.String())
+	}
+	// NaN on one side only IS drift.
+	c := diffFixture()
+	d = DiffManifests(a, c)
+	if d.Empty() || len(d.Rows) != 2 {
+		t.Fatalf("one-sided NaN not reported: %+v", d)
+	}
+}
+
+// TestDiffTolerance: DiffManifestsOpt's absolute and relative
+// tolerances absorb cross-platform float drift, the zero value keeps
+// the exact gate, and config fields never get tolerance.
+func TestDiffTolerance(t *testing.T) {
+	a := diffFixture()
+	b := diffFixture()
+	b.Runs[0].TsimS += 1e-9       // tiny absolute drift on a ~100 metric
+	b.Runs[1].TcommS *= 1 + 1e-12 // tiny relative drift
+
+	if d := DiffManifests(a, b); d.Empty() {
+		t.Fatal("exact gate absorbed drift without a tolerance")
+	}
+	if d := DiffManifestsOpt(a, b, DiffOptions{AbsTol: 1e-6}); !d.Empty() {
+		t.Fatalf("abs tolerance did not absorb drift: %+v", d.Rows)
+	}
+	if d := DiffManifestsOpt(a, b, DiffOptions{RelTol: 1e-9}); !d.Empty() {
+		t.Fatalf("rel tolerance did not absorb drift: %+v", d.Rows)
+	}
+	// The tolerance is a drift allowance, not a blindfold: a real delta
+	// far beyond it still surfaces.
+	b.Runs[0].TsimS += 5
+	d := DiffManifestsOpt(a, b, DiffOptions{AbsTol: 1e-6, RelTol: 1e-9})
+	if d.Empty() || d.Rows[0].Metrics[0].Name != "tsim_s" {
+		t.Fatalf("real delta hidden by tolerance: %+v", d)
+	}
+	// Config drift is never tolerated: it means different experiments.
+	cfg := diffFixture()
+	cfg.Runs[0].Phi = 0.95 + 1e-13
+	if d := DiffManifestsOpt(a, cfg, DiffOptions{AbsTol: 1, RelTol: 1}); d.Empty() {
+		t.Fatal("config drift absorbed by metric tolerance")
+	}
+	// An infinite disagreement is never within tolerance: the relative
+	// bound would otherwise compare Inf <= Inf and pass a metric that
+	// diverged to infinity (equal infinities still compare equal).
+	inf := diffFixture()
+	inf.Runs[0].TsimS = math.Inf(1)
+	if d := DiffManifestsOpt(a, inf, DiffOptions{RelTol: 0.5}); d.Empty() {
+		t.Fatal("+Inf vs finite absorbed by relative tolerance")
+	}
+	neg := diffFixture()
+	neg.Runs[0].TsimS = math.Inf(-1)
+	if d := DiffManifestsOpt(inf, neg, DiffOptions{RelTol: 0.5}); d.Empty() {
+		t.Fatal("+Inf vs -Inf absorbed by relative tolerance")
+	}
+	if d := DiffManifestsOpt(inf, inf, DiffOptions{}); !d.Empty() {
+		t.Fatalf("equal infinities reported as drift: %+v", d.Rows)
 	}
 }

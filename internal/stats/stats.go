@@ -20,8 +20,15 @@ type Summary struct {
 	P05, P95         float64
 }
 
-// Summarize computes a Summary. The standard deviation is the population
-// form, matching the paper's σF. An empty sample yields a zero Summary.
+// Summarize computes a Summary. The standard deviation is the
+// population form (divide by n), matching the paper's σF over the jobs
+// of one run — the run's jobs ARE the population being described. This
+// deliberately differs from AggregateSamples, which treats its inputs
+// as a sample of replicated runs and divides by n−1; both feed the same
+// manifests, so the distinction matters when comparing columns: a
+// manifest row's fidelity_std is population σF, while an aggregated
+// manifest's per-metric Std is the sample standard deviation across
+// seeds. An empty sample yields a zero Summary.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
@@ -71,13 +78,17 @@ var tCrit975 = []float64{
 // tCrit975Tail is the first-order Cornish–Fisher expansion of the t
 // critical value around the normal quantile z=1.960: t ≈ z + (z³+z)/(4·df).
 // Accurate to ~0.2% for df > 30 and monotone decreasing toward 1.960.
-func tCrit975Tail(df int) float64 {
+func tCrit975Tail(df float64) float64 {
 	const z = 1.960
-	return z + (z*z*z+z)/(4*float64(df))
+	return z + (z*z*z+z)/(4*df)
 }
 
 // AggregateSamples computes an Aggregate over replicated measurements.
-// Samples of size < 2 have zero Std and CI95 (no dispersion estimate).
+// The standard deviation is the sample (n−1) form — replications are a
+// sample of the seed distribution, not the population — in contrast to
+// Summarize's population σ (see its doc for why both conventions feed
+// the same manifests). Samples of size < 2 have zero Std, StdErr and
+// CI95 (no dispersion estimate).
 func AggregateSamples(xs []float64) Aggregate {
 	a := Aggregate{N: len(xs)}
 	if len(xs) == 0 {
@@ -97,18 +108,43 @@ func AggregateSamples(xs []float64) Aggregate {
 	}
 	a.Std = math.Sqrt(ss / float64(len(xs)-1))
 	a.StdErr = a.Std / math.Sqrt(float64(len(xs)))
-	df := len(xs) - 1
-	t := tCrit975Tail(df)
-	if df <= len(tCrit975) {
-		t = tCrit975[df-1]
-	}
-	a.CI95 = t * a.StdErr
+	a.CI95 = TCrit975(float64(len(xs)-1)) * a.StdErr
 	return a
 }
 
-// Quantile returns the q-quantile (0..1) of a sorted sample using linear
-// interpolation. It panics if the sample is empty or unsorted inputs are
-// the caller's responsibility.
+// TCrit975 returns the two-tailed 95% Student-t critical value for df
+// degrees of freedom. Fractional df (Welch–Satterthwaite) interpolate
+// linearly between the tabulated integer values; beyond the df=30
+// table the Cornish–Fisher tail keeps the factor decaying smoothly
+// toward the normal 1.96 (within ~0.2% of the exact value) instead of
+// jumping at the table boundary. It panics on df <= 0: no dispersion
+// estimate exists without at least one degree of freedom.
+func TCrit975(df float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: TCrit975 with %g degrees of freedom", df))
+	}
+	n := len(tCrit975)
+	if df > float64(n) {
+		return tCrit975Tail(df)
+	}
+	lo := int(df)
+	frac := df - float64(lo)
+	if lo < 1 {
+		// df in (0,1): clamp to the df=1 row rather than extrapolating
+		// past the table's steepest end.
+		return tCrit975[0]
+	}
+	if frac == 0 || lo >= n {
+		return tCrit975[lo-1]
+	}
+	return tCrit975[lo-1]*(1-frac) + tCrit975[lo]*frac
+}
+
+// Quantile returns the q-quantile (0..1) of a sorted sample using
+// linear interpolation. It has two contracts: the sample must be
+// non-empty (an empty sample panics), and it must already be sorted
+// ascending — Quantile does not sort and returns meaningless values on
+// unsorted input, so sorting is the caller's responsibility.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: Quantile of empty sample")

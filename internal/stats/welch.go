@@ -1,0 +1,51 @@
+package stats
+
+import "math"
+
+// Welch computes Welch's two-sample t statistic for the difference of
+// means b−a, together with the Welch–Satterthwaite degrees of freedom,
+// from the N/Mean/StdErr each Aggregate already stores — no raw samples
+// needed, which is what lets aggregated run manifests be compared for
+// significance long after the per-seed rows are gone.
+//
+// When neither side carries a dispersion estimate (both StdErr zero,
+// e.g. constant metrics or N < 2) the statistic is undefined; Welch
+// returns (0, 0) and callers must fall back to a direct comparison of
+// the means (DiffAggregated uses CI95-overlap, which degenerates to
+// exact equality there).
+func Welch(a, b Aggregate) (t, df float64) {
+	va := a.StdErr * a.StdErr
+	vb := b.StdErr * b.StdErr
+	denom := va + vb
+	if denom == 0 {
+		return 0, 0
+	}
+	t = (b.Mean - a.Mean) / math.Sqrt(denom)
+	// Welch–Satterthwaite: df = (va+vb)² / (va²/(na−1) + vb²/(nb−1)).
+	// A side with zero variance contributes nothing to the denominator
+	// (its term is exactly zero), so one-sided dispersion still yields
+	// the correct na−1 or nb−1.
+	d := 0.0
+	if va > 0 {
+		d += va * va / float64(a.N-1)
+	}
+	if vb > 0 {
+		d += vb * vb / float64(b.N-1)
+	}
+	df = denom * denom / d
+	return t, df
+}
+
+// WelchSignificant reports whether the two aggregates' means differ at
+// the two-tailed 95% level under Welch's t-test. It requires both sides
+// to carry a dispersion estimate (N >= 2); callers with smaller samples
+// must use an overlap or exact comparison instead.
+func WelchSignificant(a, b Aggregate) bool {
+	t, df := Welch(a, b)
+	if df <= 0 {
+		// No dispersion on either side: any difference of means is a
+		// genuine (deterministic) difference.
+		return a.Mean != b.Mean && !(math.IsNaN(a.Mean) && math.IsNaN(b.Mean))
+	}
+	return math.Abs(t) > TCrit975(df)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTCrit975TableBoundaryContinuity pins the hand-off from the df<=30
+// table to the Cornish–Fisher tail: the tail approximation evaluated AT
+// the boundary must sit within ~0.2% of the tabulated value, so the
+// critical factor steps down smoothly rather than jumping when a
+// replication count crosses 31 samples.
+func TestTCrit975TableBoundaryContinuity(t *testing.T) {
+	table := TCrit975(30)    // last tabulated value, 2.042
+	tail := tCrit975Tail(30) // what the approximation says there
+	if table != 2.042 {
+		t.Fatalf("TCrit975(30) = %g, want the tabulated 2.042", table)
+	}
+	if rel := math.Abs(tail-table) / table; rel > 0.002 {
+		t.Fatalf("tail approximation at df=30 off by %.3f%%, want <= 0.2%%", rel*100)
+	}
+	// Crossing the boundary: df=31 (first tail value) must be below
+	// df=30 and within ~0.2% of the exact t_{0.975,31} = 2.0395.
+	t31 := TCrit975(31)
+	if t31 >= table {
+		t.Fatalf("TCrit975 not decreasing across the boundary: %g -> %g", table, t31)
+	}
+	if rel := math.Abs(t31-2.0395) / 2.0395; rel > 0.002 {
+		t.Fatalf("TCrit975(31) = %g, off the exact 2.0395 by %.3f%%", t31, rel*100)
+	}
+}
+
+// TestTCrit975Shape covers the full domain: exact table values at
+// integer df, monotone decrease over fractional df through and past
+// the boundary, interpolation between rows, sub-1 clamping, and the
+// df<=0 panic.
+func TestTCrit975Shape(t *testing.T) {
+	if got := TCrit975(1); got != 12.706 {
+		t.Fatalf("TCrit975(1) = %g", got)
+	}
+	if got := TCrit975(7); got != 2.365 {
+		t.Fatalf("TCrit975(7) = %g", got)
+	}
+	// Interpolation: halfway between df=1 (12.706) and df=2 (4.303).
+	if got, want := TCrit975(1.5), (12.706+4.303)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TCrit975(1.5) = %g, want %g", got, want)
+	}
+	if got := TCrit975(0.5); got != 12.706 {
+		t.Fatalf("TCrit975(0.5) = %g, want the df=1 clamp", got)
+	}
+	prev := TCrit975(25)
+	for df := 25.5; df <= 45; df += 0.5 {
+		cur := TCrit975(df)
+		if cur >= prev {
+			t.Fatalf("TCrit975 not strictly decreasing at df=%g: %g -> %g", df, prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 1.960 {
+		t.Fatalf("TCrit975(45) = %g, fell below the normal limit", prev)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TCrit975(0) did not panic")
+		}
+	}()
+	TCrit975(0)
+}
+
+// TestWelchKnownValues checks the statistic and Welch–Satterthwaite df
+// against a hand-computed example.
+func TestWelchKnownValues(t *testing.T) {
+	// Group a: n=5, mean 10, sample std 2 -> se^2 = 4/5 = 0.8
+	// Group b: n=10, mean 12, sample std 3 -> se^2 = 9/10 = 0.9
+	a := Aggregate{N: 5, Mean: 10, Std: 2, StdErr: 2 / math.Sqrt(5)}
+	b := Aggregate{N: 10, Mean: 12, Std: 3, StdErr: 3 / math.Sqrt(10)}
+	tstat, df := Welch(a, b)
+	wantT := 2.0 / math.Sqrt(0.8+0.9)
+	wantDF := math.Pow(0.8+0.9, 2) / (0.8*0.8/4 + 0.9*0.9/9)
+	if math.Abs(tstat-wantT) > 1e-12 {
+		t.Fatalf("t = %g, want %g", tstat, wantT)
+	}
+	if math.Abs(df-wantDF) > 1e-9 {
+		t.Fatalf("df = %g, want %g", df, wantDF)
+	}
+	// Direction: Welch(b, a) negates the statistic.
+	back, _ := Welch(b, a)
+	if math.Abs(back+tstat) > 1e-12 {
+		t.Fatalf("Welch not antisymmetric: %g vs %g", tstat, back)
+	}
+}
+
+// TestWelchDegenerate: zero dispersion on both sides is the declared
+// (0, 0) sentinel; one-sided dispersion still yields the correct df.
+func TestWelchDegenerate(t *testing.T) {
+	flat := Aggregate{N: 3, Mean: 5}
+	if tstat, df := Welch(flat, flat); tstat != 0 || df != 0 {
+		t.Fatalf("degenerate Welch = (%g, %g), want (0, 0)", tstat, df)
+	}
+	spread := Aggregate{N: 4, Mean: 6, Std: 1, StdErr: 0.5}
+	_, df := Welch(flat, spread)
+	if math.Abs(df-3) > 1e-12 { // only b contributes: df = nb-1 = 3
+		t.Fatalf("one-sided df = %g, want 3", df)
+	}
+}
+
+// TestWelchSignificant: clearly separated samples are flagged, noisy
+// overlapping ones are not, and the zero-dispersion fallback is exact
+// equality with NaN==NaN.
+func TestWelchSignificant(t *testing.T) {
+	aggN := func(xs ...float64) Aggregate { return AggregateSamples(xs) }
+	near := aggN(10, 11, 9, 10.5, 9.5)
+	far := aggN(20, 21, 19, 20.5, 19.5)
+	if !WelchSignificant(near, far) {
+		t.Fatal("10-sigma separation not significant")
+	}
+	same := aggN(10.1, 10.9, 9.2, 10.4, 9.4)
+	if WelchSignificant(near, same) {
+		t.Fatal("overlapping samples flagged significant")
+	}
+	if WelchSignificant(Aggregate{N: 1, Mean: 3}, Aggregate{N: 1, Mean: 3}) {
+		t.Fatal("identical degenerate means flagged")
+	}
+	if !WelchSignificant(Aggregate{N: 1, Mean: 3}, Aggregate{N: 1, Mean: 4}) {
+		t.Fatal("different degenerate means not flagged")
+	}
+	nan := Aggregate{N: 1, Mean: math.NaN()}
+	if WelchSignificant(nan, nan) {
+		t.Fatal("NaN means flagged as differing from themselves")
+	}
+}
