@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/nn"
 	"repro/internal/policy"
 	"repro/internal/rl"
 	"repro/internal/rlsched"
@@ -592,6 +593,102 @@ func BenchmarkPPOSampleStep(b *testing.B) {
 		obs := gymEnv.Reset()
 		action, _, _ := pol.Sample(rng, obs)
 		gymEnv.Step(action)
+	}
+}
+
+// BenchmarkMLPForwardBatch measures the batched NN kernel on the
+// policy-network shape (16-64-64-5) at PPO's minibatch size. It
+// reports allocs/op — the steady-state batched forward pass must stay
+// at zero (the 1-CPU containers gate on allocation counts, not wall
+// clock).
+func BenchmarkMLPForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewMLP(rng, nn.Tanh, rlsched.StateDim, 64, 64, rlsched.NumDevices)
+	const batch = 64
+	ws := nn.NewWorkspace(m, batch)
+	in := ws.Input(batch)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(ws)
+	}
+	b.ReportMetric(batch, "samples/op")
+}
+
+// BenchmarkMLPForwardBackwardBatch measures a full batched gradient
+// round trip (forward + backward accumulation) on the same shape.
+func BenchmarkMLPForwardBackwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewMLP(rng, nn.Tanh, rlsched.StateDim, 64, 64, rlsched.NumDevices)
+	const batch = 64
+	ws := nn.NewWorkspace(m, batch)
+	in := ws.Input(batch)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	dOut := ws.OutputGrad()
+	for i := range dOut.Data {
+		dOut.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(ws)
+		m.BackwardBatch(ws)
+	}
+	b.ReportMetric(batch, "samples/op")
+}
+
+// BenchmarkPPOMinibatch measures the PPO update path on the gym
+// environment: each op is one full Update (NEpochs × minibatch
+// gradient steps over the rollout buffer) on the batched compute core.
+// allocs/op must stay at zero in steady state — the buffer backing,
+// workspaces and parameter views are all preallocated on the trainer.
+func BenchmarkPPOMinibatch(b *testing.B) {
+	env := sim.NewEnvironment()
+	fleet, err := deviceFleet(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := rlsched.InfoFromFleet(fleet)
+	gymEnv, err := rlsched.NewGymEnv(info, rlsched.DefaultGymConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rl.DefaultPPOConfig()
+	cfg.NSteps = 256
+	cfg.BatchSize = 64
+	cfg.NEpochs = 1
+	agent := rl.NewPPO(gymEnv, cfg)
+	// One Learn iteration fills the rollout buffer (with advantages)
+	// and warms up the optimizer's lazily allocated moment buffers.
+	agent.Learn(gymEnv, cfg.NSteps, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update()
+	}
+	b.ReportMetric(float64(cfg.NSteps/cfg.BatchSize), "minibatches/op")
+}
+
+// BenchmarkPolicyInference measures deployed single-sample action
+// selection (the rlsched fast path): one SampleInto per op, zero
+// allocations in steady state.
+func BenchmarkPolicyInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pol := rl.NewGaussianPolicy(rng, rlsched.StateDim, rlsched.NumDevices, 64, 64)
+	obs := make([]float64, rlsched.StateDim)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	action := make([]float64, rlsched.NumDevices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.SampleInto(rng, obs, action)
 	}
 }
 

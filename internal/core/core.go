@@ -36,7 +36,30 @@ type Config struct {
 	// placed, later queued jobs that fit may start ahead of it (EASY-style
 	// skip-ahead). Off by default, matching the paper's FIFO queues.
 	Backfill bool
+	// Drift, when enabled, runs the workload on time-varying hardware:
+	// drivers that honor the config (experiments.RunMode) start the
+	// EnableCalibrationDrift process right after workload submission.
+	// The zero value keeps the paper's static calibration.
+	Drift DriftConfig
 }
+
+// DriftConfig declaratively configures calibration drift (see
+// EnableCalibrationDrift). Carried inside Config, it travels wherever
+// the config does — including into shard worker processes — so a
+// drifting scenario reproduces identically on every executor.
+type DriftConfig struct {
+	// IntervalS is the simulated seconds between recalibration steps;
+	// 0 disables drift.
+	IntervalS float64 `json:"interval_s,omitempty"`
+	// Rel is the relative magnitude of each multiplicative
+	// random-walk step.
+	Rel float64 `json:"rel,omitempty"`
+	// Seed drives the drift random walk.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether drift is configured.
+func (d DriftConfig) Enabled() bool { return d.IntervalS > 0 }
 
 // DefaultConfig returns the case-study configuration.
 func DefaultConfig() Config {
@@ -51,6 +74,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: Phi=%g outside (0,1]", c.Phi)
 	case c.Lambda < 0:
 		return fmt.Errorf("core: Lambda=%g negative", c.Lambda)
+	case c.Drift.IntervalS < 0:
+		return fmt.Errorf("core: drift interval %g negative", c.Drift.IntervalS)
+	case c.Drift.Enabled() && c.Drift.Rel < 0:
+		return fmt.Errorf("core: drift magnitude %g negative", c.Drift.Rel)
 	}
 	return nil
 }

@@ -193,6 +193,13 @@ func (cs *CaseStudy) RunMode(mode string) (*ModeRun, error) {
 		return nil, err
 	}
 	simEnv.SubmitWorkload(jobs)
+	if d := cs.Core.Drift; d.Enabled() {
+		// Drift is part of the case-study config, so it reproduces
+		// identically on every executor (the ShardSpec carries Core).
+		if err := simEnv.EnableCalibrationDrift(d.IntervalS, d.Rel, d.Seed); err != nil {
+			return nil, err
+		}
+	}
 	res, err := simEnv.Run()
 	if err != nil {
 		return nil, err

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // A ScenarioFunc builds a fresh, fully configured case study for one
@@ -93,6 +95,7 @@ func init() {
 	MustRegisterScenario("paper", Default)
 	MustRegisterScenario("hetero-fleet", HeteroFleet)
 	MustRegisterScenario("stress-arrivals", StressArrivals)
+	MustRegisterScenario("calibration-drift", CalibrationDrift)
 }
 
 // HeteroFleet is the paper's workload on a mixed-capacity cloud
@@ -114,5 +117,18 @@ func HeteroFleet() *CaseStudy {
 func StressArrivals() *CaseStudy {
 	cs := Default()
 	cs.Workload.MeanInterarrival = 10
+	return cs
+}
+
+// CalibrationDrift is the paper's workload on drifting hardware: every
+// simulated hour each device's calibration takes a 30% relative
+// random-walk step and its error score is recomputed, so error-aware
+// policies chase a moving target — the dynamic hardware variability
+// the paper's model omits (§7.2). Drift lives inside Core, so the
+// scenario reproduces bit-identically on the Sequential, Parallel and
+// Sharded executors alike.
+func CalibrationDrift() *CaseStudy {
+	cs := Default()
+	cs.Core.Drift = core.DriftConfig{IntervalS: 3600, Rel: 0.3, Seed: 17}
 	return cs
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/records"
+)
+
+// shrinkDrift shrinks the calibration-drift scenario to a test-sized
+// workload. Exec times are ~20 simulated minutes per job, so even a
+// 16-job run crosses several 3600s drift intervals.
+func shrinkDrift(t *testing.T) *CaseStudy {
+	t.Helper()
+	cs, err := NewScenario("calibration-drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Workload.N = 16
+	return cs
+}
+
+func TestCalibrationDriftScenarioRegistered(t *testing.T) {
+	if !ScenarioRegistered("calibration-drift") {
+		t.Fatal("calibration-drift scenario not registered")
+	}
+	cs := shrinkDrift(t)
+	if !cs.Core.Drift.Enabled() {
+		t.Fatalf("scenario drift config not enabled: %+v", cs.Core.Drift)
+	}
+}
+
+// TestCalibrationDriftChangesOutcome checks the drift process actually
+// fires: the same workload under the paper scenario and under drift
+// must disagree on mean fidelity (the error rates moved mid-run).
+func TestCalibrationDriftChangesOutcome(t *testing.T) {
+	drift := shrinkDrift(t)
+	driftRun, err := drift.RunMode("speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := NewScenario("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static.Workload.N = drift.Workload.N
+	staticRun, err := static.RunMode("speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if driftRun.Results.FidelityMean == staticRun.Results.FidelityMean {
+		t.Fatalf("drift did not change fidelity: %g", driftRun.Results.FidelityMean)
+	}
+
+	// Determinism: a fresh run of the same scenario reproduces exactly.
+	again, err := shrinkDrift(t).RunMode("speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Results != driftRun.Results {
+		t.Fatalf("drift run not deterministic:\n%+v\n%+v", again.Results, driftRun.Results)
+	}
+}
+
+// TestCalibrationDriftExecutorEquivalence runs the scenario as a spec
+// on the Sequential and Parallel executors: the drift process must
+// reproduce bit-identically (the Sharded leg is covered by the Core
+// round-trip test below plus the generic shard equivalence suite).
+func TestCalibrationDriftExecutorEquivalence(t *testing.T) {
+	spec := Spec{
+		Scenario: "calibration-drift",
+		Jobs:     16,
+		Matrices: []TaskMatrix{{Kind: "modes", Modes: []string{"speed", "fair"}}},
+	}
+	ctx := context.Background()
+	seq, err := Run(ctx, spec, Sequential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ctx, spec, Parallel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := records.DiffManifests(seq, par); !diff.Empty() {
+		var sb strings.Builder
+		if err := diff.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("sequential vs parallel drift runs differ:\n%s", sb.String())
+	}
+}
+
+// TestShardSpecCarriesDrift pins the transport invariant the scenario
+// relies on: the drift config rides inside Core through the ShardSpec,
+// so worker processes rebuild the identical drifting simulation.
+func TestShardSpecCarriesDrift(t *testing.T) {
+	cs := shrinkDrift(t)
+	rebuilt := cs.shardSpec(TaskMatrix{Kind: "modes"}, 1).caseStudy()
+	if rebuilt.Core.Drift != cs.Core.Drift {
+		t.Fatalf("drift config lost in shard round trip: %+v vs %+v",
+			rebuilt.Core.Drift, cs.Core.Drift)
+	}
+}

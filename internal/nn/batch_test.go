@@ -1,0 +1,264 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSizes draws a random MLP layout: 2–4 layers, widths 1–9.
+func randSizes(rng *rand.Rand) []int {
+	n := 2 + rng.Intn(3)
+	sizes := make([]int, n+1)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(9)
+	}
+	return sizes
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestForwardBatchBitIdentical is the batched==per-sample forward
+// property: across random shapes, seeds, activations and batch sizes,
+// ForwardBatch must reproduce B single-sample Forward calls bit for
+// bit (exact float equality — the invariant the executor-equivalence
+// CI gates depend on).
+func TestForwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		act := Tanh
+		if trial%2 == 1 {
+			act = ReLU
+		}
+		m := NewMLP(rng, act, randSizes(rng)...)
+		batch := 1 + rng.Intn(9)
+		xs := make([][]float64, batch)
+		for b := range xs {
+			xs[b] = randVec(rng, m.InputSize())
+		}
+
+		// Per-sample reference.
+		want := make([][]float64, batch)
+		for b, x := range xs {
+			want[b] = append([]float64(nil), m.Forward(x)...)
+		}
+
+		ws := NewWorkspace(m, batch)
+		in := ws.Input(batch)
+		for b, x := range xs {
+			copy(in.Row(b), x)
+		}
+		got := m.ForwardBatch(ws)
+		for b := range xs {
+			for i, w := range want[b] {
+				if got.At(b, i) != w {
+					t.Fatalf("trial %d sizes %v batch %d: output[%d][%d] = %g, want %g (bit-exact)",
+						trial, m.Sizes, batch, b, i, got.At(b, i), w)
+				}
+			}
+		}
+	}
+}
+
+// TestBackwardBatchBitIdentical is the batched==per-sample backward
+// property: accumulated weight, bias and input gradients from one
+// BackwardBatch must be bit-identical to B sequential Forward+Backward
+// calls in row order.
+func TestBackwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 50; trial++ {
+		act := Tanh
+		if trial%2 == 1 {
+			act = ReLU
+		}
+		m := NewMLP(rng, act, randSizes(rng)...)
+		batch := 1 + rng.Intn(9)
+		xs := make([][]float64, batch)
+		douts := make([][]float64, batch)
+		for b := range xs {
+			xs[b] = randVec(rng, m.InputSize())
+			douts[b] = randVec(rng, m.OutputSize())
+		}
+
+		// Per-sample reference: accumulate gradients sample by sample.
+		m.ZeroGrad()
+		wantDIn := make([][]float64, batch)
+		for b := range xs {
+			m.Forward(xs[b])
+			wantDIn[b] = append([]float64(nil), m.Backward(douts[b])...)
+		}
+		_, grads := m.Params()
+		wantGrads := make([][]float64, len(grads))
+		for i, g := range grads {
+			wantGrads[i] = append([]float64(nil), g...)
+		}
+
+		// Batched path on the same network.
+		m.ZeroGrad()
+		ws := NewWorkspace(m, batch)
+		in := ws.Input(batch)
+		for b, x := range xs {
+			copy(in.Row(b), x)
+		}
+		m.ForwardBatch(ws)
+		dOut := ws.OutputGrad()
+		for b, d := range douts {
+			copy(dOut.Row(b), d)
+		}
+		dIn := m.BackwardBatch(ws)
+
+		for i, want := range wantGrads {
+			for j, w := range want {
+				if grads[i][j] != w {
+					t.Fatalf("trial %d sizes %v batch %d: grad[%d][%d] = %g, want %g (bit-exact)",
+						trial, m.Sizes, batch, i, j, grads[i][j], w)
+				}
+			}
+		}
+		for b := range xs {
+			for i, w := range wantDIn[b] {
+				if dIn.At(b, i) != w {
+					t.Fatalf("trial %d: dInput[%d][%d] = %g, want %g", trial, b, i, dIn.At(b, i), w)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossBatchSizes reuses one workspace for shrinking
+// and regrowing minibatches (the PPO tail-batch pattern) and checks the
+// results stay bit-identical to per-sample calls.
+func TestWorkspaceReuseAcrossBatchSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	m := NewMLP(rng, Tanh, 4, 8, 3)
+	ws := NewWorkspace(m, 6)
+	for _, batch := range []int{6, 2, 5, 1, 6} {
+		xs := make([][]float64, batch)
+		in := ws.Input(batch)
+		for b := range xs {
+			xs[b] = randVec(rng, 4)
+			copy(in.Row(b), xs[b])
+		}
+		got := m.ForwardBatch(ws)
+		if got.Rows != batch {
+			t.Fatalf("output rows %d, want %d", got.Rows, batch)
+		}
+		for b, x := range xs {
+			want := m.Forward(x)
+			for i, w := range want {
+				if got.At(b, i) != w {
+					t.Fatalf("batch %d row %d: %g != %g", batch, b, got.At(b, i), w)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkspaceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, Tanh, 3, 5, 2)
+	other := NewMLP(rng, Tanh, 3, 6, 2)
+	ws := NewWorkspace(m, 4)
+	for i, fn := range []func(){
+		func() { NewWorkspace(m, 0) },
+		func() { ws.Input(0) },
+		func() { ws.Input(5) },
+		func() { other.ForwardBatch(ws) },
+		func() { other.BackwardBatch(ws) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBatchKernelsMatchVectorForms pins the batched matrix kernels to
+// their single-vector counterparts on random data.
+func TestBatchKernelsMatchVectorForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols, batch := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(5)
+		w := NewMat(rows, cols)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		x := NewMat(batch, cols)
+		g := NewMat(batch, rows)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+
+		fwd := NewMat(batch, rows)
+		w.MulMatT(x, fwd)
+		bwd := NewMat(batch, cols)
+		w.MulMat(g, bwd)
+		acc := NewMat(rows, cols)
+		acc.AddOuterBatch(g, x)
+
+		ref := NewMat(rows, cols)
+		for b := 0; b < batch; b++ {
+			for i, v := range w.MulVec(x.Row(b)) {
+				if fwd.At(b, i) != v {
+					t.Fatalf("MulMatT row %d col %d: %g != %g", b, i, fwd.At(b, i), v)
+				}
+			}
+			for i, v := range w.MulVecT(g.Row(b)) {
+				if bwd.At(b, i) != v {
+					t.Fatalf("MulMat row %d col %d: %g != %g", b, i, bwd.At(b, i), v)
+				}
+			}
+			ref.AddOuter(g.Row(b), x.Row(b))
+		}
+		for i := range ref.Data {
+			if acc.Data[i] != ref.Data[i] {
+				t.Fatalf("AddOuterBatch entry %d: %g != %g", i, acc.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs is the allocation gate from the issue:
+// after warmup, single-sample Forward/Backward and the batched
+// ForwardBatch/BackwardBatch must not allocate at all.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, Tanh, 16, 64, 64, 5)
+	x := randVec(rng, 16)
+	dOut := randVec(rng, 5)
+	ws := NewWorkspace(m, 64)
+	in := ws.Input(64)
+	for b := 0; b < 64; b++ {
+		copy(in.Row(b), x)
+	}
+
+	if n := testing.AllocsPerRun(100, func() { m.Forward(x) }); n != 0 {
+		t.Errorf("Forward allocates %g/op, want 0", n)
+	}
+	m.Forward(x)
+	if n := testing.AllocsPerRun(100, func() { m.Backward(dOut) }); n != 0 {
+		t.Errorf("Backward allocates %g/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.ForwardBatch(ws) }); n != 0 {
+		t.Errorf("ForwardBatch allocates %g/op, want 0", n)
+	}
+	m.ForwardBatch(ws)
+	if n := testing.AllocsPerRun(100, func() { m.BackwardBatch(ws) }); n != 0 {
+		t.Errorf("BackwardBatch allocates %g/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { ws.Input(32); ws.Input(64) }); n != 0 {
+		t.Errorf("Workspace.Input allocates %g/op, want 0", n)
+	}
+}

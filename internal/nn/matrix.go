@@ -45,13 +45,29 @@ func (m *Mat) Clone() *Mat {
 	return out
 }
 
+// Row returns row r as a slice view into the matrix (no copy).
+func (m *Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
 // MulVec computes m · x for a vector x of length Cols, writing into a new
 // slice of length Rows.
 func (m *Mat) MulVec(x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(x, out)
+	return out
+}
+
+// MulVecInto is the allocation-free MulVec: it computes m · x into out,
+// which must have length Rows. Each element is a dot product accumulated
+// over columns in ascending order — the accumulation order every batched
+// kernel below preserves, which is what keeps batched and per-sample
+// results bit-identical.
+func (m *Mat) MulVecInto(x, out []float64) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("nn: MulVec dim mismatch: %d cols vs %d", m.Cols, len(x)))
 	}
-	out := make([]float64, m.Rows)
+	if len(out) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecInto out dim mismatch: %d rows vs %d", m.Rows, len(out)))
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		s := 0.0
@@ -60,16 +76,30 @@ func (m *Mat) MulVec(x []float64) []float64 {
 		}
 		out[r] = s
 	}
-	return out
 }
 
 // MulVecT computes mᵀ · g (used for backpropagating through a dense
 // layer): g has length Rows, result has length Cols.
 func (m *Mat) MulVecT(g []float64) []float64 {
+	out := make([]float64, m.Cols)
+	m.MulVecTInto(g, out)
+	return out
+}
+
+// MulVecTInto is the allocation-free MulVecT: it computes mᵀ · g into
+// out (length Cols), zeroing out first and accumulating rows in
+// ascending order, skipping zero gradient entries exactly like the
+// allocating form.
+func (m *Mat) MulVecTInto(g, out []float64) {
 	if len(g) != m.Rows {
 		panic(fmt.Sprintf("nn: MulVecT dim mismatch: %d rows vs %d", m.Rows, len(g)))
 	}
-	out := make([]float64, m.Cols)
+	if len(out) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVecTInto out dim mismatch: %d cols vs %d", m.Cols, len(out)))
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		gr := g[r]
@@ -80,7 +110,51 @@ func (m *Mat) MulVecT(g []float64) []float64 {
 			out[c] += w * gr
 		}
 	}
-	return out
+}
+
+// MulMatT computes out = x · mᵀ — the batched form of MulVec, with the
+// receiver as the weight matrix: row b of out is m · (row b of x). The
+// per-row dot products accumulate over columns in the same order as
+// MulVec, so a batch of B rows produces bit-identical results to B
+// single-sample calls. Shapes: x is B×Cols, out is B×Rows.
+func (m *Mat) MulMatT(x, out *Mat) {
+	if x.Cols != m.Cols || out.Cols != m.Rows || out.Rows != x.Rows {
+		panic(fmt.Sprintf("nn: MulMatT shape mismatch: %dx%d · (%dx%d)ᵀ -> %dx%d",
+			x.Rows, x.Cols, m.Rows, m.Cols, out.Rows, out.Cols))
+	}
+	for b := 0; b < x.Rows; b++ {
+		m.MulVecInto(x.Row(b), out.Row(b))
+	}
+}
+
+// MulMat computes out = g · m — the batched form of MulVecT, with the
+// receiver as the weight matrix: row b of out is mᵀ · (row b of g).
+// Shapes: g is B×Rows, out is B×Cols. Accumulation order per row
+// matches MulVecT exactly (rows ascending, zero entries skipped).
+func (m *Mat) MulMat(g, out *Mat) {
+	if g.Cols != m.Rows || out.Cols != m.Cols || out.Rows != g.Rows {
+		panic(fmt.Sprintf("nn: MulMat shape mismatch: %dx%d · %dx%d -> %dx%d",
+			g.Rows, g.Cols, m.Rows, m.Cols, out.Rows, out.Cols))
+	}
+	for b := 0; b < g.Rows; b++ {
+		m.MulVecTInto(g.Row(b), out.Row(b))
+	}
+}
+
+// AddOuterBatch accumulates Σ_b g[b] ⊗ x[b] into the matrix — the
+// batched form of AddOuter for a dense layer's weight gradient over a
+// minibatch. Samples are applied in row order, so every matrix entry
+// receives its per-sample contributions in exactly the order B separate
+// AddOuter calls would apply them: the accumulated gradient is
+// bit-identical to the per-sample path. Shapes: g is B×Rows, x is
+// B×Cols.
+func (m *Mat) AddOuterBatch(g, x *Mat) {
+	if g.Cols != m.Rows || x.Cols != m.Cols || g.Rows != x.Rows {
+		panic("nn: AddOuterBatch shape mismatch")
+	}
+	for b := 0; b < g.Rows; b++ {
+		m.AddOuter(g.Row(b), x.Row(b))
+	}
 }
 
 // AddOuter accumulates g ⊗ x into the matrix (gradient of a dense layer's

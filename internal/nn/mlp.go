@@ -56,9 +56,14 @@ type MLP struct {
 	Biases  [][]float64 // Biases[l]: Sizes[l+1]
 	gradW   []*Mat
 	gradB   [][]float64
-	// forward caches (single-sample; PPO updates are sample loops)
-	inputs  [][]float64 // input to each layer
-	outputs [][]float64 // post-activation output of each layer
+	// Single-sample scratch, preallocated so steady-state Forward and
+	// Backward allocate nothing. inputs[l] aliases the layer's input
+	// (the caller's x for l=0, otherwise outputs[l-1]); outputs[l] is
+	// the layer's post-activation buffer; dz[i] holds the backward
+	// gradient at layer boundary i (width Sizes[i]).
+	inputs  [][]float64
+	outputs [][]float64
+	dz      [][]float64
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. [16,64,64,5].
@@ -84,6 +89,7 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 		gradB:   make([][]float64, n),
 		inputs:  make([][]float64, n),
 		outputs: make([][]float64, n),
+		dz:      make([][]float64, n+1),
 	}
 	for l := 0; l < n; l++ {
 		m.Weights[l] = NewMat(sizes[l+1], sizes[l])
@@ -95,6 +101,10 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 		m.Biases[l] = make([]float64, sizes[l+1])
 		m.gradW[l] = NewMat(sizes[l+1], sizes[l])
 		m.gradB[l] = make([]float64, sizes[l+1])
+		m.outputs[l] = make([]float64, sizes[l+1])
+	}
+	for i, s := range sizes {
+		m.dz[i] = make([]float64, s)
 	}
 	return m
 }
@@ -102,7 +112,9 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 // Clone returns a deep copy with identical parameters and fresh
 // gradient/activation buffers. Forward/Backward on the copy never touch
 // the original, so clones can run concurrently (the forward caches make
-// a shared MLP unsafe for concurrent inference).
+// a shared MLP unsafe for concurrent single-sample inference; for
+// shared-weight concurrency without cloning, use ForwardBatch with a
+// per-goroutine Workspace, which never writes MLP state).
 func (m *MLP) Clone() *MLP {
 	c := &MLP{
 		Sizes:   append([]int(nil), m.Sizes...),
@@ -113,6 +125,7 @@ func (m *MLP) Clone() *MLP {
 		gradB:   make([][]float64, len(m.gradB)),
 		inputs:  make([][]float64, len(m.inputs)),
 		outputs: make([][]float64, len(m.outputs)),
+		dz:      make([][]float64, len(m.dz)),
 	}
 	for l := range m.Weights {
 		w := m.Weights[l]
@@ -120,6 +133,10 @@ func (m *MLP) Clone() *MLP {
 		c.Biases[l] = append([]float64(nil), m.Biases[l]...)
 		c.gradW[l] = NewMat(w.Rows, w.Cols)
 		c.gradB[l] = make([]float64, len(m.Biases[l]))
+		c.outputs[l] = make([]float64, len(m.Biases[l]))
+	}
+	for i, s := range m.Sizes {
+		c.dz[i] = make([]float64, s)
 	}
 	return c
 }
@@ -131,7 +148,10 @@ func (m *MLP) InputSize() int { return m.Sizes[0] }
 func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
 
 // Forward runs the network on one input and returns the output vector.
-// The activations are cached for a subsequent Backward call.
+// The activations are cached for a subsequent Backward call. The
+// returned slice aliases the MLP's preallocated scratch — steady-state
+// Forward allocates nothing — and stays valid until the next Forward on
+// this MLP; copy it to retain it longer.
 func (m *MLP) Forward(x []float64) []float64 {
 	if len(x) != m.Sizes[0] {
 		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), m.Sizes[0]))
@@ -140,14 +160,14 @@ func (m *MLP) Forward(x []float64) []float64 {
 	last := len(m.Weights) - 1
 	for l, w := range m.Weights {
 		m.inputs[l] = cur
-		z := w.MulVec(cur)
+		z := m.outputs[l]
+		w.MulVecInto(cur, z)
 		for i := range z {
 			z[i] += m.Biases[l][i]
 			if l != last {
 				z[i] = m.Act.apply(z[i])
 			}
 		}
-		m.outputs[l] = z
 		cur = z
 	}
 	return cur
@@ -155,14 +175,17 @@ func (m *MLP) Forward(x []float64) []float64 {
 
 // Backward accumulates parameter gradients for the most recent Forward
 // call, given dL/doutput, and returns dL/dinput. Gradients accumulate
-// until ZeroGrad is called, enabling minibatch accumulation.
+// until ZeroGrad is called, enabling minibatch accumulation. The
+// returned slice aliases preallocated scratch (valid until the next
+// Backward); steady-state Backward allocates nothing.
 func (m *MLP) Backward(dOut []float64) []float64 {
 	last := len(m.Weights) - 1
 	if len(dOut) != m.Sizes[last+1] {
 		panic(fmt.Sprintf("nn: Backward grad dim %d, want %d", len(dOut), m.Sizes[last+1]))
 	}
 	// dZ for the output layer is dOut (linear output).
-	dZ := append([]float64(nil), dOut...)
+	dZ := m.dz[last+1]
+	copy(dZ, dOut)
 	for l := last; l >= 0; l-- {
 		if l != last {
 			// Convert dA (gradient wrt activation output) to dZ.
@@ -174,7 +197,8 @@ func (m *MLP) Backward(dOut []float64) []float64 {
 		for i := range dZ {
 			m.gradB[l][i] += dZ[i]
 		}
-		dZ = m.Weights[l].MulVecT(dZ)
+		m.Weights[l].MulVecTInto(dZ, m.dz[l])
+		dZ = m.dz[l]
 	}
 	return dZ
 }

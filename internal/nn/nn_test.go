@@ -196,7 +196,11 @@ func TestMLPInputGradient(t *testing.T) {
 		xp[i] += h
 		xm := append([]float64(nil), x...)
 		xm[i] -= h
-		num := (m.Forward(xp)[0] - m.Forward(xm)[0]) / (2 * h)
+		// Forward returns a view into reused scratch: read each result
+		// into a scalar before the next call overwrites the buffer.
+		fp := m.Forward(xp)[0]
+		fm := m.Forward(xm)[0]
+		num := (fp - fm) / (2 * h)
 		if math.Abs(num-dIn[i]) > 1e-5 {
 			t.Fatalf("input grad %d: analytic %g numeric %g", i, dIn[i], num)
 		}

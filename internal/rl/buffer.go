@@ -19,25 +19,49 @@ type transition struct {
 }
 
 // rolloutBuffer stores a fixed-size batch of on-policy experience and
-// computes Generalized Advantage Estimation (GAE-λ) returns.
+// computes Generalized Advantage Estimation (GAE-λ) returns. The
+// per-step observation and action vectors live in two flat backing
+// arrays preallocated for the full capacity, so filling the buffer
+// every rollout allocates nothing.
 type rolloutBuffer struct {
-	steps []transition
-	cap   int
+	steps          []transition
+	cap            int
+	obsDim, actDim int
+	obsData        []float64 // cap × obsDim backing for transition.obs
+	actData        []float64 // cap × actDim backing for transition.action
 }
 
-func newRolloutBuffer(capacity int) *rolloutBuffer {
+func newRolloutBuffer(capacity, obsDim, actDim int) *rolloutBuffer {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("rl: rollout capacity must be positive, got %d", capacity))
 	}
-	return &rolloutBuffer{cap: capacity, steps: make([]transition, 0, capacity)}
+	if obsDim < 0 || actDim < 0 {
+		panic(fmt.Sprintf("rl: rollout dims %d/%d negative", obsDim, actDim))
+	}
+	return &rolloutBuffer{
+		cap:     capacity,
+		steps:   make([]transition, 0, capacity),
+		obsDim:  obsDim,
+		actDim:  actDim,
+		obsData: make([]float64, capacity*obsDim),
+		actData: make([]float64, capacity*actDim),
+	}
 }
 
 func (b *rolloutBuffer) full() bool { return len(b.steps) >= b.cap }
 
+// add appends a step, copying t.obs and t.action into the buffer's
+// preallocated backing storage (the caller's slices are not retained).
 func (b *rolloutBuffer) add(t transition) {
 	if b.full() {
 		panic("rl: rollout buffer overflow")
 	}
+	k := len(b.steps)
+	obs := b.obsData[k*b.obsDim : (k+1)*b.obsDim]
+	copy(obs, t.obs)
+	act := b.actData[k*b.actDim : (k+1)*b.actDim]
+	copy(act, t.action)
+	t.obs, t.action = obs, act
 	b.steps = append(b.steps, t)
 }
 

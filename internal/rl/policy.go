@@ -23,6 +23,9 @@ type GaussianPolicy struct {
 	LogStd []float64
 
 	gradLogStd []float64
+	// dMean is backwardPolicy's per-call scratch, preallocated so the
+	// per-sample backward path allocates nothing in steady state.
+	dMean []float64
 }
 
 // NewGaussianPolicy builds an actor-critic with the given hidden layout
@@ -39,6 +42,7 @@ func NewGaussianPolicy(rng *rand.Rand, obsDim, actDim int, hidden ...int) *Gauss
 		Critic:     nn.NewMLP(rng, nn.Tanh, criticSizes...),
 		LogStd:     make([]float64, actDim),
 		gradLogStd: make([]float64, actDim),
+		dMean:      make([]float64, actDim),
 	}
 }
 
@@ -51,6 +55,7 @@ func (p *GaussianPolicy) Clone() *GaussianPolicy {
 		Critic:     p.Critic.Clone(),
 		LogStd:     append([]float64(nil), p.LogStd...),
 		gradLogStd: make([]float64, len(p.gradLogStd)),
+		dMean:      make([]float64, len(p.LogStd)),
 	}
 }
 
@@ -60,20 +65,44 @@ func (p *GaussianPolicy) ActDim() int { return len(p.LogStd) }
 // Sample draws an action from π(·|obs) and returns the action, its log
 // probability, and the value estimate.
 func (p *GaussianPolicy) Sample(rng *rand.Rand, obs []float64) (action []float64, logProb, value float64) {
+	action = make([]float64, len(p.LogStd))
+	logProb, value = p.SampleInto(rng, obs, action)
+	return action, logProb, value
+}
+
+// SampleInto is the allocation-free Sample: it draws an action from
+// π(·|obs) into action (length ActDim) and returns the log probability
+// and value estimate. It consumes the same RNG stream as Sample, so the
+// two are interchangeable bit-for-bit.
+func (p *GaussianPolicy) SampleInto(rng *rand.Rand, obs, action []float64) (logProb, value float64) {
 	mean := p.Actor.Forward(obs)
-	action = make([]float64, len(mean))
+	if len(action) != len(mean) {
+		panic(fmt.Sprintf("rl: SampleInto action dim %d, want %d", len(action), len(mean)))
+	}
 	for i := range mean {
 		std := math.Exp(p.LogStd[i])
 		action[i] = mean[i] + std*rng.NormFloat64()
 	}
 	logProb = p.logProbGiven(mean, action)
 	value = p.Critic.Forward(obs)[0]
-	return action, logProb, value
+	return logProb, value
 }
 
 // MeanAction returns the deterministic (mean) action for deployment.
 func (p *GaussianPolicy) MeanAction(obs []float64) []float64 {
-	return append([]float64(nil), p.Actor.Forward(obs)...)
+	out := make([]float64, len(p.LogStd))
+	p.MeanActionInto(obs, out)
+	return out
+}
+
+// MeanActionInto is the allocation-free MeanAction: the mean action is
+// written into out (length ActDim).
+func (p *GaussianPolicy) MeanActionInto(obs, out []float64) {
+	mean := p.Actor.Forward(obs)
+	if len(out) != len(mean) {
+		panic(fmt.Sprintf("rl: MeanActionInto out dim %d, want %d", len(out), len(mean)))
+	}
+	copy(out, mean)
 }
 
 // Value returns the critic's estimate for obs.
@@ -115,7 +144,7 @@ func (p *GaussianPolicy) Entropy() float64 {
 // cache must correspond to obs (call LogProb first).
 func (p *GaussianPolicy) backwardPolicy(obs, action []float64, dLdLogProb, dLdEntropy float64) {
 	mean := p.Actor.Forward(obs)
-	dMean := make([]float64, len(mean))
+	dMean := p.dMean
 	for i := range mean {
 		std := math.Exp(p.LogStd[i])
 		z := (action[i] - mean[i]) / std
@@ -210,6 +239,17 @@ func (p *GaussianPolicy) UnmarshalJSON(data []byte) error {
 	p.Actor = &actor
 	p.Critic = &critic
 	p.LogStd = j.LogStd
-	p.gradLogStd = make([]float64, len(j.LogStd))
+	// Reuse the gradient/scratch buffers when the shape is unchanged
+	// (zeroing instead of reallocating); otherwise size them fresh.
+	if len(p.gradLogStd) == len(j.LogStd) {
+		for i := range p.gradLogStd {
+			p.gradLogStd[i] = 0
+		}
+	} else {
+		p.gradLogStd = make([]float64, len(j.LogStd))
+	}
+	if len(p.dMean) != len(j.LogStd) {
+		p.dMean = make([]float64, len(j.LogStd))
+	}
 	return nil
 }

@@ -100,7 +100,11 @@ type TrainStats struct {
 	ApproxKL float64
 }
 
-// PPO is the Proximal Policy Optimization trainer.
+// PPO is the Proximal Policy Optimization trainer. All rollout and
+// update scratch (rollout buffer backing, minibatch workspaces, index
+// permutation, clipped-action buffer, flattened parameter views) is
+// preallocated at construction, so steady-state training iterations
+// allocate nothing beyond the returned statistics.
 type PPO struct {
 	Cfg    PPOConfig
 	Policy *GaussianPolicy
@@ -108,6 +112,14 @@ type PPO struct {
 	rng    *rand.Rand
 	opt    *nn.Adam
 	buffer *rolloutBuffer
+
+	// batched-update scratch, hoisted out of the epoch loop
+	actorWS, criticWS *nn.Workspace
+	params, grads     [][]float64   // cached Policy.params() views
+	idx               []int         // shuffled sample permutation
+	batch             []*transition // current minibatch (reused)
+	actionBuf         []float64     // rollout action scratch
+	clipBuf           []float64     // rollout clipped-action scratch
 
 	// episode bookkeeping during rollouts
 	epReturn   float64
@@ -120,14 +132,23 @@ type PPO struct {
 func NewPPO(env Env, cfg PPOConfig) *PPO {
 	cfg.validate()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pol := NewGaussianPolicy(rng, env.ObservationSpace().Dim(), env.ActionSpace().Dim(), cfg.Hidden...)
-	return &PPO{
-		Cfg:    cfg,
-		Policy: pol,
-		rng:    rng,
-		opt:    nn.NewAdam(cfg.LR),
-		buffer: newRolloutBuffer(cfg.NSteps),
+	obsDim, actDim := env.ObservationSpace().Dim(), env.ActionSpace().Dim()
+	pol := NewGaussianPolicy(rng, obsDim, actDim, cfg.Hidden...)
+	p := &PPO{
+		Cfg:       cfg,
+		Policy:    pol,
+		rng:       rng,
+		opt:       nn.NewAdam(cfg.LR),
+		buffer:    newRolloutBuffer(cfg.NSteps, obsDim, actDim),
+		actorWS:   nn.NewWorkspace(pol.Actor, cfg.BatchSize),
+		criticWS:  nn.NewWorkspace(pol.Critic, cfg.BatchSize),
+		idx:       make([]int, cfg.NSteps),
+		batch:     make([]*transition, 0, cfg.BatchSize),
+		actionBuf: make([]float64, actDim),
+		clipBuf:   make([]float64, actDim),
 	}
+	p.params, p.grads = pol.params()
+	return p
 }
 
 // TotalSteps returns cumulative environment steps taken.
@@ -142,7 +163,7 @@ func (p *PPO) Learn(env Env, totalTimesteps int, onIteration func(TrainStats)) [
 	p.epReturn = 0
 	for p.totalSteps < totalTimesteps {
 		obs = p.collectRollout(env, obs)
-		stats := p.update()
+		stats := p.Update()
 		stats.Timesteps = p.totalSteps
 		history = append(history, stats)
 		if onIteration != nil {
@@ -157,13 +178,17 @@ func (p *PPO) Learn(env Env, totalTimesteps int, onIteration func(TrainStats)) [
 func (p *PPO) collectRollout(env Env, obs []float64) []float64 {
 	p.buffer.reset()
 	p.doneEpRets = p.doneEpRets[:0]
+	space := env.ActionSpace()
 	for !p.buffer.full() {
-		action, logProb, value := p.Policy.Sample(p.rng, obs)
-		clipped := env.ActionSpace().Clip(action)
+		action := p.actionBuf
+		logProb, value := p.Policy.SampleInto(p.rng, obs, action)
+		clipped := space.ClipInto(action, p.clipBuf)
 		nextObs, reward, done := env.Step(clipped)
+		// add copies obs and action into the buffer's preallocated
+		// backing, so the scratch slices can be reused next step.
 		p.buffer.add(transition{
-			obs:     append([]float64(nil), obs...),
-			action:  append([]float64(nil), action...),
+			obs:     obs,
+			action:  action,
 			reward:  reward,
 			done:    done,
 			value:   value,
@@ -184,13 +209,22 @@ func (p *PPO) collectRollout(env Env, obs []float64) []float64 {
 	return obs
 }
 
-// update runs NEpochs of minibatch PPO updates over the buffer.
-func (p *PPO) update() TrainStats {
+// Update runs NEpochs of minibatch PPO updates over the current
+// rollout buffer and returns the iteration statistics. Learn calls it
+// after every rollout; it is exported for custom training loops and
+// for the repo-level minibatch benchmarks. Steady-state calls allocate
+// nothing: the minibatch slice, index permutation and batched-forward
+// workspaces are all preallocated on the trainer. Loading a checkpoint
+// into Policy (json.Unmarshal) between updates is supported when the
+// architecture matches the trainer's configuration — Update re-derives
+// its cached optimizer views if the policy's buffers were replaced.
+func (p *PPO) Update() TrainStats {
 	n := len(p.buffer.steps)
-	idx := make([]int, n)
+	idx := p.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
+	p.refreshParamViews()
 	var (
 		polLossSum, vfLossSum, klSum float64
 		clipCount, sampleCount       int
@@ -202,7 +236,7 @@ func (p *PPO) update() TrainStats {
 			if end > n {
 				end = n
 			}
-			batch := make([]*transition, 0, end-start)
+			batch := p.batch[:0]
 			for _, k := range idx[start:end] {
 				batch = append(batch, &p.buffer.steps[k])
 			}
@@ -234,14 +268,62 @@ func (p *PPO) update() TrainStats {
 	return stats
 }
 
+// refreshParamViews re-derives the cached flat parameter/gradient
+// views when the policy's underlying buffers were swapped out from
+// under them — e.g. a checkpoint loaded into Policy via json.Unmarshal
+// replaces the actor/critic networks wholesale, and a Step on the old
+// views would silently optimize orphaned arrays. The aliasing probe is
+// O(1) and allocation-free, so the steady-state Update stays
+// zero-alloc; only an actual swap pays the re-derivation.
+func (p *PPO) refreshParamViews() {
+	pol := p.Policy
+	// A gradient buffer can only change together with its MLP (nn keeps
+	// them private), so probing the weight views plus the log-std pair
+	// covers every swappable buffer.
+	if len(p.params) > 0 &&
+		aliased(p.params[0], pol.Actor.Weights[0].Data) &&
+		aliased(p.params[2*len(pol.Actor.Weights)], pol.Critic.Weights[0].Data) &&
+		aliased(p.params[len(p.params)-1], pol.LogStd) &&
+		aliased(p.grads[len(p.grads)-1], pol.gradLogStd) {
+		return
+	}
+	p.params, p.grads = pol.params()
+}
+
+// aliased reports whether a and b are views of the same array.
+func aliased(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
 // updateMinibatch performs one gradient step on a minibatch and returns
 // mean policy loss, value loss, approximate KL, and the clip count.
+//
+// The whole minibatch runs through the batched MLP kernels: one actor
+// ForwardBatch/BackwardBatch and one critic ForwardBatch/BackwardBatch
+// per gradient step instead of 4×len(batch) single-sample passes. The
+// per-sample arithmetic and the per-entry gradient accumulation order
+// are preserved exactly (samples in batch order), so losses, gradients
+// and the resulting parameter update are bit-identical to the
+// per-sample path — the invariant the executor-equivalence CI gates
+// rely on.
 func (p *PPO) updateMinibatch(batch []*transition) (polLoss, vfLoss, approxKL float64, clipped int) {
 	p.Policy.zeroGrad()
-	invN := 1.0 / float64(len(batch))
+	n := len(batch)
+	invN := 1.0 / float64(n)
 	eps := p.Cfg.ClipRange
-	for _, t := range batch {
-		newLogProb := p.Policy.LogProb(t.obs, t.action)
+
+	// Actor pass: batch the observations, forward once, derive the
+	// per-sample surrogate losses and dL/dmean rows, backward once.
+	obsIn := p.actorWS.Input(n)
+	for b, t := range batch {
+		copy(obsIn.Row(b), t.obs)
+	}
+	means := p.Policy.Actor.ForwardBatch(p.actorWS)
+	dMeans := p.actorWS.OutputGrad()
+	dEnt := -p.Cfg.EntCoef * invN
+	for b, t := range batch {
+		mean := means.Row(b)
+		newLogProb := p.Policy.logProbGiven(mean, t.action)
 		logRatio := newLogProb - t.logProb
 		ratio := math.Exp(logRatio)
 		adv := t.advantage
@@ -263,22 +345,38 @@ func (p *PPO) updateMinibatch(batch []*transition) (polLoss, vfLoss, approxKL fl
 			clipped++
 			dLdLogProb = 0
 		}
-		// Entropy bonus: loss −= EntCoef * H, so dLoss/dH = −EntCoef.
-		p.Policy.backwardPolicy(t.obs, t.action, dLdLogProb*invN, -p.Cfg.EntCoef*invN)
-
-		// Value loss: VfCoef * (V(s) − ret)².
-		v := p.Policy.Value(t.obs)
-		diff := v - t.ret
-		vfLoss += diff * diff * invN
-		p.Policy.backwardValue(t.obs, 2*p.Cfg.VfCoef*diff*invN)
+		dLP := dLdLogProb * invN
+		dMean := dMeans.Row(b)
+		for i := range mean {
+			std := math.Exp(p.Policy.LogStd[i])
+			z := (t.action[i] - mean[i]) / std
+			// ∂logp/∂mean_i = z/σ ; ∂logp/∂logσ_i = z² − 1 ; ∂H/∂logσ_i = 1.
+			dMean[i] = dLP * z / std
+			p.Policy.gradLogStd[i] += dLP*(z*z-1) + dEnt
+		}
 	}
+	p.Policy.Actor.BackwardBatch(p.actorWS)
+
+	// Critic pass: value loss VfCoef * (V(s) − ret)².
+	valIn := p.criticWS.Input(n)
+	for b, t := range batch {
+		copy(valIn.Row(b), t.obs)
+	}
+	values := p.Policy.Critic.ForwardBatch(p.criticWS)
+	dValues := p.criticWS.OutputGrad()
+	for b, t := range batch {
+		diff := values.At(b, 0) - t.ret
+		vfLoss += diff * diff * invN
+		dValues.Set(b, 0, 2*p.Cfg.VfCoef*diff*invN)
+	}
+	p.Policy.Critic.BackwardBatch(p.criticWS)
+
 	// Global gradient clipping.
 	if p.Cfg.MaxGradNorm > 0 {
 		if norm := p.Policy.gradNorm(); norm > p.Cfg.MaxGradNorm {
 			p.Policy.scaleGrads(p.Cfg.MaxGradNorm / norm)
 		}
 	}
-	params, grads := p.Policy.params()
-	p.opt.Step(params, grads)
+	p.opt.Step(p.params, p.grads)
 	return polLoss, vfLoss, approxKL, clipped
 }

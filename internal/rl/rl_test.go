@@ -144,7 +144,7 @@ func TestPolicyGradCheckLogProb(t *testing.T) {
 func TestGAESingleStepEpisodes(t *testing.T) {
 	// For single-step episodes (the paper's setting), GAE reduces to
 	// advantage = reward − V(s), return = reward.
-	b := newRolloutBuffer(4)
+	b := newRolloutBuffer(4, 0, 0)
 	for i := 0; i < 4; i++ {
 		b.add(transition{reward: float64(i), value: 0.5, done: true})
 	}
@@ -162,7 +162,7 @@ func TestGAESingleStepEpisodes(t *testing.T) {
 
 func TestGAEMultiStep(t *testing.T) {
 	// Two-step episode, γ=1, λ=1: advantage_0 = r0 + r1 − V0.
-	b := newRolloutBuffer(2)
+	b := newRolloutBuffer(2, 0, 0)
 	b.add(transition{reward: 1, value: 0.2, done: false})
 	b.add(transition{reward: 2, value: 0.3, done: true})
 	b.computeAdvantages(1.0, 1.0, 0)
@@ -174,7 +174,7 @@ func TestGAEMultiStep(t *testing.T) {
 
 func TestGAEBootstrapsLastValue(t *testing.T) {
 	// Unfinished episode: last value must be bootstrapped.
-	b := newRolloutBuffer(1)
+	b := newRolloutBuffer(1, 0, 0)
 	b.add(transition{reward: 1, value: 0, done: false})
 	b.computeAdvantages(0.5, 1.0, 10.0)
 	// delta = 1 + 0.5*10 - 0 = 6
@@ -386,7 +386,7 @@ func TestPolicyJSONCorrupt(t *testing.T) {
 }
 
 func TestRolloutBufferOverflowPanics(t *testing.T) {
-	b := newRolloutBuffer(1)
+	b := newRolloutBuffer(1, 0, 0)
 	b.add(transition{})
 	defer func() {
 		if recover() == nil {

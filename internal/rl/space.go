@@ -52,10 +52,20 @@ func (b Box) Contains(x []float64) bool {
 
 // Clip returns a copy of x with each component clamped into the box.
 func (b Box) Clip(x []float64) []float64 {
+	out := make([]float64, len(x))
+	return b.ClipInto(x, out)
+}
+
+// ClipInto is the allocation-free Clip: each component of x is clamped
+// into the box and written to out (same length as x), which is
+// returned. x itself is never modified.
+func (b Box) ClipInto(x, out []float64) []float64 {
 	if len(x) != len(b.Low) {
 		panic(fmt.Sprintf("rl: Clip dim %d, want %d", len(x), len(b.Low)))
 	}
-	out := make([]float64, len(x))
+	if len(out) != len(x) {
+		panic(fmt.Sprintf("rl: ClipInto out dim %d, want %d", len(out), len(x)))
+	}
 	for i, v := range x {
 		out[i] = math.Max(b.Low[i], math.Min(b.High[i], v))
 	}

@@ -43,15 +43,27 @@ const (
 // the given fleet snapshot. Devices beyond NumDevices are ignored;
 // missing slots are zero-padded.
 func Observation(q int, devices []policy.DeviceState) []float64 {
-	obs := make([]float64, StateDim)
-	obs[0] = float64(q) / QMax
+	return ObservationInto(q, devices, make([]float64, StateDim))
+}
+
+// ObservationInto is the allocation-free Observation: the state vector
+// is written into out (length StateDim), which is zeroed first and
+// returned. It is the per-decision fast path of the deployed RL policy.
+func ObservationInto(q int, devices []policy.DeviceState, out []float64) []float64 {
+	if len(out) != StateDim {
+		panic(fmt.Sprintf("rlsched: ObservationInto out dim %d, want %d", len(out), StateDim))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	out[0] = float64(q) / QMax
 	for i := 0; i < NumDevices && i < len(devices); i++ {
 		d := devices[i]
-		obs[1+3*i] = float64(d.Free) / LevelNorm
-		obs[2+3*i] = d.ErrorScore * ErrScale
-		obs[3+3*i] = d.CLOPS / CLOPSNorm
+		out[1+3*i] = float64(d.Free) / LevelNorm
+		out[2+3*i] = d.ErrorScore * ErrScale
+		out[3+3*i] = d.CLOPS / CLOPSNorm
 	}
-	return obs
+	return out
 }
 
 // DeviceInfo carries the per-device data the reward model needs beyond
@@ -262,8 +274,18 @@ func (e *GymEnv) Step(action []float64) ([]float64, float64, bool) {
 // proportionally under the free-capacity caps. Returns nil if the job
 // cannot fit.
 func SharesFromWeights(q int, weights []float64, free []int) []int {
-	w := make([]float64, len(free))
-	for i := range w {
+	return SharesFromWeightsInto(q, weights, free, make([]float64, len(free)))
+}
+
+// SharesFromWeightsInto is SharesFromWeights with a caller-provided
+// scratch buffer for the clipped weights (length len(free), fully
+// overwritten) — the form the deployed policy's per-decision fast path
+// uses to avoid allocating on every dispatch attempt.
+func SharesFromWeightsInto(q int, weights []float64, free []int, wbuf []float64) []int {
+	if len(wbuf) != len(free) {
+		panic(fmt.Sprintf("rlsched: weight scratch len %d, want %d", len(wbuf), len(free)))
+	}
+	for i := range wbuf {
 		v := 0.0
 		if i < len(weights) {
 			v = weights[i]
@@ -273,9 +295,9 @@ func SharesFromWeights(q int, weights []float64, free []int) []int {
 		} else if v > 1 {
 			v = 1
 		}
-		w[i] = v + 1e-6
+		wbuf[i] = v + 1e-6
 	}
-	return policy.Apportion(q, w, free)
+	return policy.Apportion(q, wbuf, free)
 }
 
 // AllocationReward computes the §4.1 reward: the allocation-weighted
@@ -313,12 +335,27 @@ type RLPolicy struct {
 	Deterministic bool
 
 	rng *rand.Rand
+	// Per-decision scratch: the observation, action, clipped-weight and
+	// free-capacity buffers are preallocated so Allocate's inference
+	// and apportionment-input path never allocates (Apportion's own
+	// working sets are the remaining per-decision allocations). A
+	// policy drives one simulation on one goroutine; the broker never
+	// shares it.
+	obsBuf, actBuf, wBuf []float64
+	freeBuf              []int
 }
 
 // NewRLPolicy wraps a trained policy for deployment. The seed drives
 // action sampling (ignored in deterministic mode).
 func NewRLPolicy(trained *rl.GaussianPolicy, seed int64) *RLPolicy {
-	return &RLPolicy{Trained: trained, rng: rand.New(rand.NewSource(seed))}
+	return &RLPolicy{
+		Trained: trained,
+		rng:     rand.New(rand.NewSource(seed)),
+		obsBuf:  make([]float64, StateDim),
+		actBuf:  make([]float64, trained.ActDim()),
+		wBuf:    make([]float64, NumDevices),
+		freeBuf: make([]int, NumDevices),
+	}
 }
 
 // The rlbase mode plugs into the policy registry like the heuristics,
@@ -350,18 +387,24 @@ func (p *RLPolicy) Allocate(j *job.QJob, devices []policy.DeviceState) []policy.
 	if totalFree < j.NumQubits {
 		return nil
 	}
-	obs := Observation(j.NumQubits, devices)
-	var action []float64
+	obs := ObservationInto(j.NumQubits, devices, p.obsBuf)
+	action := p.actBuf
 	if p.Deterministic {
-		action = p.Trained.MeanAction(obs)
+		p.Trained.MeanActionInto(obs, action)
 	} else {
-		action, _, _ = p.Trained.Sample(p.rng, obs)
+		// SampleInto consumes the identical RNG stream as Sample, so
+		// sampled deployments stay bit-identical to the allocating path.
+		p.Trained.SampleInto(p.rng, obs, action)
 	}
-	free := make([]int, len(devices))
+	if cap(p.freeBuf) < len(devices) {
+		p.freeBuf = make([]int, len(devices))
+		p.wBuf = make([]float64, len(devices))
+	}
+	free := p.freeBuf[:len(devices)]
 	for i, d := range devices {
 		free[i] = d.Free
 	}
-	shares := SharesFromWeights(j.NumQubits, action, free)
+	shares := SharesFromWeightsInto(j.NumQubits, action, free, p.wBuf[:len(devices)])
 	if shares == nil {
 		return nil
 	}
