@@ -20,6 +20,27 @@
 // shard manifests in global task order, bit-identical to the
 // in-process run (wall times aside).
 //
+// The same binary also runs as a fleet. On each worker machine, -serve
+// starts a long-lived daemon speaking the shard protocol over TCP:
+//
+//	experiments -serve :7070
+//
+// and a coordinator fans a run out across daemons with -hosts (or a
+// "hosts" list inside the spec file), producing the same manifest as
+// every other executor plus per-row host/attempt provenance:
+//
+//	experiments -spec specs/smoke.json -hosts a:7070,b:7070 -out runs/
+//
+// A daemon that dies mid-run has its unfinished tasks requeued onto a
+// surviving host. -doctor probes each daemon's health — reachability,
+// protocol version, capacity, uptime — and exits non-zero when any
+// host is down:
+//
+//	experiments -doctor -hosts a:7070,b:7070
+//
+// docs/operations.md is the fleet runbook, including the wire-protocol
+// specification.
+//
 // The figure artifacts (fig5, fig6, and the combined "all") need
 // in-process run state — training history, per-job fidelity records —
 // that never leaves a worker, so they always run in-process.
@@ -61,9 +82,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
@@ -101,6 +128,9 @@ func run() error {
 		trendDir  = flag.String("trend", "", "report per-metric trajectories over a directory of BENCH_*.json / manifest artifacts and exit 1 on a significant shift in the newest one")
 		trendTol  = flag.Float64("trend-tol", 0.05, "with -trend: relative shift threshold for metrics without a stored stderr (e.g. bench ns/op)")
 		shardWork = flag.Bool("shard-worker", false, "internal: serve the shard worker protocol on stdin/stdout and exit (spawned by -shards coordinators)")
+		serveAddr = flag.String("serve", "", "run as a worker daemon on this TCP address (host:port; port 0 picks one) until interrupted, executing shard orders for -hosts coordinators; -workers sizes the advertised capacity")
+		hostsFlag = flag.String("hosts", "", "comma-separated worker daemon addresses (host:port,…) to fan tasks out across via TCP; overrides a spec's hosts list and conflicts with -shards")
+		doctor    = flag.Bool("doctor", false, "probe each -hosts daemon and report reachability, protocol version and capacity; exit 1 when any host is unhealthy")
 	)
 	flag.IntVar(workers, "parallel", 0, "deprecated alias for -workers")
 	flag.Parse()
@@ -108,7 +138,7 @@ func run() error {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFlags(set, flag.Args(), *artifact, *specPath, *n, *train, *workers, *reps, *shards, *diff, *shardWork,
-		*sig, *tol, *rtol, *trendDir, *trendTol); err != nil {
+		*sig, *tol, *rtol, *trendDir, *trendTol, *serveAddr, *hostsFlag, *doctor); err != nil {
 		return err
 	}
 
@@ -118,12 +148,20 @@ func run() error {
 	if *shardWork {
 		return experiments.ServeShardWorker(context.Background(), os.Stdin, os.Stdout)
 	}
+	// Daemon mode: serve shard orders over TCP until interrupted.
+	if *serveAddr != "" {
+		return runServe(*serveAddr, *workers)
+	}
+	if *doctor {
+		return runDoctor(os.Stdout, splitHosts(*hostsFlag))
+	}
 	if *trendDir != "" {
 		return runTrend(os.Stdout, *trendDir, *trendTol)
 	}
 	if *diff {
 		return diffManifests(flag.Arg(0), flag.Arg(1), *sig, *tol, *rtol)
 	}
+	hosts := splitHosts(*hostsFlag)
 
 	for _, dir := range []string{*outdir, *out} {
 		if dir != "" {
@@ -133,8 +171,6 @@ func run() error {
 		}
 	}
 
-	exec := buildExecutor(*shards, *workers, *progress)
-
 	// Spec path: the file IS the experiment; only execution knobs come
 	// from flags.
 	if *specPath != "" {
@@ -142,6 +178,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// A spec may carry its own fleet; explicit execution flags win.
+		if len(hosts) == 0 && *shards == 0 {
+			hosts = spec.Hosts
+		}
+		exec := buildExecutor(*shards, *workers, *progress, hosts)
 		m, err := experiments.Run(context.Background(), *spec, exec)
 		if err != nil {
 			return err
@@ -164,6 +205,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		exec := buildExecutor(*shards, *workers, *progress, hosts)
 		m, err := experiments.Run(context.Background(), spec, exec)
 		if err != nil {
 			return err
@@ -186,13 +228,45 @@ func run() error {
 // actionable messages, instead of failing late inside a run (or worse,
 // silently ignoring a flag the user set).
 func validateFlags(set map[string]bool, args []string, artifact, specPath string, n, train, workers, reps, shards int, diff, shardWork bool,
-	sig bool, tol, rtol float64, trendDir string, trendTol float64) error {
+	sig bool, tol, rtol float64, trendDir string, trendTol float64, serveAddr, hostsFlag string, doctor bool) error {
 	switch {
 	case shardWork:
 		if len(set) > 1 || len(args) > 0 {
 			return fmt.Errorf("-shard-worker is internal (spawned by -shards coordinators) and takes no other flags or arguments")
 		}
 		return nil
+	case set["serve"]:
+		if serveAddr == "" {
+			return fmt.Errorf("-serve needs the listen address (host:port) as its value")
+		}
+		if _, _, err := net.SplitHostPort(serveAddr); err != nil {
+			return fmt.Errorf("-serve address %q is not host:port: %v", serveAddr, err)
+		}
+		for f := range set {
+			if f != "serve" && f != "workers" && f != "parallel" {
+				return fmt.Errorf("-serve runs a worker daemon; beyond -workers (advertised capacity), -%s conflicts with it", f)
+			}
+		}
+		if len(args) > 0 {
+			return fmt.Errorf("-serve takes the listen address as its value and no positional arguments")
+		}
+		if (set["workers"] || set["parallel"]) && workers < 1 {
+			return fmt.Errorf("-workers must be >= 1 (omit the flag for the automatic default)")
+		}
+		return nil
+	case doctor:
+		if !set["hosts"] {
+			return fmt.Errorf("-doctor probes the -hosts daemon list; pass -hosts with it")
+		}
+		for f := range set {
+			if f != "doctor" && f != "hosts" {
+				return fmt.Errorf("-doctor only probes daemons; -%s conflicts with it", f)
+			}
+		}
+		if len(args) > 0 {
+			return fmt.Errorf("-doctor takes no positional arguments")
+		}
+		return validateHosts(hostsFlag)
 	case set["trend"]:
 		if trendDir == "" {
 			return fmt.Errorf("-trend needs the artifact directory as its value (an empty one usually means an unset shell variable)")
@@ -240,6 +314,14 @@ func validateFlags(set map[string]bool, args []string, artifact, specPath string
 	if set["shards"] && shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (omit the flag for in-process execution)")
 	}
+	if set["hosts"] {
+		if set["shards"] {
+			return fmt.Errorf("-hosts (worker daemons over TCP) and -shards (local worker processes) are different fan-outs; pick one")
+		}
+		if err := validateHosts(hostsFlag); err != nil {
+			return err
+		}
+	}
 	if reps < 1 {
 		return fmt.Errorf("-replications must be >= 1, have %d", reps)
 	}
@@ -257,11 +339,38 @@ func validateFlags(set map[string]bool, args []string, artifact, specPath string
 		}
 		return nil
 	}
-	if shards > 0 {
+	if shards > 0 || hostsFlag != "" {
 		switch artifact {
 		case "table2", "replicate", "ablations":
 		default:
-			return fmt.Errorf("artifact %q does not support -shards: figure artifacts need in-process run state (table2, replicate and ablations do)", artifact)
+			return fmt.Errorf("artifact %q does not support -shards/-hosts: figure artifacts need in-process run state (table2, replicate and ablations do)", artifact)
+		}
+	}
+	return nil
+}
+
+// splitHosts parses a -hosts value: comma-separated addresses, spaces
+// tolerated, empty entries dropped.
+func splitHosts(s string) []string {
+	var out []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// validateHosts checks that a -hosts value names at least one
+// well-formed host:port address.
+func validateHosts(s string) error {
+	hosts := splitHosts(s)
+	if len(hosts) == 0 {
+		return fmt.Errorf("-hosts needs at least one daemon address (host:port, comma-separated)")
+	}
+	for _, h := range hosts {
+		if _, _, err := net.SplitHostPort(h); err != nil {
+			return fmt.Errorf("-hosts entry %q is not host:port: %v", h, err)
 		}
 	}
 	return nil
@@ -281,26 +390,92 @@ func progressPrinter(p runner.Progress) {
 	fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", p.Done, p.Total, p.Label, status)
 }
 
-// buildExecutor maps the execution flags onto an Executor: worker OS
-// processes when -shards is set, the in-process pool otherwise. Both
-// share one progress wiring through ExecOptions.
-func buildExecutor(shards, workers int, progress bool) experiments.Executor {
+// buildExecutor maps the execution flags onto an Executor: worker
+// daemons over TCP when hosts are configured (-hosts or the spec's
+// hosts list), worker OS processes when -shards is set, the in-process
+// pool otherwise. All share one progress wiring through ExecOptions.
+func buildExecutor(shards, workers int, progress bool, hosts []string) experiments.Executor {
 	opt := experiments.ExecOptions{Workers: workers}
+	var onEvent func(shard.Progress)
 	if progress {
 		opt.OnProgress = progressPrinter
-	}
-	if shards > 0 {
-		so := experiments.ShardOptions{ExecOptions: opt, Shards: shards}
-		if progress {
-			so.OnEvent = func(p shard.Progress) {
-				if p.Event == "retry" {
-					fmt.Fprintf(os.Stderr, "shard %d attempt %d crashed (%v); respawning on the remainder\n", p.Shard, p.Attempt, p.Err)
-				}
+		onEvent = func(p shard.Progress) {
+			if p.Event == "retry" {
+				fmt.Fprintf(os.Stderr, "shard %d attempt %d crashed (%v); requeueing the remainder\n", p.Shard, p.Attempt, p.Err)
 			}
 		}
-		return experiments.Sharded{Options: so}
+	}
+	if len(hosts) > 0 {
+		return experiments.Remote{Options: experiments.RemoteOptions{ExecOptions: opt, Hosts: hosts, OnEvent: onEvent}}
+	}
+	if shards > 0 {
+		return experiments.Sharded{Options: experiments.ShardOptions{ExecOptions: opt, Shards: shards, OnEvent: onEvent}}
 	}
 	return experiments.Parallel{Options: opt}
+}
+
+// runServe is -serve: the long-lived worker daemon. It prints the
+// resolved listen address on stdout (so `-serve 127.0.0.1:0` callers
+// learn the picked port), logs connection events on stderr, and serves
+// until SIGINT/SIGTERM.
+func runServe(addr string, workers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	capacity := workers
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("listening on %s (protocol v%d, capacity %d)\n", ln.Addr(), shard.ProtocolVersion, capacity)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	}
+	return experiments.ServeShardDaemon(ctx, ln, capacity, logf)
+}
+
+// runDoctor is -doctor: probe every daemon concurrently (one dead
+// host's dial timeout must not serialize behind another's) and render
+// one row per host in list order. Any unhealthy host fails the command.
+func runDoctor(w io.Writer, hosts []string) error {
+	type report struct {
+		info *shard.ProbeInfo
+		err  error
+	}
+	reports := make([]report, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(i int, h string) {
+			defer wg.Done()
+			info, err := shard.Probe(context.Background(), h, 0)
+			reports[i] = report{info, err}
+		}(i, h)
+	}
+	wg.Wait()
+
+	fmt.Fprintf(w, "%-28s %-8s %8s %9s %7s %8s %10s %10s\n",
+		"HOST", "STATUS", "PROTO", "CAPACITY", "ACTIVE", "SERVED", "UPTIME", "RTT")
+	unhealthy := 0
+	for i, h := range hosts {
+		if err := reports[i].err; err != nil {
+			unhealthy++
+			fmt.Fprintf(w, "%-28s %-8s %v\n", h, "down", err)
+			continue
+		}
+		info := reports[i].info
+		fmt.Fprintf(w, "%-28s %-8s %8d %9d %7d %8d %10s %10s\n",
+			info.Host, "ok", info.Version, info.Capacity, info.Active, info.Served,
+			(time.Duration(info.UptimeS * float64(time.Second))).Round(time.Second),
+			info.RTT.Round(10*time.Microsecond))
+	}
+	if unhealthy > 0 {
+		return fmt.Errorf("%d of %d host(s) unhealthy", unhealthy, len(hosts))
+	}
+	fmt.Fprintf(w, "all %d host(s) healthy\n", len(hosts))
+	return nil
 }
 
 // compileSpec lowers the artifact flags onto the declarative Spec the

@@ -109,6 +109,9 @@ func TestValidateFlags(t *testing.T) {
 		rtol      float64
 		trend     string
 		trendTol  float64
+		serve     string
+		hosts     string
+		doctor    bool
 	}
 	ok := func(a args) args { // fill valid defaults
 		if a.artifact == "" {
@@ -171,12 +174,31 @@ func TestValidateFlags(t *testing.T) {
 		{"trend with args", ok(args{set: map[string]bool{"trend": true}, trend: "dir", args: []string{"x"}}), "no positional"},
 		{"trend bad tol", ok(args{set: map[string]bool{"trend": true, "trend-tol": true}, trend: "dir", trendTol: -1}), "-trend-tol"},
 		{"trend-tol without trend", ok(args{set: map[string]bool{"trend-tol": true}, trendTol: 0.1}), "pass -trend"},
+		{"serve alone", ok(args{set: map[string]bool{"serve": true}, serve: "127.0.0.1:7070"}), ""},
+		{"serve port zero", ok(args{set: map[string]bool{"serve": true}, serve: "127.0.0.1:0"}), ""},
+		{"serve with workers", ok(args{set: map[string]bool{"serve": true, "workers": true}, serve: ":7070", workers: 4}), ""},
+		{"serve empty value", ok(args{set: map[string]bool{"serve": true}}), "listen address"},
+		{"serve bad address", ok(args{set: map[string]bool{"serve": true}, serve: "7070"}), "not host:port"},
+		{"serve with artifact flag", ok(args{set: map[string]bool{"serve": true, "n": true}, serve: ":7070"}), "-n conflicts"},
+		{"serve with args", ok(args{set: map[string]bool{"serve": true}, serve: ":7070", args: []string{"x"}}), "no positional"},
+		{"serve workers zero", ok(args{set: map[string]bool{"serve": true, "workers": true}, serve: ":7070"}), "-workers must be >= 1"},
+		{"hosts valid", ok(args{set: map[string]bool{"hosts": true}, hosts: "a:7070,b:7070", artifact: "table2"}), ""},
+		{"hosts spaced", ok(args{set: map[string]bool{"hosts": true}, hosts: "a:7070, b:7070", artifact: "table2"}), ""},
+		{"hosts with spec", ok(args{set: map[string]bool{"hosts": true, "spec": true}, hosts: "a:7070", spec: "s.json"}), ""},
+		{"hosts empty", ok(args{set: map[string]bool{"hosts": true}, hosts: " , ", artifact: "table2"}), "at least one"},
+		{"hosts bad entry", ok(args{set: map[string]bool{"hosts": true}, hosts: "a:7070,b", artifact: "table2"}), "not host:port"},
+		{"hosts with shards", ok(args{set: map[string]bool{"hosts": true, "shards": true}, hosts: "a:7070", shards: 2, artifact: "table2"}), "pick one"},
+		{"hosts fig6", ok(args{set: map[string]bool{"hosts": true}, hosts: "a:7070", artifact: "fig6"}), "does not support"},
+		{"doctor with hosts", ok(args{set: map[string]bool{"doctor": true, "hosts": true}, doctor: true, hosts: "a:7070"}), ""},
+		{"doctor without hosts", ok(args{set: map[string]bool{"doctor": true}, doctor: true}), "pass -hosts"},
+		{"doctor with n", ok(args{set: map[string]bool{"doctor": true, "hosts": true, "n": true}, doctor: true, hosts: "a:7070"}), "-n conflicts"},
+		{"doctor bad host", ok(args{set: map[string]bool{"doctor": true, "hosts": true}, doctor: true, hosts: "nope"}), "not host:port"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateFlags(c.a.set, c.a.args, c.a.artifact, c.a.spec,
 				c.a.n, c.a.train, c.a.workers, c.a.reps, c.a.shards, c.a.diff, c.a.shardWork,
-				c.a.sig, c.a.tol, c.a.rtol, c.a.trend, c.a.trendTol)
+				c.a.sig, c.a.tol, c.a.rtol, c.a.trend, c.a.trendTol, c.a.serve, c.a.hosts, c.a.doctor)
 			if c.want == "" {
 				if err != nil {
 					t.Fatalf("rejected: %v", err)

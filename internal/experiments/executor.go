@@ -9,13 +9,14 @@ import (
 
 // Executor is the pluggable execution backend behind Run: it receives
 // a fully configured case study plus one task matrix and returns the
-// manifest rows in global task order. All three built-ins — Sequential,
-// Parallel, Sharded — are bit-identical for fixed seeds (wall times
-// aside), because they expand the same matrix through the same
-// enumeration and every task runs on a private snapshot seeded only
-// from the case study's configuration. A future hosts-level backend
-// (SSH/TCP transport per ROADMAP) implements this same interface by
-// swapping the process spawn inside the shard coordinator.
+// manifest rows in global task order. All four built-ins — Sequential,
+// Parallel, Sharded, Remote — are bit-identical for fixed seeds (wall
+// times and provenance aside), because they expand the same matrix
+// through the same enumeration and every task runs on a private
+// snapshot seeded only from the case study's configuration. The
+// out-of-process backends differ only in the transport they hand the
+// shard coordinator: Sharded spawns local subprocesses, Remote dials
+// worker daemons across a host fleet.
 type Executor interface {
 	// Name identifies the backend in logs and errors.
 	Name() string

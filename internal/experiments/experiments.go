@@ -8,8 +8,11 @@
 // scenario ("paper", "hetero-fleet", "stress-arrivals", or your own
 // via RegisterScenario) plus task matrices and overrides — and hand it
 // to Run with any Executor (Sequential, Parallel across a goroutine
-// pool, or Sharded across worker OS processes). All executors produce
-// identical manifests for fixed seeds; allocation strategies resolve
+// pool, Sharded across worker OS processes, or Remote across a fleet
+// of TCP worker daemons — see ServeShardDaemon and docs/operations.md).
+// All executors produce identical manifests for fixed seeds, remote
+// rows additionally carrying host/attempt provenance; allocation
+// strategies resolve
 // through the internal/policy registry, so new policies and new
 // scenarios plug in without touching this package. The per-artifact
 // entry points below (RunAll, PhiSweep, RunAllParallel, …) predate the

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/experiments/shard"
+	"repro/internal/records"
+)
+
+// RemoteOptions configures the Remote executor — the hosts-level
+// backend that fans a run out across long-lived worker daemons over
+// TCP. The knobs shared with every executor (Workers, Retries,
+// OnProgress) live in the embedded ExecOptions; Workers sizes each
+// daemon's per-order pool exactly as it sizes a subprocess worker's.
+type RemoteOptions struct {
+	ExecOptions
+	// Hosts lists worker daemon addresses as host:port (usually
+	// `experiments -serve` on each machine). Required.
+	Hosts []string
+	// Shards is the concurrent order count; <= 0 means one shard per
+	// host. More shards than hosts multiplexes orders onto daemons;
+	// fewer leaves hosts idle until a crash fails work over to them.
+	Shards int
+	// DialTimeout bounds connect+handshake per host; 0 means
+	// shard.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// HeartbeatTimeout is the per-receive silence budget before a
+	// daemon counts as wedged; 0 means shard.DefaultHeartbeatTimeout.
+	HeartbeatTimeout time.Duration
+	// OnEvent, if set, receives raw coordinator lifecycle events
+	// (spawn/result/retry/done) beyond the per-task OnProgress stream.
+	OnEvent func(shard.Progress)
+}
+
+// Remote executes a task matrix across worker daemons on a host fleet,
+// implementing Executor on top of the same coordinator machinery as
+// Sharded — only the transport differs, so crash requeue, bounded
+// retries and the merge integrity check carry over unchanged. A daemon
+// that dies mid-order has its unfinished tasks requeued onto a
+// surviving host, and each manifest row records which host produced it
+// (records.RunSummary.Host/Attempt).
+//
+// For fixed seeds the manifest is bit-identical to every other
+// executor's (wall time, worker accounting and provenance aside):
+// daemons rebuild tasks from the same serialized ShardSpec seeds as
+// subprocess workers.
+type Remote struct {
+	Options RemoteOptions
+}
+
+// Name implements Executor.
+func (Remote) Name() string { return "remote" }
+
+// Execute implements Executor.
+func (e Remote) Execute(ctx context.Context, cs *CaseStudy, m TaskMatrix) (*records.RunManifest, error) {
+	return cs.RunMatrixRemote(ctx, e.Options, m)
+}
+
+// RunMatrixRemote executes an arbitrary task matrix across the
+// configured worker daemons and returns the merged manifest in global
+// task order, with per-row host provenance. See Remote.
+func (cs *CaseStudy) RunMatrixRemote(ctx context.Context, opt RemoteOptions, m TaskMatrix) (*records.RunManifest, error) {
+	if len(opt.Hosts) == 0 {
+		return nil, errors.New("experiments: remote execution needs at least one worker daemon host")
+	}
+	spec, labels, err := cs.shardPayload(m, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = len(opt.Hosts)
+	}
+	coord := shard.Coordinator{
+		Shards:  shards,
+		Retries: opt.Retries,
+		Transport: &shard.TCPTransport{
+			Hosts:            opt.Hosts,
+			DialTimeout:      opt.DialTimeout,
+			HeartbeatTimeout: opt.HeartbeatTimeout,
+		},
+		PerShardWorkers: opt.Workers,
+		OnProgress:      coordinatorProgress(opt.ExecOptions, opt.OnEvent),
+	}
+	return coord.Run(ctx, m.Label(), spec, labels)
+}
+
+// ServeShardDaemon runs the experiments worker daemon on ln until ctx
+// is canceled — the engine behind `experiments -serve <addr>`. It
+// serves the same task engine as the -shard-worker subprocess mode
+// (shardRunFunc), so a Remote run against daemons and a Sharded run
+// against subprocesses produce identical manifest rows. capacity is
+// the advertised per-order pool size reported to -doctor probes; logf
+// (nil for silent) receives one line per connection event.
+func ServeShardDaemon(ctx context.Context, ln net.Listener, capacity int, logf func(format string, args ...any)) error {
+	srv := &shard.Server{Run: shardRunFunc, Capacity: capacity, Logf: logf}
+	return srv.Serve(ctx, ln)
+}

@@ -1,13 +1,11 @@
 package shard
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"os/exec"
 	"sync"
 
@@ -36,21 +34,26 @@ type Progress struct {
 	Done, Total int
 }
 
-// Coordinator fans an enumerated task list out across worker OS
-// processes and reassembles their streamed results into one manifest.
+// Coordinator fans an enumerated task list out across workers — OS
+// subprocesses or remote TCP daemons, depending on the Transport — and
+// reassembles their streamed results into one manifest.
 type Coordinator struct {
-	// Shards is the worker process count; <= 0 means 1. Shards larger
-	// than the task count are clamped (see Plan).
+	// Shards is the concurrent worker session count; <= 0 means 1.
+	// Shards larger than the task count are clamped (see Plan).
 	Shards int
 	// Retries is the per-shard respawn budget after a worker crash:
 	// 0 means DefaultRetries, negative disables retries. Each respawned
 	// worker receives only the shard's unfinished indices — results the
 	// dead worker streamed before crashing are kept.
 	Retries int
+	// Transport opens worker sessions. Nil falls back to a
+	// ProcessTransport built from Command and Stderr.
+	Transport Transport
 	// Command returns a fresh, unstarted worker process wired to speak
 	// the shard protocol on its stdin/stdout (e.g. the experiments
-	// binary with -shard-worker). Required. The coordinator sets Stdin,
-	// Stdout and Stderr itself and kills the process when ctx ends.
+	// binary with -shard-worker). Used only when Transport is nil; one
+	// of the two is required. The coordinator sets Stdin, Stdout and
+	// Stderr itself and kills the process when ctx ends.
 	Command func(ctx context.Context) *exec.Cmd
 	// PerShardWorkers records each worker process's internal pool size
 	// in its shard manifest's Workers field (<= 1 means 1), so the
@@ -61,7 +64,8 @@ type Coordinator struct {
 	// OnProgress, if set, receives coordinator events. Calls are
 	// serialized; the callback must not block for long.
 	OnProgress func(Progress)
-	// Stderr receives every worker's stderr; nil means os.Stderr.
+	// Stderr receives every worker's stderr (process transport only);
+	// nil means os.Stderr.
 	Stderr io.Writer
 }
 
@@ -82,8 +86,12 @@ func (e *crashError) Unwrap() error { return e.err }
 // runner.Pool, a real failure is never masked by the cancellation
 // fallout it causes in sibling shards.
 func (c *Coordinator) Run(ctx context.Context, label string, spec json.RawMessage, labels []string) (*records.RunManifest, error) {
-	if c.Command == nil {
-		return nil, errors.New("shard: Coordinator.Command is required")
+	transport := c.Transport
+	if transport == nil {
+		if c.Command == nil {
+			return nil, errors.New("shard: Coordinator needs a Transport or a Command")
+		}
+		transport = &ProcessTransport{Command: c.Command, Stderr: c.Stderr}
 	}
 	if len(labels) == 0 {
 		return &records.RunManifest{Label: label}, nil
@@ -101,7 +109,7 @@ func (c *Coordinator) Run(ctx context.Context, label string, spec json.RawMessag
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			m, err := c.runShard(ctx, si, spec, labels, plan[si], sink)
+			m, err := c.runShard(ctx, transport, si, spec, labels, plan[si], sink)
 			manifests[si], errs[si] = m, err
 			if err != nil {
 				cancel()
@@ -138,7 +146,7 @@ func (c *Coordinator) Run(ctx context.Context, label string, spec json.RawMessag
 
 // runShard drives one shard to completion, respawning crashed workers
 // on the unfinished remainder until the retry budget runs out.
-func (c *Coordinator) runShard(ctx context.Context, si int, spec json.RawMessage, labels []string, indices []int, sink *progressSink) (*records.RunManifest, error) {
+func (c *Coordinator) runShard(ctx context.Context, transport Transport, si int, spec json.RawMessage, labels []string, indices []int, sink *progressSink) (*records.RunManifest, error) {
 	retries := c.Retries
 	switch {
 	case retries == 0:
@@ -151,7 +159,7 @@ func (c *Coordinator) runShard(ctx context.Context, si int, spec json.RawMessage
 	for attempt := 0; ; attempt++ {
 		sink.report(Progress{Shard: si, Attempt: attempt, Event: "spawn", Index: -1})
 		var err error
-		remaining, err = c.runWorker(ctx, si, attempt, spec, labels, remaining, m, sink)
+		remaining, err = c.runWorker(ctx, transport, si, attempt, spec, labels, remaining, m, sink)
 		if err == nil {
 			sink.report(Progress{Shard: si, Attempt: attempt, Event: "done", Index: -1})
 			return m, nil
@@ -170,52 +178,53 @@ func (c *Coordinator) runShard(ctx context.Context, si int, spec json.RawMessage
 	}
 }
 
-// runWorker spawns one worker on the given indices, streams its results
-// into m, and returns the indices still unfinished. A nil error means
-// the worker sent done with nothing left over; a *crashError means the
-// process died mid-shard and the remainder is retryable.
-func (c *Coordinator) runWorker(ctx context.Context, si, attempt int, spec json.RawMessage, labels []string, indices []int, m *records.RunManifest, sink *progressSink) ([]int, error) {
+// runWorker opens one worker session on the given indices, streams its
+// results into m, and returns the indices still unfinished. A nil
+// error means the worker sent done with nothing left over; a
+// *crashError means the session died mid-shard and the remainder is
+// retryable. A connect failure is terminal: transports fail over
+// internally, so it means no worker is reachable at all.
+func (c *Coordinator) runWorker(ctx context.Context, transport Transport, si, attempt int, spec json.RawMessage, labels []string, indices []int, m *records.RunManifest, sink *progressSink) ([]int, error) {
 	lbls := make([]string, len(indices))
 	assigned := make(map[int]bool, len(indices))
 	for j, i := range indices {
 		lbls[j] = labels[i]
 		assigned[i] = true
 	}
-	var in bytes.Buffer
-	if err := writeFrame(&in, order{Spec: spec, Indices: indices, Labels: lbls}); err != nil {
-		return indices, err
-	}
-
-	cmd := c.Command(ctx)
-	cmd.Stdin = &in
-	cmd.Stderr = c.Stderr
-	if cmd.Stderr == nil {
-		cmd.Stderr = os.Stderr
-	}
-	stdout, err := cmd.StdoutPipe()
+	sess, err := transport.connect(ctx, si, attempt)
 	if err != nil {
 		return indices, err
 	}
-	if err := cmd.Start(); err != nil {
-		return indices, fmt.Errorf("spawning worker: %w", err)
-	}
-	// The reaper guarantees the child never outlives ctx even when
-	// Command did not use exec.CommandContext.
-	reaped := make(chan struct{})
+	// The reaper guarantees the worker never outlives ctx even when the
+	// transport did not wire cancellation itself (close is documented
+	// safe to call twice and concurrently with recv).
+	finished := make(chan struct{})
+	defer close(finished)
 	go func() {
 		select {
 		case <-ctx.Done():
-			_ = cmd.Process.Kill()
-		case <-reaped:
+			_ = sess.close()
+		case <-finished:
 		}
 	}()
+
+	if err := sess.sendOrder(order{Spec: spec, Indices: indices, Labels: lbls}); err != nil {
+		closeErr := sess.close()
+		if ctx.Err() != nil {
+			return indices, ctx.Err()
+		}
+		// A worker that dies before reading its order (instant crash,
+		// connection reset) is the same retryable class as one dying
+		// mid-shard.
+		return indices, &crashError{fmt.Errorf("worker %sdied taking its order (send: %v, exit: %v)", peerPrefix(sess), err, closeErr)}
+	}
 
 	got := make(map[int]bool, len(indices))
 	var done bool
 	var workerErr, streamErr error
 	for !done && workerErr == nil {
 		var rep reply
-		if err := readFrame(stdout, &rep); err != nil {
+		if err := sess.recv(&rep); err != nil {
 			streamErr = err
 			break
 		}
@@ -230,10 +239,20 @@ func (c *Coordinator) runWorker(ctx context.Context, si, attempt int, spec json.
 				workerErr = fmt.Errorf("worker result for index %d carries no summary", rep.Index)
 			default:
 				got[rep.Index] = true
-				m.Runs = append(m.Runs, *rep.Summary)
+				sum := *rep.Summary
+				// Provenance, recorded only for transports with a real
+				// host identity: which host delivered the row and on
+				// which spawn attempt (>0 means the task was requeued
+				// after a crash). Subprocess and in-process manifests
+				// stay byte-identical by carrying neither field.
+				if host := sess.peer(); host != "" {
+					sum.Host = host
+					sum.Attempt = attempt
+				}
+				m.Runs = append(m.Runs, sum)
 				sink.report(Progress{
 					Shard: si, Attempt: attempt, Event: "result",
-					Index: rep.Index, Label: rep.Summary.ID, Done: 1,
+					Index: rep.Index, Label: sum.ID, Done: 1,
 				})
 			}
 		case msgError:
@@ -244,11 +263,9 @@ func (c *Coordinator) runWorker(ctx context.Context, si, attempt int, spec json.
 			workerErr = fmt.Errorf("worker sent unknown frame type %q", rep.Type)
 		}
 	}
-	// Kill unconditionally: already-exited processes ignore it, and a
-	// worker that keeps writing after done/error must not wedge Wait.
-	_ = cmd.Process.Kill()
-	close(reaped)
-	waitErr := cmd.Wait()
+	// Tear the session down unconditionally: a worker that keeps
+	// writing after done/error must not wedge the shard.
+	closeErr := sess.close()
 
 	remaining := indices[:0]
 	for _, i := range indices {
@@ -267,8 +284,18 @@ func (c *Coordinator) runWorker(ctx context.Context, si, attempt int, spec json.
 		if ctx.Err() != nil {
 			return remaining, ctx.Err()
 		}
-		return remaining, &crashError{fmt.Errorf("worker died mid-shard (stream: %v, exit: %v)", streamErr, waitErr)}
+		return remaining, &crashError{fmt.Errorf("worker %sdied mid-shard (stream: %v, exit: %v)", peerPrefix(sess), streamErr, closeErr)}
 	}
+}
+
+// peerPrefix renders a session's host identity for error messages —
+// "10.0.0.2:7070 " or "" for anonymous subprocess workers, keeping the
+// legacy message text unchanged for them.
+func peerPrefix(sess session) string {
+	if p := sess.peer(); p != "" {
+		return p + " "
+	}
+	return ""
 }
 
 // progressSink serializes OnProgress callbacks and maintains the

@@ -1,9 +1,9 @@
-// Package shard executes an experiment task matrix across worker OS
-// processes. A Coordinator partitions the globally enumerated task list
-// into deterministic contiguous shards, spawns one worker subprocess
-// per shard (typically the experiments binary re-invoked in its hidden
-// -shard-worker mode), and speaks a length-prefixed JSON protocol with
-// each worker over stdin/stdout:
+// Package shard executes an experiment task matrix across worker
+// processes — local subprocesses or worker daemons on remote hosts. A
+// Coordinator partitions the globally enumerated task list into
+// deterministic contiguous shards, obtains one worker session per
+// shard from a pluggable Transport, and speaks a length-prefixed JSON
+// protocol with each worker:
 //
 //	coordinator → worker  one order{spec, indices, labels} frame
 //	worker → coordinator  a stream of result frames (one per finished
@@ -11,11 +11,25 @@
 //	                      done frame — or an error frame if a task
 //	                      fails deliberately
 //
-// Workers stream results as they finish, so when a worker crashes
-// mid-shard the coordinator keeps the delivered rows and respawns a
-// fresh process for just the unfinished indices (bounded by Retries).
-// Deliberately reported task errors are not retried: the simulations
-// are deterministic, so a failing task would fail again.
+// Two transports ship. ProcessTransport (the default when Command is
+// set) spawns one worker subprocess per shard — typically the
+// experiments binary re-invoked in its hidden -shard-worker mode — and
+// frames over stdin/stdout. TCPTransport dials long-lived worker
+// daemons (Server, usually `experiments -serve`) across a host list,
+// prefixing the order with a hello/version handshake and interleaving
+// server heartbeats into the result stream so a wedged daemon is
+// detected within HeartbeatTimeout; Probe exposes the same handshake
+// as a health check for `-doctor`. The wire protocol is specified in
+// docs/operations.md.
+//
+// Workers stream results as they finish, so when a worker dies
+// mid-shard the coordinator keeps the delivered rows and retries just
+// the unfinished indices (bounded by Retries) — on a fresh subprocess,
+// or failing over to the next host in the fleet. Rows produced over
+// TCP record their origin (records.RunSummary.Host/Attempt);
+// subprocess rows stay provenance-free. Deliberately reported task
+// errors are not retried: the simulations are deterministic, so a
+// failing task would fail again.
 //
 // The package is deliberately ignorant of simulations — the spec is an
 // opaque JSON document the worker-side RunFunc interprets — mirroring
@@ -50,7 +64,8 @@ type order struct {
 
 // reply is one worker→coordinator message.
 type reply struct {
-	// Type is msgResult, msgError or msgDone.
+	// Type is msgResult, msgError or msgDone — or, on TCP sessions only,
+	// msgHello, msgPong or msgHeartbeat.
 	Type string `json:"type"`
 	// Index is the global task index (msgResult only).
 	Index int `json:"index"`
@@ -58,6 +73,9 @@ type reply struct {
 	Summary *records.RunSummary `json:"summary,omitempty"`
 	// Error is the worker's deliberate failure report (msgError only).
 	Error string `json:"error,omitempty"`
+	// Health is the daemon's self-description (msgHello and msgPong,
+	// TCP sessions only).
+	Health *Health `json:"health,omitempty"`
 }
 
 const (

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Transport abstracts how a Coordinator reaches the worker that
+// executes one shard attempt: spawning a subprocess on this machine
+// (ProcessTransport, the -shard-worker path) or dialing a long-lived
+// worker daemon over TCP (TCPTransport, the fleet path). The
+// coordinator's partitioning, streaming, crash-requeue and merge logic
+// is transport-agnostic; only the session setup and framing details
+// differ.
+//
+// A connect error is terminal for the run — transports fail over
+// internally (TCPTransport tries every configured host), so a failure
+// here means no worker is reachable at all and retrying the shard
+// could not help. Failures *after* a session is established are the
+// coordinator's crash class and trigger the requeue machinery.
+//
+// The protocol types are internal to this package, so the interface is
+// satisfiable only from here; external execution backends plug in at
+// the experiments.Executor seam instead.
+type Transport interface {
+	// connect opens a fresh worker session for the given shard attempt.
+	connect(ctx context.Context, shard, attempt int) (session, error)
+}
+
+// session is one worker conversation: ship the order, stream replies,
+// tear down. close must be safe to call more than once and
+// concurrently with a blocked recv (it is the coordinator's cancel
+// path).
+type session interface {
+	// sendOrder ships the shard assignment in the transport's framing.
+	sendOrder(o order) error
+	// recv reads the next protocol reply, honoring transport liveness
+	// (pipe EOF for processes, heartbeat deadlines for TCP).
+	recv(rep *reply) error
+	// peer names the worker host for provenance — "" when the transport
+	// has no meaningful host identity (subprocesses), in which case no
+	// provenance is recorded and manifests stay byte-identical to
+	// in-process runs.
+	peer() string
+	// close tears the session down (kills the process / closes the
+	// connection) and returns the worker's exit status where one exists.
+	close() error
+}
+
+// ProcessTransport runs each shard attempt as a worker OS subprocess
+// speaking the legacy untyped framing on stdin/stdout — the transport
+// behind the Sharded executor and the hidden -shard-worker flag.
+type ProcessTransport struct {
+	// Command returns a fresh, unstarted worker process wired to speak
+	// the shard protocol on its stdin/stdout. Required.
+	Command func(ctx context.Context) *exec.Cmd
+	// Stderr receives every worker's stderr; nil means os.Stderr.
+	Stderr io.Writer
+}
+
+// connect implements Transport.
+func (t *ProcessTransport) connect(ctx context.Context, shard, attempt int) (session, error) {
+	if t.Command == nil {
+		return nil, fmt.Errorf("shard: ProcessTransport.Command is required")
+	}
+	cmd := t.Command(ctx)
+	cmd.Stderr = t.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawning worker: %w", err)
+	}
+	return &processSession{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// processSession wraps one running worker subprocess.
+type processSession struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+
+	once    sync.Once
+	waitErr error
+}
+
+func (s *processSession) sendOrder(o order) error {
+	// Workers read exactly one order; closing stdin afterwards lets a
+	// worker that reads to EOF terminate cleanly too.
+	if err := writeFrame(s.stdin, o); err != nil {
+		return err
+	}
+	return s.stdin.Close()
+}
+
+func (s *processSession) recv(rep *reply) error { return readFrame(s.stdout, rep) }
+
+func (s *processSession) peer() string { return "" }
+
+// close kills the worker unconditionally — already-exited processes
+// ignore it, and a worker that keeps writing after done/error must not
+// wedge Wait — and reaps it. The first caller wins; later callers get
+// the same exit status.
+func (s *processSession) close() error {
+	s.once.Do(func() {
+		_ = s.cmd.Process.Kill()
+		s.waitErr = s.cmd.Wait()
+	})
+	return s.waitErr
+}

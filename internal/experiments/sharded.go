@@ -116,74 +116,81 @@ func crashArmed() bool {
 // subset contains an rlbase task, and streams one manifest row per
 // finished task.
 func ServeShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
-	return shard.ServeWorker(ctx, r, w, func(ctx context.Context, raw []byte, indices []int, labels []string, emit func(int, records.RunSummary) error) error {
-		var spec ShardSpec
-		if err := json.Unmarshal(raw, &spec); err != nil {
-			return fmt.Errorf("experiments: decoding shard spec: %w", err)
+	return shard.ServeWorker(ctx, r, w, shardRunFunc)
+}
+
+// shardRunFunc is the worker-side task engine shared by every
+// transport: the subprocess worker (ServeShardWorker) and the TCP
+// daemon (ServeShardDaemon) both hand orders to this one function, so
+// a task produces the same manifest row no matter which wire carried
+// its order.
+func shardRunFunc(ctx context.Context, raw []byte, indices []int, labels []string, emit func(int, records.RunSummary) error) error {
+	var spec ShardSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("experiments: decoding shard spec: %w", err)
+	}
+	cs := spec.caseStudy()
+	specs, err := spec.Matrix.specs(false)
+	if err != nil {
+		return err
+	}
+	tasks := make([]runner.Task[RunArtifact], len(specs))
+	needsRL := false
+	for j, i := range indices {
+		if i < 0 || i >= len(specs) {
+			return fmt.Errorf("experiments: shard order index %d outside task matrix of %d", i, len(specs))
 		}
-		cs := spec.caseStudy()
-		specs, err := spec.Matrix.specs(false)
-		if err != nil {
-			return err
+		if specs[i].id != labels[j] {
+			return fmt.Errorf("experiments: shard order label %q != enumerated task %q at index %d", labels[j], specs[i].id, i)
 		}
-		tasks := make([]runner.Task[RunArtifact], len(specs))
-		needsRL := false
-		for j, i := range indices {
-			if i < 0 || i >= len(specs) {
-				return fmt.Errorf("experiments: shard order index %d outside task matrix of %d", i, len(specs))
-			}
-			if specs[i].id != labels[j] {
-				return fmt.Errorf("experiments: shard order label %q != enumerated task %q at index %d", labels[j], specs[i].id, i)
-			}
-			if policy.NeedsModel(specs[i].mode) {
-				needsRL = true
-			}
+		if policy.NeedsModel(specs[i].mode) {
+			needsRL = true
 		}
-		if needsRL {
-			if err := cs.ensureTrained("rlbase"); err != nil {
-				return fmt.Errorf("experiments: training rlbase: %w", err)
-			}
+	}
+	if needsRL {
+		if err := cs.ensureTrained("rlbase"); err != nil {
+			return fmt.Errorf("experiments: training rlbase: %w", err)
 		}
-		for i, s := range specs {
-			tasks[i] = cs.task(s)
-		}
-		sub, err := runner.Subset(tasks, indices)
-		if err != nil {
-			return err
-		}
-		// Stream each finished task through emit immediately: results
-		// delivered before a crash survive it, so a respawned worker
-		// only re-runs the genuinely unfinished remainder.
-		wctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		die := crashArmed()
-		var mu sync.Mutex
-		var emitErr error
-		pool := runner.Pool[RunArtifact]{
-			Workers: max(1, spec.Workers),
-			OnResult: func(j int, art RunArtifact) {
-				if err := emit(indices[j], art.Summary()); err != nil {
-					mu.Lock()
-					if emitErr == nil {
-						emitErr = err
-					}
-					mu.Unlock()
-					cancel()
-					return
+	}
+	for i, s := range specs {
+		tasks[i] = cs.task(s)
+	}
+	sub, err := runner.Subset(tasks, indices)
+	if err != nil {
+		return err
+	}
+	// Stream each finished task through emit immediately: results
+	// delivered before a crash survive it, so a respawned worker
+	// only re-runs the genuinely unfinished remainder.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	die := crashArmed()
+	var mu sync.Mutex
+	var emitErr error
+	pool := runner.Pool[RunArtifact]{
+		Workers: max(1, spec.Workers),
+		OnResult: func(j int, art RunArtifact) {
+			if err := emit(indices[j], art.Summary()); err != nil {
+				mu.Lock()
+				if emitErr == nil {
+					emitErr = err
 				}
-				if die {
-					os.Exit(3) // injected fault: die mid-shard, after one result
-				}
-			},
-		}
-		_, runErr := pool.Run(wctx, sub)
-		mu.Lock()
-		defer mu.Unlock()
-		if emitErr != nil {
-			return emitErr
-		}
-		return runErr
-	})
+				mu.Unlock()
+				cancel()
+				return
+			}
+			if die {
+				os.Exit(3) // injected fault: die mid-shard, after one result
+			}
+		},
+	}
+	_, runErr := pool.Run(wctx, sub)
+	mu.Lock()
+	defer mu.Unlock()
+	if emitErr != nil {
+		return emitErr
+	}
+	return runErr
 }
 
 // ShardOptions configures the multi-process executor behind the
@@ -232,9 +239,28 @@ func (o ShardOptions) command() func(ctx context.Context) *exec.Cmd {
 // seeds, sharing the enumeration in TaskMatrix.specs with
 // RunAllParallel and friends.
 func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m TaskMatrix) (*records.RunManifest, error) {
-	labels, err := m.TaskLabels()
+	spec, labels, err := cs.shardPayload(m, opt.Workers)
 	if err != nil {
 		return nil, err
+	}
+	coord := shard.Coordinator{
+		Shards:          opt.Shards,
+		Retries:         opt.Retries,
+		Command:         opt.command(),
+		PerShardWorkers: opt.Workers,
+		OnProgress:      coordinatorProgress(opt.ExecOptions, opt.OnEvent),
+		Stderr:          opt.Stderr,
+	}
+	return coord.Run(ctx, m.Label(), spec, labels)
+}
+
+// shardPayload validates a matrix for out-of-process execution and
+// serializes its portable spec — the checks and encoding shared by the
+// Sharded (subprocess) and Remote (TCP) executors.
+func (cs *CaseStudy) shardPayload(m TaskMatrix, workers int) (json.RawMessage, []string, error) {
+	labels, err := m.TaskLabels()
+	if err != nil {
+		return nil, nil, err
 	}
 	// An injected policy (UseTrainedPolicy) never reaches worker
 	// processes — they retrain from PPO.Seed — so running rlbase tasks
@@ -242,7 +268,7 @@ func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m T
 	if cs.injected {
 		for _, mode := range m.modes() {
 			if policy.NeedsModel(mode) {
-				return nil, fmt.Errorf("experiments: sharded execution cannot use a policy injected via UseTrainedPolicy; workers retrain from the serialized config (train in-process instead, or drop rlbase from the matrix)")
+				return nil, nil, fmt.Errorf("experiments: sharded execution cannot use a policy injected via UseTrainedPolicy; workers retrain from the serialized config (train in-process instead, or drop rlbase from the matrix)")
 			}
 		}
 	}
@@ -252,33 +278,33 @@ func (cs *CaseStudy) RunMatrixSharded(ctx context.Context, opt ShardOptions, m T
 	seen := make(map[string]bool, len(labels))
 	for _, l := range labels {
 		if seen[l] {
-			return nil, fmt.Errorf("experiments: task matrix enumerates %q twice; sharded runs need unique task IDs", l)
+			return nil, nil, fmt.Errorf("experiments: task matrix enumerates %q twice; sharded runs need unique task IDs", l)
 		}
 		seen[l] = true
 	}
-	spec, err := json.Marshal(cs.shardSpec(m, opt.Workers))
+	spec, err := json.Marshal(cs.shardSpec(m, workers))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: encoding shard spec: %w", err)
+		return nil, nil, fmt.Errorf("experiments: encoding shard spec: %w", err)
 	}
-	coord := shard.Coordinator{
-		Shards:          opt.Shards,
-		Retries:         opt.Retries,
-		Command:         opt.command(),
-		PerShardWorkers: opt.Workers,
-		OnProgress: func(p shard.Progress) {
-			if opt.OnEvent != nil {
-				opt.OnEvent(p)
-			}
-			// Result events feed the shared per-task progress stream, so
-			// one callback wiring serves every executor. Wall time stays
-			// zero: it is spent in the worker process, not here.
-			if opt.OnProgress != nil && p.Event == "result" {
-				opt.OnProgress(runner.Progress{Index: p.Index, Label: p.Label, Done: p.Done, Total: p.Total})
-			}
-		},
-		Stderr: opt.Stderr,
+	return spec, labels, nil
+}
+
+// coordinatorProgress adapts coordinator lifecycle events to the two
+// callback streams executors expose: the raw OnEvent feed, and the
+// shared per-task OnProgress stream fed from result events. Wall time
+// stays zero in the latter: it is spent in the worker, not here.
+func coordinatorProgress(opt ExecOptions, onEvent func(shard.Progress)) func(shard.Progress) {
+	if onEvent == nil && opt.OnProgress == nil {
+		return nil
 	}
-	return coord.Run(ctx, m.Label(), spec, labels)
+	return func(p shard.Progress) {
+		if onEvent != nil {
+			onEvent(p)
+		}
+		if opt.OnProgress != nil && p.Event == "result" {
+			opt.OnProgress(runner.Progress{Index: p.Index, Label: p.Label, Done: p.Done, Total: p.Total})
+		}
+	}
 }
 
 // RunAllSharded is RunAllParallel across worker processes: the four

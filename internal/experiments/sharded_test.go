@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -25,6 +26,22 @@ func TestMain(m *testing.M) {
 	if os.Getenv("REPRO_SHARD_WORKER") == "1" {
 		if err := ServeShardWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	// With REPRO_SHARD_DAEMON=1 the binary becomes a TCP worker daemon on
+	// an ephemeral port, announcing its address on stdout — the test-side
+	// twin of `experiments -serve`.
+	if os.Getenv("REPRO_SHARD_DAEMON") == "1" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard daemon:", err)
+			os.Exit(1)
+		}
+		fmt.Println(ln.Addr())
+		if err := ServeShardDaemon(context.Background(), ln, 0, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "shard daemon:", err)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -56,9 +73,9 @@ func manifestFromArts(label string, arts []RunArtifact) *records.RunManifest {
 }
 
 // normalizedJSON renders a manifest with the fields that legitimately
-// differ between execution strategies — wall-clock times and worker
-// accounting — zeroed, so equality is a byte comparison of everything
-// that must be deterministic.
+// differ between execution strategies — wall-clock times, worker
+// accounting and remote provenance — zeroed, so equality is a byte
+// comparison of everything that must be deterministic.
 func normalizedJSON(t *testing.T, m *records.RunManifest) []byte {
 	t.Helper()
 	c := *m
@@ -67,6 +84,8 @@ func normalizedJSON(t *testing.T, m *records.RunManifest) []byte {
 	c.Runs = append([]records.RunSummary(nil), m.Runs...)
 	for i := range c.Runs {
 		c.Runs[i].WallMS = 0
+		c.Runs[i].Host = ""
+		c.Runs[i].Attempt = 0
 	}
 	var buf bytes.Buffer
 	if err := c.WriteJSON(&buf); err != nil {

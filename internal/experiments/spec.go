@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -55,6 +56,14 @@ type Spec struct {
 	// PPO overrides the full PPO trainer configuration when set —
 	// mostly useful to shrink rollouts for smoke runs.
 	PPO *rl.PPOConfig `json:"ppo,omitempty"`
+	// Hosts lists worker daemon addresses (host:port) for hosts-level
+	// execution: the CLI's -hosts flag overrides it, otherwise a
+	// non-empty list makes the CLI run the spec on the Remote executor
+	// against these daemons. Library callers configure RemoteOptions
+	// directly; in-process and subprocess executors ignore it. Results
+	// are unaffected either way — hosts say where tasks run, never what
+	// they compute.
+	Hosts []string `json:"hosts,omitempty"`
 }
 
 // LoadSpec decodes and validates a Spec. Unknown fields and trailing
@@ -122,6 +131,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Replications > 0 && len(s.ReplicationSeeds) > 0 {
 		return fmt.Errorf("experiments: spec sets both replications and replication_seeds; pick one")
+	}
+	for _, h := range s.Hosts {
+		if _, _, err := net.SplitHostPort(h); err != nil {
+			return fmt.Errorf("experiments: spec host %q is not host:port: %w", h, err)
+		}
 	}
 	seen := make(map[string]bool)
 	for i, m := range s.runMatrices() {

@@ -3,6 +3,15 @@
 // activations, reverse-mode gradients, the Adam optimizer, and JSON model
 // persistence. It replaces the PyTorch stack underneath Stable-Baselines3
 // in the original implementation, using only the standard library.
+//
+// The compute core is batched and allocation-free: Mat.MulMatT /
+// Mat.MulMat / Mat.AddOuterBatch process whole minibatches while
+// preserving the per-sample accumulation order (batched results are
+// bit-identical to the single-vector path), and caller-owned Workspace
+// buffers let MLP.ForwardBatch / MLP.BackwardBatch run entire
+// minibatches with zero allocations in steady state. A Workspace
+// belongs to one goroutine; ForwardBatch never mutates MLP state, so
+// one model can serve concurrent forward passes.
 package nn
 
 import (

@@ -8,6 +8,12 @@
 // qubits to reserve on which devices — or that the job cannot be placed
 // yet and must wait. Partitioning and execution are shared by all modes
 // (Algorithm 1); only selection differs.
+//
+// Policies resolve by name through this package's registry (Register,
+// RegisterModel, New): the shipped heuristics self-register, rlbase
+// registers from internal/rlsched as a model-requiring policy, and any
+// registered name is a valid experiments task-matrix mode and
+// config-file policy without touching the harness.
 package policy
 
 import (

@@ -16,7 +16,9 @@ var update = flag.Bool("update", false, "rewrite golden fixtures")
 // goldenManifest is the fixture source: a merged sharded run mixing
 // heuristic rows (pointer fields absent), an rlbase row (pointer fields
 // present), explicit zero values behind pointers (the omitempty trap
-// the pointers exist to avoid), and a zero-valued sweep param.
+// the pointers exist to avoid), a zero-valued sweep param, and one row
+// with remote provenance (Host set, Attempt 0 rendered as the explicit
+// "0" — first try on that host, not unset).
 func goldenManifest() *RunManifest {
 	steps, zeroSteps := 100000, 0
 	seed, zeroSeed := int64(7), int64(0)
@@ -50,6 +52,7 @@ func goldenManifest() *RunManifest {
 				WorkloadSeed: 1, FleetSeed: 2025, Phi: 0.95, Lambda: 0,
 				Jobs: 1000, TsimS: 11800, FidelityMean: 0.69, FidelityStd: 0.03,
 				TcommS: 0, MeanDevicesPerJob: 2.2, MeanWaitS: 55, WallMS: 1300,
+				Host: "127.0.0.1:7070", Attempt: 0,
 			},
 		},
 	}

@@ -1,8 +1,29 @@
-// Package records implements the JobRecordsManager: it tracks job
-// lifecycle events (arrival, start, finish, fidelity — §3), and derives
-// the evaluation metrics reported in the paper's case study: total
+// Package records is the results layer of the reproduction, from
+// per-job bookkeeping up to cross-run comparison.
+//
+// At the bottom sits the JobRecordsManager: it tracks job lifecycle
+// events (arrival, start, finish, fidelity — §3) and derives the
+// evaluation metrics reported in the paper's case study: total
 // simulation time, fidelity mean and standard deviation, total
 // communication time, wait times, and throughput.
+//
+// Above it live the run artifacts the experiment harness trades in:
+//
+//   - RunManifest / RunSummary — one row per executed task (config
+//     echo, metrics, wall time, and — for hosts-level runs — which
+//     worker host produced the row on which attempt), with JSON and
+//     CSV writers (WriteJSON, WriteCSV, ReadManifestJSON).
+//   - MergeManifests — recombines per-shard manifests into global task
+//     order, failing loudly on missing or duplicated tasks, so a
+//     merged manifest is complete by construction.
+//   - DiffManifests / DiffManifestsOpt — the exact comparison gate:
+//     task-by-task metric deltas with optional absolute/relative
+//     tolerances, NaN-equals-NaN semantics, wall times and provenance
+//     ignored.
+//   - AggregateManifests and the significance layer (DiffAggregated,
+//     AggregatedDiff) — fold replicated rows into mean/std/stderr/CI
+//     per base task and compare runs statistically (Welch's t) rather
+//     than exactly.
 package records
 
 import (

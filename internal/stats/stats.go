@@ -1,7 +1,10 @@
-// Package stats provides the descriptive statistics and plotting
-// substrate for the experiment harness: summaries, histograms (the
-// paper's Fig. 6 fidelity distributions), ASCII rendering for terminal
-// output, and CSV emission for external plotting.
+// Package stats provides the statistics and plotting substrate for the
+// experiment harness: summaries and quantiles, histograms (the paper's
+// Fig. 6 fidelity distributions), ASCII rendering for terminal output,
+// CSV emission for external plotting, and the inference layer behind
+// replication — AggregateSamples (mean, sample std, stderr, Student-t
+// 95% CI) and Welch / WelchSignificant, the two-sample t-test the
+// records significance gates build on.
 package stats
 
 import (
