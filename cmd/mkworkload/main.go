@@ -34,7 +34,8 @@ func run() error {
 		t2f          = flag.Float64("t2-factor", 0.25, "two-qubit gates per qubit-layer slot")
 		interarrival = flag.Float64("interarrival", 60, "mean inter-arrival time (s); 0 = all at t=0")
 		seed         = flag.Int64("seed", 1, "generator seed")
-		out          = flag.String("out", "", "output CSV path (default stdout)")
+		out          = flag.String("out", "", "output path (default stdout)")
+		format       = flag.String("format", "csv", "output format: csv|json|ndjson (ndjson is the qcloudsim -serve ingest format)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,17 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if err := job.WriteCSV(w, jobs); err != nil {
+	switch *format {
+	case "csv":
+		err = job.WriteCSV(w, jobs)
+	case "json":
+		err = job.WriteJSON(w, jobs)
+	case "ndjson":
+		err = job.WriteNDJSON(w, jobs)
+	default:
+		return fmt.Errorf("unknown -format %q (want csv|json|ndjson)", *format)
+	}
+	if err != nil {
 		return err
 	}
 	if *out != "" {

@@ -3,19 +3,31 @@
 // applies the chosen allocation policy, and prints the Table 2 metrics
 // plus per-device load shares.
 //
+// With -serve it instead runs as a long-lived broker service: jobs
+// arrive as line-delimited JSON (stdin, or TCP with -listen), enter the
+// live discrete-event core as they arrive, and lifecycle records stream
+// to stdout while rolling-window metrics stream to stderr. See
+// docs/operations.md, "Broker mode".
+//
 // Examples:
 //
 //	qcloudsim -policy speed -n 200
 //	qcloudsim -policy fidelity -jobs workload.csv
 //	qcloudsim -policy rlbase -rlmodel policy.json -n 100
+//	qcloudsim -serve -policy speed < jobs.ndjson
+//	qcloudsim -serve -listen 127.0.0.1:9066 -time-scale 100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -35,7 +47,7 @@ func main() {
 
 func run() error {
 	var (
-		configPath   = flag.String("config", "", "JSON simulation spec (Configurations Layer; overrides most flags)")
+		configPath   = flag.String("config", "", "JSON simulation spec (Configurations Layer; replaces the workload/model flags)")
 		polName      = flag.String("policy", "speed", "allocation policy: speed|fidelity|fair|rlbase|speed-proportional|fair-proportional")
 		jobsPath     = flag.String("jobs", "", "CSV or JSON workload file (default: synthetic)")
 		n            = flag.Int("n", 1000, "synthetic workload size")
@@ -53,8 +65,48 @@ func run() error {
 		driftMag     = flag.Float64("drift-magnitude", 0.2, "relative calibration drift per recalibration")
 		export       = flag.String("export", "", "write per-job records CSV to this path")
 		verbose      = flag.Bool("v", false, "print per-job records")
+
+		serve           = flag.Bool("serve", false, "run as a broker service ingesting line-delimited JSON jobs")
+		listen          = flag.String("listen", "", "broker TCP listen address host:port (default: read stdin)")
+		timeScale       = flag.Float64("time-scale", 0, "sim seconds per wall second (0 = logical time, deterministic)")
+		window          = flag.Int("window", 512, "rolling metrics window capacity (completions per tenant)")
+		metricsEvery    = flag.Float64("metrics-every", 0, "emit a metrics line every N sim seconds (0 = final only)")
+		checkpointPath  = flag.String("checkpoint", "", "broker checkpoint file")
+		checkpointEvery = flag.Float64("checkpoint-every", 0, "checkpoint every N sim seconds at quiescent points")
+		resume          = flag.Bool("resume", false, "restore broker state from -checkpoint before serving")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set, flag.Args(), *serve, *polName, *rlModel, *listen,
+		*timeScale, *window, *metricsEvery, *checkpointPath, *checkpointEvery, *resume); err != nil {
+		return err
+	}
+
+	cfg := core.Config{M: *mConst, K: *kConst, Phi: *phi, Lambda: *lambda, Backfill: *backfill}
+
+	if *serve {
+		pol, err := buildPolicy(*polName, *rlModel, *rlSeed)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runServe(ctx, serveOptions{
+			pol:             pol,
+			cfg:             cfg,
+			fleetSeed:       *fleetSeed,
+			listen:          *listen,
+			timeScale:       *timeScale,
+			window:          *window,
+			metricsEvery:    *metricsEvery,
+			checkpointPath:  *checkpointPath,
+			checkpointEvery: *checkpointEvery,
+			resume:          *resume,
+			export:          *export,
+		}, os.Stdin, os.Stdout, os.Stderr)
+	}
 
 	env := sim.NewEnvironment()
 
@@ -80,29 +132,9 @@ func run() error {
 		return err
 	}
 
-	var pol policy.Policy
-	switch *polName {
-	case "speed":
-		pol = policy.Speed{}
-	case "fidelity":
-		pol = policy.Fidelity{}
-	case "fair":
-		pol = policy.Fair{}
-	case "speed-proportional":
-		pol = policy.ProportionalSpeed{}
-	case "fair-proportional":
-		pol = policy.ProportionalFair{}
-	case "rlbase":
-		if *rlModel == "" {
-			return fmt.Errorf("-policy rlbase requires -rlmodel (train one with ppotrain)")
-		}
-		trained, err := rlsched.LoadPolicy(*rlModel)
-		if err != nil {
-			return err
-		}
-		pol = rlsched.NewRLPolicy(trained, *rlSeed)
-	default:
-		return fmt.Errorf("unknown policy %q", *polName)
+	pol, err := buildPolicy(*polName, *rlModel, *rlSeed)
+	if err != nil {
+		return err
 	}
 
 	jobs, err := loadJobs(*jobsPath, *n, *seed, *interarrival)
@@ -110,7 +142,6 @@ func run() error {
 		return err
 	}
 
-	cfg := core.Config{M: *mConst, K: *kConst, Phi: *phi, Lambda: *lambda, Backfill: *backfill}
 	simEnv, err := core.NewQCloudSimEnv(env, fleet, pol, cfg)
 	if err != nil {
 		return err
@@ -126,6 +157,125 @@ func run() error {
 		return err
 	}
 	return report(simEnv, res, *export, *verbose)
+}
+
+// serveFlags are meaningful only with -serve.
+var serveFlags = []string{"listen", "time-scale", "window", "metrics-every", "checkpoint", "checkpoint-every", "resume"}
+
+// validateFlags rejects inconsistent flag combinations up front, with
+// actionable messages, instead of silently ignoring a flag the user set
+// (the old behaviour for, e.g., -jobs alongside -n, or -rlmodel with a
+// heuristic policy).
+func validateFlags(set map[string]bool, args []string, serve bool, polName, rlModel, listen string,
+	timeScale float64, window int, metricsEvery float64, checkpointPath string, checkpointEvery float64, resume bool) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", args)
+	}
+	if serve {
+		for f := range set {
+			switch f {
+			case "config":
+				return fmt.Errorf("-config drives a batch run and conflicts with -serve")
+			case "jobs", "n", "seed", "interarrival":
+				return fmt.Errorf("-serve ingests jobs from the stream; -%s configures a batch workload and conflicts with it", f)
+			case "drift-interval", "drift-magnitude":
+				return fmt.Errorf("-serve does not support calibration drift; drop -%s", f)
+			case "v":
+				return fmt.Errorf("-v prints batch per-job records; the broker already streams records to stdout")
+			}
+		}
+		if listen != "" {
+			if _, _, err := net.SplitHostPort(listen); err != nil {
+				return fmt.Errorf("-listen address %q is not host:port: %v", listen, err)
+			}
+			if timeScale <= 0 {
+				return fmt.Errorf("-listen runs a real-time broker; pass -time-scale > 0 (sim seconds per wall second)")
+			}
+		}
+		if timeScale < 0 {
+			return fmt.Errorf("-time-scale must be >= 0, have %g", timeScale)
+		}
+		if window <= 0 {
+			return fmt.Errorf("-window must be > 0, have %d", window)
+		}
+		if metricsEvery < 0 {
+			return fmt.Errorf("-metrics-every must be >= 0, have %g", metricsEvery)
+		}
+		if set["checkpoint-every"] {
+			if checkpointPath == "" {
+				return fmt.Errorf("-checkpoint-every needs -checkpoint for the snapshot path")
+			}
+			if checkpointEvery <= 0 {
+				return fmt.Errorf("-checkpoint-every must be > 0, have %g", checkpointEvery)
+			}
+		}
+		if resume && checkpointPath == "" {
+			return fmt.Errorf("-resume needs -checkpoint for the snapshot to restore")
+		}
+	} else {
+		for _, f := range serveFlags {
+			if set[f] {
+				return fmt.Errorf("-%s is a broker service flag; pass -serve with it", f)
+			}
+		}
+		if set["config"] {
+			for f := range set {
+				switch f {
+				case "config", "export", "v":
+				default:
+					return fmt.Errorf("-config specifies the whole simulation; -%s conflicts with it", f)
+				}
+			}
+			return nil
+		}
+		if set["jobs"] {
+			for _, f := range []string{"n", "seed", "interarrival"} {
+				if set[f] {
+					return fmt.Errorf("-jobs replays a workload file; -%s configures the synthetic generator and conflicts with it", f)
+				}
+			}
+		}
+	}
+	if polName == "rlbase" {
+		if rlModel == "" {
+			return fmt.Errorf("-policy rlbase requires -rlmodel (train one with ppotrain)")
+		}
+	} else {
+		for _, f := range []string{"rlmodel", "rlseed"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -policy rlbase, not %q", f, polName)
+			}
+		}
+	}
+	return nil
+}
+
+// buildPolicy resolves the named allocation policy, loading the trained
+// model for rlbase.
+func buildPolicy(polName, rlModel string, rlSeed int64) (policy.Policy, error) {
+	switch polName {
+	case "speed":
+		return policy.Speed{}, nil
+	case "fidelity":
+		return policy.Fidelity{}, nil
+	case "fair":
+		return policy.Fair{}, nil
+	case "speed-proportional":
+		return policy.ProportionalSpeed{}, nil
+	case "fair-proportional":
+		return policy.ProportionalFair{}, nil
+	case "rlbase":
+		if rlModel == "" {
+			return nil, fmt.Errorf("-policy rlbase requires -rlmodel (train one with ppotrain)")
+		}
+		trained, err := rlsched.LoadPolicy(rlModel)
+		if err != nil {
+			return nil, err
+		}
+		return rlsched.NewRLPolicy(trained, rlSeed), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", polName)
+	}
 }
 
 // report prints the run summary and optionally exports per-job records.

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// mkSet simulates flag.Visit output for a set of explicitly-passed flags.
+func mkSet(names ...string) map[string]bool {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+func TestValidateFlagsCombinations(t *testing.T) {
+	type args struct {
+		set             map[string]bool
+		args            []string
+		serve           bool
+		polName         string
+		rlModel         string
+		listen          string
+		timeScale       float64
+		window          int
+		metricsEvery    float64
+		checkpointPath  string
+		checkpointEvery float64
+		resume          bool
+	}
+	ok := func(a args) args { // fill defaults
+		if a.polName == "" {
+			a.polName = "speed"
+		}
+		if a.window == 0 {
+			a.window = 512
+		}
+		return a
+	}
+	cases := []struct {
+		name    string
+		a       args
+		wantErr string // empty = accept
+	}{
+		{"defaults", ok(args{set: mkSet()}), ""},
+		{"positional args", ok(args{set: mkSet(), args: []string{"extra"}}), "positional"},
+		{"jobs alone", ok(args{set: mkSet("jobs")}), ""},
+		{"jobs with n", ok(args{set: mkSet("jobs", "n")}), "-jobs replays a workload file"},
+		{"jobs with seed", ok(args{set: mkSet("jobs", "seed")}), "-jobs replays a workload file"},
+		{"jobs with interarrival", ok(args{set: mkSet("jobs", "interarrival")}), "-jobs replays a workload file"},
+		{"jobs with policy", ok(args{set: mkSet("jobs", "policy")}), ""},
+		{"rlmodel without rlbase", ok(args{set: mkSet("rlmodel"), polName: "speed"}), "only applies to -policy rlbase"},
+		{"rlseed without rlbase", ok(args{set: mkSet("rlseed"), polName: "fidelity"}), "only applies to -policy rlbase"},
+		{"rlbase without rlmodel", ok(args{set: mkSet("policy"), polName: "rlbase"}), "requires -rlmodel"},
+		{"rlbase with rlmodel", ok(args{set: mkSet("policy", "rlmodel"), polName: "rlbase", rlModel: "m.json"}), ""},
+		{"config alone", ok(args{set: mkSet("config")}), ""},
+		{"config with export", ok(args{set: mkSet("config", "export")}), ""},
+		{"config with n", ok(args{set: mkSet("config", "n")}), "-config specifies the whole simulation"},
+		{"config with policy", ok(args{set: mkSet("config", "policy")}), "-config specifies the whole simulation"},
+		{"serve flag without serve", ok(args{set: mkSet("window")}), "pass -serve with it"},
+		{"checkpoint without serve", ok(args{set: mkSet("checkpoint"), checkpointPath: "x"}), "pass -serve with it"},
+		{"serve defaults", ok(args{set: mkSet("serve"), serve: true}), ""},
+		{"serve with jobs", ok(args{set: mkSet("serve", "jobs"), serve: true}), "configures a batch workload"},
+		{"serve with n", ok(args{set: mkSet("serve", "n"), serve: true}), "configures a batch workload"},
+		{"serve with config", ok(args{set: mkSet("serve", "config"), serve: true}), "conflicts with -serve"},
+		{"serve with drift", ok(args{set: mkSet("serve", "drift-interval"), serve: true}), "calibration drift"},
+		{"serve with v", ok(args{set: mkSet("serve", "v"), serve: true}), "streams records"},
+		{"serve bad listen", ok(args{set: mkSet("serve", "listen"), serve: true, listen: "9066"}), "not host:port"},
+		{"serve listen without scale", ok(args{set: mkSet("serve", "listen"), serve: true, listen: "127.0.0.1:9066"}), "-time-scale > 0"},
+		{"serve listen with scale", ok(args{set: mkSet("serve", "listen", "time-scale"), serve: true, listen: "127.0.0.1:9066", timeScale: 100}), ""},
+		{"serve negative scale", ok(args{set: mkSet("serve", "time-scale"), serve: true, timeScale: -1}), "-time-scale"},
+		{"serve zero window", args{set: mkSet("serve", "window"), serve: true, polName: "speed"}, "-window"},
+		{"serve checkpoint-every without path", ok(args{set: mkSet("serve", "checkpoint-every"), serve: true, checkpointEvery: 50}), "needs -checkpoint"},
+		{"serve resume without path", ok(args{set: mkSet("serve", "resume"), serve: true, resume: true}), "needs -checkpoint"},
+		{"serve checkpointing", ok(args{set: mkSet("serve", "checkpoint", "checkpoint-every"), serve: true, checkpointPath: "cp.json", checkpointEvery: 50}), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.a.set, c.a.args, c.a.serve, c.a.polName, c.a.rlModel, c.a.listen,
+				c.a.timeScale, c.a.window, c.a.metricsEvery, c.a.checkpointPath, c.a.checkpointEvery, c.a.resume)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func testJobs(t *testing.T, n int) []*job.QJob {
+	t.Helper()
+	cfg := job.DefaultSyntheticConfig()
+	cfg.N = n
+	cfg.Seed = 7
+	jobs, err := job.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// The deterministic serve loop must reproduce the batch runner's per-job
+// records byte for byte when fed the equivalent NDJSON stream.
+func TestServeLogicalMatchesBatch(t *testing.T) {
+	jobs := testJobs(t, 40)
+
+	// Batch reference records.
+	env := sim.NewEnvironment()
+	fleet, err := device.StandardFleet(env, 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEnv, err := core.NewQCloudSimEnv(env, fleet, policy.Speed{}, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEnv.SubmitWorkload(jobs)
+	if _, err := simEnv.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := simEnv.Records.WriteCSV(&batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Broker service over the same workload as an NDJSON stream.
+	var stream bytes.Buffer
+	if err := job.WriteNDJSON(&stream, jobs); err != nil {
+		t.Fatal(err)
+	}
+	export := filepath.Join(t.TempDir(), "serve.csv")
+	var recordsOut, metricsOut bytes.Buffer
+	err = runServe(context.Background(), serveOptions{
+		pol:          policy.Speed{},
+		cfg:          core.DefaultConfig(),
+		fleetSeed:    2025,
+		window:       64,
+		metricsEvery: 10000,
+		export:       export,
+	}, &stream, &recordsOut, &metricsOut)
+	if err != nil {
+		t.Fatalf("runServe: %v", err)
+	}
+	served, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), served) {
+		t.Fatalf("served records diverge from batch:\nbatch:\n%s\nserved:\n%s", batch.Bytes(), served)
+	}
+
+	// The lifecycle stream carries one arrival, start, and finish line
+	// per job, in valid JSON.
+	events := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(recordsOut.String()), "\n") {
+		var l lifecycleLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			t.Fatalf("bad lifecycle line %q: %v", line, err)
+		}
+		events[l.Event]++
+	}
+	for _, ev := range []string{"arrival", "start", "finish"} {
+		if events[ev] != 40 {
+			t.Fatalf("%s lines = %d, want 40", ev, events[ev])
+		}
+	}
+
+	// Metrics stream: every line parses, the final one reports the full
+	// count with positive rolling throughput.
+	mLines := strings.Split(strings.TrimSpace(metricsOut.String()), "\n")
+	var last metricsLine
+	for _, line := range mLines {
+		if !strings.HasPrefix(line, "{") {
+			continue // drain notice
+		}
+		if err := json.Unmarshal([]byte(line), &last); err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+	}
+	if last.Finished != 40 || last.Active != 0 || last.QueueDepth != 0 {
+		t.Fatalf("final metrics = %+v", last)
+	}
+	if last.Window.Count == 0 || last.Window.Throughput <= 0 {
+		t.Fatalf("final window = %+v", last.Window)
+	}
+}
+
+// A serve session interrupted at a checkpoint must continue in a new
+// process and finish the remaining stream.
+func TestServeCheckpointResume(t *testing.T) {
+	jobs := testJobs(t, 20)
+	dir := t.TempDir()
+	cpPath := filepath.Join(dir, "broker.ckpt")
+
+	var seg1 bytes.Buffer
+	if err := job.WriteNDJSON(&seg1, jobs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	var out1, errOut1 bytes.Buffer
+	opts := serveOptions{
+		pol:            policy.Speed{},
+		cfg:            core.DefaultConfig(),
+		fleetSeed:      2025,
+		window:         64,
+		checkpointPath: cpPath,
+	}
+	if err := runServe(context.Background(), opts, &seg1, &out1, &errOut1); err != nil {
+		t.Fatalf("segment 1: %v", err)
+	}
+	f, err := os.Open(cpPath)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	cp, err := core.DecodeCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Finished != 10 {
+		t.Fatalf("checkpoint finished = %d", cp.Finished)
+	}
+
+	var seg2 bytes.Buffer
+	if err := job.WriteNDJSON(&seg2, jobs[10:]); err != nil {
+		t.Fatal(err)
+	}
+	export := filepath.Join(dir, "seg2.csv")
+	opts.resume = true
+	opts.export = export
+	var out2, errOut2 bytes.Buffer
+	if err := runServe(context.Background(), opts, &seg2, &out2, &errOut2); err != nil {
+		t.Fatalf("segment 2: %v", err)
+	}
+	if !strings.Contains(errOut2.String(), "20 jobs finished") {
+		t.Fatalf("resumed session should report lifetime total, stderr:\n%s", errOut2.String())
+	}
+	data, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(strings.TrimSpace(string(data)), "\n"); rows != 10 {
+		t.Fatalf("segment-2 export has %d data rows, want 10", rows)
+	}
+}
+
+// The TCP front end must admit jobs from a live connection and drain
+// them on shutdown.
+func TestServeTCP(t *testing.T) {
+	jobs := testJobs(t, 3)
+	addrCh := make(chan net.Addr, 1)
+	export := filepath.Join(t.TempDir(), "tcp.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out, errOut bytes.Buffer
+		done <- runServe(ctx, serveOptions{
+			pol:       policy.Speed{},
+			cfg:       core.DefaultConfig(),
+			fleetSeed: 2025,
+			listen:    "127.0.0.1:0",
+			timeScale: 1000,
+			window:    16,
+			export:    export,
+			onListen:  func(a net.Addr) { addrCh <- a },
+		}, strings.NewReader(""), &out, &errOut)
+	}()
+	addr := <-addrCh
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if err := job.WriteNDJSON(&stream, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(stream.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Give the accept goroutine time to deliver, then request shutdown;
+	// the drain completes the admitted jobs regardless of wall time.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("runServe: %v", err)
+	}
+	data, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(strings.TrimSpace(string(data)), "\n"); rows != 3 {
+		t.Fatalf("TCP export has %d data rows, want 3:\n%s", rows, data)
+	}
+}

@@ -1,0 +1,411 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/records"
+	"repro/internal/sim"
+)
+
+// serveOptions carries the broker service-mode configuration.
+type serveOptions struct {
+	pol       policy.Policy
+	cfg       core.Config
+	fleetSeed int64
+
+	// listen is a TCP host:port; empty means read the job stream from
+	// stdin (the reader passed to runServe).
+	listen string
+	// timeScale maps wall time to simulated time (sim seconds per wall
+	// second). 0 runs in logical time: the clock jumps to each job's
+	// arrival_time, giving bit-reproducible transcripts.
+	timeScale float64
+	// window is the rolling-metrics window capacity per tenant.
+	window int
+	// metricsEvery emits a metrics line every that many simulated
+	// seconds; 0 emits only the final summary line.
+	metricsEvery float64
+
+	checkpointPath  string
+	checkpointEvery float64
+	resume          bool
+
+	// export writes the full per-job records CSV at shutdown.
+	export string
+
+	// onListen, if set, receives the bound TCP address (tests bind :0).
+	onListen func(net.Addr)
+}
+
+// finishEmitter streams job lifecycle events as JSON lines.
+type finishEmitter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+func newFinishEmitter(w io.Writer) *finishEmitter {
+	bw := bufio.NewWriter(w)
+	return &finishEmitter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+type lifecycleLine struct {
+	Event    string   `json:"event"`
+	JobID    string   `json:"job_id"`
+	T        float64  `json:"t"`
+	Fidelity *float64 `json:"fidelity,omitempty"`
+	CommTime *float64 `json:"comm_time,omitempty"`
+	Devices  []string `json:"devices,omitempty"`
+}
+
+func (e *finishEmitter) emit(l lifecycleLine) {
+	if err := e.enc.Encode(l); err == nil {
+		e.w.Flush()
+	}
+}
+
+// Arrival implements core.StreamRecorder.
+func (e *finishEmitter) Arrival(jobID string, t float64) {
+	e.emit(lifecycleLine{Event: "arrival", JobID: jobID, T: t})
+}
+
+// Start implements core.StreamRecorder.
+func (e *finishEmitter) Start(jobID string, t float64) {
+	e.emit(lifecycleLine{Event: "start", JobID: jobID, T: t})
+}
+
+// Finish implements core.StreamRecorder.
+func (e *finishEmitter) Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string) {
+	e.emit(lifecycleLine{
+		Event: "finish", JobID: jobID, T: finish,
+		Fidelity: &fidelity, CommTime: &commTime, Devices: deviceNames,
+	})
+}
+
+// metricsLine is one rolling-metrics JSONL sample on the metrics stream.
+type metricsLine struct {
+	SimNow     float64                          `json:"sim_now"`
+	WallS      *float64                         `json:"wall_s,omitempty"`
+	Admitted   int                              `json:"admitted"`
+	Finished   int                              `json:"finished"`
+	Active     int                              `json:"active"`
+	QueueDepth int                              `json:"queue_depth"`
+	Window     metrics.WindowSummary            `json:"window"`
+	Tenants    map[string]metrics.WindowSummary `json:"tenants,omitempty"`
+}
+
+// server couples a broker with its output streams and periodic duties.
+type server struct {
+	opts serveOptions
+	b    *core.Broker
+	env  *sim.Environment
+	rec  *records.Manager
+
+	metricsOut *bufio.Writer
+	wallStart  time.Time // zero in logical mode
+	draining   bool
+}
+
+// emitMetrics writes one metrics sample at the current simulated time.
+func (s *server) emitMetrics() {
+	now := s.env.Now()
+	tw := s.b.Windows()
+	line := metricsLine{
+		SimNow:     now,
+		Admitted:   s.b.Admitted(),
+		Finished:   s.b.Finished(),
+		Active:     s.b.Active(),
+		QueueDepth: s.b.QueueDepth(),
+		Window:     tw.Global().Summary(now),
+	}
+	if !s.wallStart.IsZero() {
+		w := time.Since(s.wallStart).Seconds()
+		line.WallS = &w
+	}
+	if names := tw.Tenants(); len(names) > 0 {
+		line.Tenants = make(map[string]metrics.WindowSummary, len(names))
+		for _, name := range names {
+			line.Tenants[name] = tw.Tenant(name).Summary(now)
+		}
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.metricsOut.Write(data)
+	s.metricsOut.WriteByte('\n')
+	s.metricsOut.Flush()
+}
+
+// writeCheckpoint snapshots the broker if it is quiescent. Non-quiescent
+// ticks are skipped: the next quiescent tick (or the final drain) covers
+// them.
+func (s *server) writeCheckpoint() error {
+	if s.opts.checkpointPath == "" || !s.b.Quiescent() {
+		return nil
+	}
+	cp, err := s.b.Checkpoint()
+	if err != nil {
+		return err
+	}
+	tmp := s.opts.checkpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cp.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.opts.checkpointPath)
+}
+
+// scheduleTicks installs the self-rescheduling metrics and checkpoint
+// timers. They stop re-arming once draining begins so the event queue
+// can run dry.
+func (s *server) scheduleTicks() {
+	if every := s.opts.metricsEvery; every > 0 {
+		var tick func()
+		tick = func() {
+			s.emitMetrics()
+			if !s.draining {
+				s.env.AfterFunc(every, tick)
+			}
+		}
+		s.env.AfterFunc(every, tick)
+	}
+	if every := s.opts.checkpointEvery; every > 0 && s.opts.checkpointPath != "" {
+		var tick func()
+		tick = func() {
+			s.writeCheckpoint()
+			if !s.draining {
+				s.env.AfterFunc(every, tick)
+			}
+		}
+		s.env.AfterFunc(every, tick)
+	}
+}
+
+// shutdown drains admitted jobs, emits the final metrics sample, and
+// writes the export CSV and final checkpoint.
+func (s *server) shutdown(errOut io.Writer) error {
+	s.draining = true
+	end, err := s.b.Drain()
+	if err != nil {
+		return err
+	}
+	s.emitMetrics()
+	if err := s.writeCheckpoint(); err != nil {
+		return err
+	}
+	if s.opts.export != "" {
+		f, err := os.Create(s.opts.export)
+		if err != nil {
+			return err
+		}
+		if err := s.rec.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errOut, "qcloudsim: broker drained: %d jobs finished, sim time %.2f s\n",
+		s.b.Finished(), end)
+	return nil
+}
+
+// runServe runs the broker service: jobs arrive as line-delimited JSON
+// (stdin or TCP), are injected into the live event core, and lifecycle
+// records stream to out while rolling metrics stream to errOut.
+func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut io.Writer) error {
+	var env *sim.Environment
+	var cp *core.Checkpoint
+	if opts.resume {
+		f, err := os.Open(opts.checkpointPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		cp, err = core.DecodeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		env = sim.NewEnvironmentAt(cp.SimNow)
+	} else {
+		env = sim.NewEnvironment()
+	}
+	fleet, err := device.StandardFleet(env, opts.fleetSeed)
+	if err != nil {
+		return err
+	}
+	rec := records.NewManager()
+	recorder := core.MultiRecorder{core.ManagerRecorder{M: rec}, newFinishEmitter(out)}
+	b, err := core.NewBroker(env, fleet, opts.pol, opts.cfg, recorder, opts.window)
+	if err != nil {
+		return err
+	}
+	if cp != nil {
+		if err := b.Restore(cp); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	s := &server{opts: opts, b: b, env: env, rec: rec, metricsOut: bufio.NewWriter(errOut)}
+	s.scheduleTicks()
+
+	if opts.listen != "" {
+		return s.serveTCP(ctx, errOut)
+	}
+	if opts.timeScale > 0 {
+		s.wallStart = time.Now()
+		jobs := make(chan *job.QJob, 64)
+		decodeErr := make(chan error, 1)
+		go func() {
+			defer close(jobs)
+			decodeErr <- decodeInto(ctx, in, jobs)
+		}()
+		if err := s.runRealTime(ctx, jobs); err != nil {
+			return err
+		}
+		select {
+		case err := <-decodeErr:
+			if err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			// The decoder may be blocked on a stdin read; abandon it and
+			// drain what was admitted.
+		}
+		return s.shutdown(errOut)
+	}
+	return s.runLogical(ctx, in, errOut)
+}
+
+// runLogical is the deterministic scaled-time loop: the clock jumps to
+// each job's nominal arrival_time, so a fixed stream yields a
+// bit-reproducible transcript — and per-job records byte-identical to a
+// batch run over the same workload.
+func (s *server) runLogical(ctx context.Context, in io.Reader, errOut io.Writer) error {
+	dec := job.NewStreamDecoder(in)
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		j, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if j.ArrivalTime > s.env.Now() {
+			s.env.AdvanceTo(j.ArrivalTime)
+		}
+		s.b.Admit(j)
+	}
+	return s.shutdown(errOut)
+}
+
+// decodeInto feeds decoded jobs to ch until EOF, a decode error, or
+// cancellation.
+func decodeInto(ctx context.Context, in io.Reader, ch chan<- *job.QJob) error {
+	dec := job.NewStreamDecoder(in)
+	for {
+		j, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// runRealTime advances the simulation clock in proportion to wall time
+// (timeScale sim seconds per wall second), admitting jobs as the stream
+// delivers them. Nominal arrival_time fields are ignored: arrival is
+// when the job reaches the broker. Returns once the stream closes or the
+// context is cancelled; the caller drains.
+func (s *server) runRealTime(ctx context.Context, jobs <-chan *job.QJob) error {
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	advance := func() {
+		if target := time.Since(s.wallStart).Seconds() * s.opts.timeScale; target > s.env.Now() {
+			s.env.AdvanceTo(target)
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case j, ok := <-jobs:
+			if !ok {
+				advance()
+				return nil
+			}
+			advance()
+			s.b.Admit(j)
+		case <-ticker.C:
+			advance()
+		}
+	}
+}
+
+// serveTCP accepts line-delimited JSON job streams over TCP, any number
+// of connections, all feeding the same live broker. Runs until the
+// context is cancelled (SIGINT/SIGTERM), then drains admitted jobs.
+func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
+	ln, err := net.Listen("tcp", s.opts.listen)
+	if err != nil {
+		return err
+	}
+	if s.opts.onListen != nil {
+		s.opts.onListen(ln.Addr())
+	}
+	fmt.Fprintf(errOut, "qcloudsim: broker listening on %s\n", ln.Addr())
+	s.wallStart = time.Now()
+	jobs := make(chan *job.QJob, 64)
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed on cancellation
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if err := decodeInto(ctx, c, jobs); err != nil {
+					fmt.Fprintf(errOut, "qcloudsim: %s: %v\n", c.RemoteAddr(), err)
+				}
+			}(conn)
+		}
+	}()
+	if err := s.runRealTime(ctx, jobs); err != nil {
+		return err
+	}
+	return s.shutdown(errOut)
+}

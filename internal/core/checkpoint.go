@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/job"
+)
+
+// CheckpointVersion is the current checkpoint schema version.
+const CheckpointVersion = 1
+
+// PolicyCheckpointer is implemented by policies with internal state that
+// must survive a broker checkpoint/resume cycle (e.g. the RL policy's
+// sampling RNG position). Stateless policies need not implement it.
+type PolicyCheckpointer interface {
+	// CheckpointState serializes the policy's resumable state.
+	CheckpointState() ([]byte, error)
+	// RestoreState reinstates state produced by CheckpointState.
+	RestoreState(data []byte) error
+}
+
+// DeviceCheckpoint is one device's resumable bookkeeping: the
+// utilization integral that feeds utilization-aware policies, and the
+// sub-job counter.
+type DeviceCheckpoint struct {
+	Name     string  `json:"name"`
+	BusyTime float64 `json:"busy_time"`
+	LastT    float64 `json:"last_t"`
+	JobsRun  int     `json:"jobs_run"`
+}
+
+// CheckpointPending is one admitted-but-unplaced job awaiting dispatch.
+type CheckpointPending struct {
+	Arrival float64  `json:"arrival"`
+	Job     job.QJob `json:"job"`
+}
+
+// Checkpoint is a broker snapshot taken at a quiescent point (no job
+// executing). A fresh broker constructed over an idle fleet at
+// NewEnvironmentAt(SimNow) and restored from it continues the stream
+// exactly where the checkpointed one stopped.
+type Checkpoint struct {
+	Version     int                 `json:"version"`
+	SimNow      float64             `json:"sim_now"`
+	Policy      string              `json:"policy"`
+	Admitted    int                 `json:"jobs_admitted"`
+	Finished    int                 `json:"jobs_finished"`
+	Pending     []CheckpointPending `json:"pending,omitempty"`
+	Devices     []DeviceCheckpoint  `json:"devices"`
+	PolicyState json.RawMessage     `json:"policy_state,omitempty"`
+}
+
+// Checkpoint snapshots the broker. It fails unless no job is executing:
+// in-flight reservations cannot be serialized, so the serve loop
+// checkpoints only at quiescent points (Active() == 0).
+func (b *Broker) Checkpoint() (*Checkpoint, error) {
+	if b.active > 0 {
+		return nil, fmt.Errorf("core: checkpoint requires an idle broker, %d jobs active", b.active)
+	}
+	cp := &Checkpoint{
+		Version:  CheckpointVersion,
+		SimNow:   b.env.Now(),
+		Policy:   b.pol.Name(),
+		Admitted: b.admitted,
+		Finished: b.finished,
+	}
+	for _, pj := range b.pending {
+		cp.Pending = append(cp.Pending, CheckpointPending{Arrival: pj.arrival, Job: *pj.j})
+	}
+	for _, d := range b.devices {
+		busy, last, runs := d.UtilizationState()
+		cp.Devices = append(cp.Devices, DeviceCheckpoint{
+			Name: d.Name(), BusyTime: busy, LastT: last, JobsRun: runs,
+		})
+	}
+	if pc, ok := b.pol.(PolicyCheckpointer); ok {
+		state, err := pc.CheckpointState()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpointing policy %q: %w", b.pol.Name(), err)
+		}
+		cp.PolicyState = state
+	}
+	return cp, nil
+}
+
+// Restore reinstates a checkpoint into a freshly constructed broker. The
+// broker's environment must have been created with
+// NewEnvironmentAt(cp.SimNow) and its fleet must be idle and match the
+// checkpointed device names. Pending jobs are re-admitted (re-logging
+// their original arrival times with the new recorder) and dispatch
+// resumes immediately.
+func (b *Broker) Restore(cp *Checkpoint) error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if b.admitted != 0 || b.finished != 0 || b.active != 0 || len(b.pending) != 0 {
+		return fmt.Errorf("core: restore requires a fresh broker")
+	}
+	if now := b.env.Now(); now != cp.SimNow {
+		return fmt.Errorf("core: environment clock %g, checkpoint taken at %g (use sim.NewEnvironmentAt)", now, cp.SimNow)
+	}
+	if got := b.pol.Name(); got != cp.Policy {
+		return fmt.Errorf("core: checkpoint for policy %q, broker runs %q", cp.Policy, got)
+	}
+	if len(cp.Devices) != len(b.devices) {
+		return fmt.Errorf("core: checkpoint has %d devices, fleet has %d", len(cp.Devices), len(b.devices))
+	}
+	for i, dc := range cp.Devices {
+		d := b.devices[i]
+		if d.Name() != dc.Name {
+			return fmt.Errorf("core: device %d is %q, checkpoint expects %q", i, d.Name(), dc.Name)
+		}
+		if d.FreeQubits() != d.NumQubits() {
+			return fmt.Errorf("core: device %q not idle at restore", d.Name())
+		}
+	}
+	if cp.PolicyState != nil {
+		pc, ok := b.pol.(PolicyCheckpointer)
+		if !ok {
+			return fmt.Errorf("core: checkpoint carries state for policy %q but it cannot restore state", cp.Policy)
+		}
+		if err := pc.RestoreState(cp.PolicyState); err != nil {
+			return fmt.Errorf("core: restoring policy %q: %w", cp.Policy, err)
+		}
+	}
+	for i, dc := range cp.Devices {
+		b.devices[i].RestoreUtilizationState(dc.BusyTime, dc.LastT, dc.JobsRun)
+	}
+	b.admitted = cp.Admitted
+	b.finished = cp.Finished
+	for i := range cp.Pending {
+		p := &cp.Pending[i]
+		j := p.Job
+		b.rec.Arrival(j.ID, p.Arrival)
+		b.pending = append(b.pending, pendingJob{j: &j, arrival: p.Arrival})
+	}
+	b.dispatch()
+	return nil
+}
+
+// Encode writes the checkpoint as indented JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	return &cp, nil
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/records"
+	"repro/internal/sim"
+)
+
+// StreamRecorder receives job lifecycle notifications from a Broker.
+// records.Manager satisfies it through ManagerRecorder (full retention,
+// byte-identical CSV export); serve mode layers a streaming emitter on
+// top. Implementations used inside the allocation-gated steady state
+// must themselves be allocation-free.
+type StreamRecorder interface {
+	// Arrival is called when a job is admitted into the broker.
+	Arrival(jobID string, t float64)
+	// Start is called when a job's qubits are reserved and execution
+	// begins.
+	Start(jobID string, t float64)
+	// Finish is called on completion. deviceNames is owned by the
+	// broker and only valid for the duration of the call.
+	Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string)
+}
+
+// ManagerRecorder adapts a records.Manager to the StreamRecorder seam.
+// A broker recording through it produces per-job records byte-identical
+// to a batch QCloudSimEnv run over the same workload.
+type ManagerRecorder struct{ M *records.Manager }
+
+// Arrival implements StreamRecorder.
+func (r ManagerRecorder) Arrival(jobID string, t float64) { r.M.LogArrival(jobID, t) }
+
+// Start implements StreamRecorder.
+func (r ManagerRecorder) Start(jobID string, t float64) { r.M.LogStart(jobID, t) }
+
+// Finish implements StreamRecorder.
+func (r ManagerRecorder) Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string) {
+	r.M.LogFinish(jobID, finish, fidelity, commTime, deviceNames)
+}
+
+// MultiRecorder fans lifecycle notifications out to several recorders.
+type MultiRecorder []StreamRecorder
+
+// Arrival implements StreamRecorder.
+func (m MultiRecorder) Arrival(jobID string, t float64) {
+	for _, r := range m {
+		r.Arrival(jobID, t)
+	}
+}
+
+// Start implements StreamRecorder.
+func (m MultiRecorder) Start(jobID string, t float64) {
+	for _, r := range m {
+		r.Start(jobID, t)
+	}
+}
+
+// Finish implements StreamRecorder.
+func (m MultiRecorder) Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string) {
+	for _, r := range m {
+		r.Finish(jobID, finish, fidelity, commTime, deviceNames)
+	}
+}
+
+// pendingJob is one admitted-but-unplaced job plus its admission time
+// (which can differ from the job's nominal ArrivalTime when a stream
+// delivers late).
+type pendingJob struct {
+	j       *job.QJob
+	arrival float64
+}
+
+// Broker is the long-running service counterpart of QCloudSimEnv: jobs
+// are injected one at a time (Admit) as an external stream delivers
+// them, the discrete-event core advances in real or scaled time, and
+// completions feed rolling-window metrics. The job lifecycle is
+// callback-driven rather than goroutine-per-job, and every per-job
+// working set lives in a recycled run pool, so the steady-state
+// admit→schedule→complete cycle performs zero heap allocations (gated
+// by AllocsPerRun in tests and CI). Scheduling semantics — dispatch
+// order, FIFO/backfill, fidelity and timing arithmetic — replicate the
+// batch path exactly.
+type Broker struct {
+	env     *sim.Environment
+	devices []*device.Device
+	pol     policy.Policy
+	cfg     Config
+	rec     StreamRecorder
+	windows *metrics.TenantWindows
+
+	pending []pendingJob
+	runPool []*jobRun
+	states  []policy.DeviceState
+	seen    []bool
+
+	admitted, finished int
+	active             int
+}
+
+// jobRun is the recycled per-job working set: allocation copies, device
+// grants, name list, fidelity scratch, and the pre-bound timer
+// callbacks that drive the execute→communicate→complete chain.
+type jobRun struct {
+	br       *Broker
+	j        *job.QJob
+	arrival  float64
+	start    float64
+	commTime float64
+	allocs   []policy.Allocation
+	grants   []device.Allocation
+	devNames []string
+	fids     []float64
+	qubits   []int
+	procFn   func()
+	commFn   func()
+}
+
+// NewBroker assembles a streaming broker over the given fleet. The
+// recorder receives every lifecycle event; windowCap sizes the rolling
+// metrics windows (per tenant and global). Calibration drift is a
+// batch-run feature and is rejected here.
+func NewBroker(env *sim.Environment, fleet []*device.Device, pol policy.Policy, cfg Config, rec StreamRecorder, windowCap int) (*Broker, error) {
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("core: empty device fleet")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("core: nil recorder")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Drift.Enabled() {
+		return nil, fmt.Errorf("core: broker mode does not support calibration drift")
+	}
+	if windowCap <= 0 {
+		return nil, fmt.Errorf("core: window capacity %d", windowCap)
+	}
+	return &Broker{
+		env:     env,
+		devices: fleet,
+		pol:     pol,
+		cfg:     cfg,
+		rec:     rec,
+		windows: metrics.NewTenantWindows(windowCap),
+		states:  make([]policy.DeviceState, len(fleet)),
+		seen:    make([]bool, len(fleet)),
+	}, nil
+}
+
+// Env returns the simulation environment the broker advances.
+func (b *Broker) Env() *sim.Environment { return b.env }
+
+// Windows returns the rolling latency/throughput windows.
+func (b *Broker) Windows() *metrics.TenantWindows { return b.windows }
+
+// Policy returns the active allocation policy.
+func (b *Broker) Policy() policy.Policy { return b.pol }
+
+// QueueDepth returns the number of admitted jobs waiting for placement.
+func (b *Broker) QueueDepth() int { return len(b.pending) }
+
+// Active returns the number of jobs currently executing.
+func (b *Broker) Active() int { return b.active }
+
+// Admitted returns the total jobs admitted over the broker's lifetime
+// (including jobs admitted before a checkpoint it was restored from).
+func (b *Broker) Admitted() int { return b.admitted }
+
+// Finished returns the total completed jobs over the broker's lifetime.
+func (b *Broker) Finished() int { return b.finished }
+
+// Quiescent reports whether no job is executing or awaiting placement —
+// the state in which a checkpoint can be taken.
+func (b *Broker) Quiescent() bool { return b.active == 0 && len(b.pending) == 0 }
+
+// Admit injects one job into the broker at the current simulation time.
+// The caller (the serve loop) is responsible for advancing the clock to
+// the job's arrival time first; a job delivered late is admitted at the
+// current time. Admission order must follow the stream order.
+func (b *Broker) Admit(j *job.QJob) {
+	now := b.env.Now()
+	b.admitted++
+	b.rec.Arrival(j.ID, now)
+	b.pending = append(b.pending, pendingJob{j: j, arrival: now})
+	b.dispatch()
+}
+
+// statesInto snapshots the fleet into the broker's reusable buffer —
+// the allocation-free twin of QCloud.States.
+func (b *Broker) statesInto() []policy.DeviceState {
+	out := b.states[:len(b.devices)]
+	for i, d := range b.devices {
+		snap := d.Calibration()
+		out[i] = policy.DeviceState{
+			Index:       i,
+			Name:        d.Name(),
+			Free:        d.FreeQubits(),
+			Capacity:    d.NumQubits(),
+			ErrorScore:  d.ErrorScore(),
+			CLOPS:       d.CLOPS(),
+			Utilization: d.Utilization(),
+			Eps1Q:       snap.MeanSingleQubitError(),
+			Eps2Q:       snap.MeanTwoQubitError(),
+			EpsRO:       snap.MeanReadoutError(),
+		}
+	}
+	return out
+}
+
+// validate enforces the Policy contract without the allocation policy.
+// Validate performs (it builds a map per call); the broker's reusable
+// scratch keeps the hot path allocation-free.
+func (b *Broker) validate(j *job.QJob, states []policy.DeviceState, allocs []policy.Allocation) {
+	fail := func(msg string, args ...any) {
+		panic(fmt.Sprintf("core: policy %q produced invalid allocation: "+msg, append([]any{b.pol.Name()}, args...)...))
+	}
+	if len(allocs) == 0 {
+		fail("empty allocation for %s", j.ID)
+	}
+	seen := b.seen[:len(states)]
+	for i := range seen {
+		seen[i] = false
+	}
+	total := 0
+	for _, a := range allocs {
+		if a.DeviceIndex < 0 || a.DeviceIndex >= len(states) {
+			fail("device index %d out of range", a.DeviceIndex)
+		}
+		if seen[a.DeviceIndex] {
+			fail("device %d assigned twice", a.DeviceIndex)
+		}
+		seen[a.DeviceIndex] = true
+		if a.Qubits <= 0 {
+			fail("non-positive share %d on device %d", a.Qubits, a.DeviceIndex)
+		}
+		if a.Qubits > states[a.DeviceIndex].Free {
+			fail("share %d exceeds free %d on %s", a.Qubits, states[a.DeviceIndex].Free, states[a.DeviceIndex].Name)
+		}
+		total += a.Qubits
+	}
+	if total != j.NumQubits {
+		fail("shares sum to %d, job needs %d", total, j.NumQubits)
+	}
+}
+
+// dispatch places pending jobs until no further placement is possible,
+// replicating QCloud.dispatch: FIFO head-only by default, skip-ahead in
+// backfill mode.
+func (b *Broker) dispatch() {
+	for {
+		placedAny := false
+		for idx := 0; idx < len(b.pending); idx++ {
+			pj := b.pending[idx]
+			states := b.statesInto()
+			allocs := b.pol.Allocate(pj.j, states)
+			if allocs != nil {
+				b.validate(pj.j, states, allocs)
+				b.pending = append(b.pending[:idx], b.pending[idx+1:]...)
+				b.start(pj, allocs)
+				placedAny = true
+				break
+			}
+			if !b.cfg.Backfill {
+				break
+			}
+		}
+		if !placedAny {
+			return
+		}
+	}
+}
+
+// getRun pops a recycled run or builds a fresh one (pool warm-up only).
+func (b *Broker) getRun() *jobRun {
+	if n := len(b.runPool); n > 0 {
+		jr := b.runPool[n-1]
+		b.runPool[n-1] = nil
+		b.runPool = b.runPool[:n-1]
+		return jr
+	}
+	nd := len(b.devices)
+	jr := &jobRun{
+		br:       b,
+		allocs:   make([]policy.Allocation, 0, nd),
+		grants:   make([]device.Allocation, nd),
+		devNames: make([]string, 0, nd),
+		fids:     make([]float64, 0, nd),
+		qubits:   make([]int, 0, nd),
+	}
+	jr.procFn = jr.onProcessed
+	jr.commFn = jr.finish
+	return jr
+}
+
+// start reserves qubits and schedules the job's completion chain —
+// Algorithm 1 lines 6–14 in callback form. The parallel sub-jobs
+// complete at start + max τ_i; the chained communication timer then
+// reproduces the batch path's (start+maxProc)+comm float arithmetic
+// exactly, keeping finish times bit-identical.
+func (b *Broker) start(pj pendingJob, allocs []policy.Allocation) {
+	jr := b.getRun()
+	jr.j = pj.j
+	jr.arrival = pj.arrival
+	jr.start = b.env.Now()
+	jr.allocs = append(jr.allocs[:0], allocs...)
+	if cap(jr.grants) < len(allocs) {
+		jr.grants = make([]device.Allocation, len(allocs))
+	}
+	jr.grants = jr.grants[:len(allocs)]
+	jr.devNames = jr.devNames[:0]
+	maxProc := math.Inf(-1)
+	for i, a := range allocs {
+		d := b.devices[a.DeviceIndex]
+		if err := d.AllocateInto(a.Qubits, &jr.grants[i]); err != nil {
+			panic(fmt.Sprintf("core: reservation failed after validation: %v", err))
+		}
+		jr.devNames = append(jr.devNames, d.Name())
+		if pt := d.ProcessTime(b.cfg.M, b.cfg.K, pj.j.Shots); pt > maxProc {
+			maxProc = pt
+		}
+	}
+	b.rec.Start(pj.j.ID, jr.start)
+	b.active++
+	jr.commTime = metrics.CommunicationTime(pj.j.NumQubits, b.cfg.Lambda, len(allocs))
+	b.env.AfterFunc(maxProc, jr.procFn)
+}
+
+// onProcessed fires when the slowest partition finishes; blocking
+// classical communication across the k-1 links follows (Eq. 9).
+func (jr *jobRun) onProcessed() {
+	if jr.commTime > 0 {
+		jr.br.env.AfterFunc(jr.commTime, jr.commFn)
+		return
+	}
+	jr.finish()
+}
+
+// finish computes fidelity, releases the reservations, records the
+// completion, and re-dispatches — mirroring the tail of
+// QCloud.startJob.
+func (jr *jobRun) finish() {
+	b := jr.br
+	now := b.env.Now()
+	fidelity := jr.fidelity()
+	for i := range jr.grants {
+		if err := jr.grants[i].Device.ReleaseDirect(&jr.grants[i]); err != nil {
+			panic(fmt.Sprintf("core: release failed: %v", err))
+		}
+	}
+	b.rec.Finish(jr.j.ID, now, fidelity, jr.commTime, jr.devNames)
+	b.windows.Observe(jr.j.Tenant, metrics.WindowSample{
+		Finish:     now,
+		Wait:       jr.start - jr.arrival,
+		Turnaround: now - jr.arrival,
+	})
+	b.active--
+	b.finished++
+	jr.j = nil
+	b.runPool = append(b.runPool, jr)
+	b.dispatch()
+}
+
+// fidelity computes the job's final fidelity from per-partition
+// fidelities (Eqs. 4–8) using the run's scratch buffers — the
+// allocation-free twin of QCloud.jobFidelity.
+func (jr *jobRun) fidelity() float64 {
+	b := jr.br
+	j := jr.j
+	fids := jr.fids[:0]
+	qubits := jr.qubits[:0]
+	for _, a := range jr.allocs {
+		snap := b.devices[a.DeviceIndex].Calibration()
+		t2i := int(math.Round(float64(j.TwoQubitGates) * float64(a.Qubits) / float64(j.NumQubits)))
+		fids = append(fids, metrics.PartitionFidelity(
+			snap.MeanSingleQubitError(),
+			snap.MeanTwoQubitError(),
+			snap.MeanReadoutError(),
+			j.Depth, a.Qubits, t2i,
+		))
+		qubits = append(qubits, a.Qubits)
+	}
+	jr.fids, jr.qubits = fids, qubits
+	return metrics.FinalFidelity(fids, qubits, b.cfg.Phi)
+}
+
+// Drain runs the event core to exhaustion and returns the final
+// simulation time. It errors if admitted jobs remain unplaceable — the
+// service-mode analogue of QCloudSimEnv.Run's completeness check.
+func (b *Broker) Drain() (float64, error) {
+	end := b.env.Run()
+	if n := len(b.pending); n > 0 {
+		return end, fmt.Errorf("core: %d admitted jobs unplaceable under policy %q", n, b.pol.Name())
+	}
+	return end, nil
+}

@@ -157,6 +157,21 @@ func (d *Device) Utilization() float64 {
 	return integral / (now * d.container.Capacity())
 }
 
+// UtilizationState exposes the raw utilization integral (busy
+// qubit-seconds and its fold point) plus the sub-job counter, for broker
+// checkpoints. Restoring them on a fresh fleet makes utilization-aware
+// policies see the same time-averaged history after a resume.
+func (d *Device) UtilizationState() (busyTime, lastT float64, jobsRun int) {
+	return d.busyTime, d.lastT, d.jobsRun
+}
+
+// RestoreUtilizationState reinstates a checkpointed utilization integral.
+func (d *Device) RestoreUtilizationState(busyTime, lastT float64, jobsRun int) {
+	d.busyTime = busyTime
+	d.lastT = lastT
+	d.jobsRun = jobsRun
+}
+
 // accrue folds elapsed busy time into the utilization integral.
 func (d *Device) accrue() {
 	now := d.env.Now()
@@ -207,6 +222,65 @@ func (d *Device) Allocate(q int) (*Allocation, error) {
 	}
 	d.jobsRun++
 	return alloc, nil
+}
+
+// AllocateInto reserves q qubits immediately into a caller-owned
+// Allocation, which may be reused across reservations: the streaming
+// broker recycles grant structs so its steady-state admit→complete cycle
+// never allocates. Semantics match Allocate; strict-topology mode still
+// allocates for the physical-qubit assignment.
+func (d *Device) AllocateInto(q int, a *Allocation) error {
+	if q <= 0 {
+		return fmt.Errorf("device %s: allocate %d qubits", d.name, q)
+	}
+	if q > d.FreeQubits() {
+		return fmt.Errorf("device %s: allocate %d with only %d free", d.name, q, d.FreeQubits())
+	}
+	a.Device = d
+	a.Qubits = q
+	a.PhysicalQubits = nil
+	a.released = false
+	if d.strict {
+		sub := d.topo.ConnectedSubgraph(q, d.freeList())
+		if sub == nil {
+			return fmt.Errorf("device %s: no connected %d-qubit region free", d.name, q)
+		}
+		for _, v := range sub {
+			delete(d.freeSet, v)
+		}
+		a.PhysicalQubits = sub
+	}
+	d.accrue()
+	if !d.container.TryGet(float64(q)) {
+		// Impossible given the level check above; fail loudly.
+		panic(fmt.Sprintf("device %s: synchronous TryGet(%d) blocked", d.name, q))
+	}
+	d.jobsRun++
+	return nil
+}
+
+// ReleaseDirect returns an allocation's qubits synchronously without
+// creating a deposit event — the event-free counterpart of Release for
+// allocation-gated steady-state code. Blocked Get requests the deposit
+// unblocks are still served.
+func (d *Device) ReleaseDirect(a *Allocation) error {
+	if a.Device != d {
+		return fmt.Errorf("device %s: release of allocation from %s", d.name, a.Device.name)
+	}
+	if a.released {
+		return fmt.Errorf("device %s: double release", d.name)
+	}
+	a.released = true
+	d.accrue()
+	if !d.container.TryPut(float64(a.Qubits)) {
+		panic(fmt.Sprintf("device %s: synchronous TryPut(%d) blocked", d.name, a.Qubits))
+	}
+	if d.strict {
+		for _, v := range a.PhysicalQubits {
+			d.freeSet[v] = true
+		}
+	}
+	return nil
 }
 
 // Release returns an allocation's qubits to the device. Releasing twice

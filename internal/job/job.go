@@ -26,6 +26,9 @@ type QJob struct {
 	TwoQubitGates int
 	// ArrivalTime is when the job enters the cloud (simulation seconds).
 	ArrivalTime float64
+	// Tenant optionally labels the submitting tenant for per-tenant
+	// broker metrics. Empty means the default tenant.
+	Tenant string
 }
 
 // Validate checks the job's fields for physical plausibility.

@@ -110,6 +110,31 @@ type jobJSON struct {
 	Shots         int      `json:"num_shots"`
 	ArrivalTime   *float64 `json:"arrival_time,omitempty"`
 	TwoQubitGates *int     `json:"two_qubit_gates,omitempty"`
+	Tenant        string   `json:"tenant,omitempty"`
+}
+
+// toJob converts a decoded jobJSON to a validated QJob, applying the
+// loader defaults (arrival 0, t2 = round(0.25·q·d)).
+func (rj jobJSON) toJob() (*QJob, error) {
+	j := &QJob{
+		ID:        rj.ID,
+		NumQubits: rj.NumQubits,
+		Depth:     rj.Depth,
+		Shots:     rj.Shots,
+		Tenant:    rj.Tenant,
+	}
+	if rj.ArrivalTime != nil {
+		j.ArrivalTime = *rj.ArrivalTime
+	}
+	if rj.TwoQubitGates != nil {
+		j.TwoQubitGates = *rj.TwoQubitGates
+	} else {
+		j.TwoQubitGates = int(0.25*float64(j.NumQubits*j.Depth) + 0.5)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
 }
 
 // LoadJSON reads a deterministic workload from a JSON array. Jobs are
@@ -126,21 +151,8 @@ func LoadJSON(r io.Reader) ([]*QJob, error) {
 	}
 	var jobs []*QJob
 	for i, rj := range raw {
-		j := &QJob{
-			ID:        rj.ID,
-			NumQubits: rj.NumQubits,
-			Depth:     rj.Depth,
-			Shots:     rj.Shots,
-		}
-		if rj.ArrivalTime != nil {
-			j.ArrivalTime = *rj.ArrivalTime
-		}
-		if rj.TwoQubitGates != nil {
-			j.TwoQubitGates = *rj.TwoQubitGates
-		} else {
-			j.TwoQubitGates = int(0.25*float64(j.NumQubits*j.Depth) + 0.5)
-		}
-		if err := j.Validate(); err != nil {
+		j, err := rj.toJob()
+		if err != nil {
 			return nil, fmt.Errorf("job: JSON entry %d: %w", i, err)
 		}
 		jobs = append(jobs, j)

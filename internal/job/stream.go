@@ -1,0 +1,102 @@
+package job
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// StreamDecoder reads an open-ended workload as line-delimited JSON: one
+// jobJSON object per line, the broker ingest format. It reuses the batch
+// loader's schema and defaults, so a JSON-array workload converted to
+// NDJSON decodes to the identical jobs — the property the serve-smoke
+// byte-identity gate rests on. Blank lines are skipped.
+type StreamDecoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewStreamDecoder wraps r in a line-delimited JSON job decoder.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	sc := bufio.NewScanner(r)
+	// Job lines are small, but leave generous headroom over the 64 KiB
+	// scanner default for pathological inputs.
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &StreamDecoder{sc: sc}
+}
+
+// Line returns the 1-based line number of the last decoded job, for
+// error reporting by callers.
+func (d *StreamDecoder) Line() int { return d.line }
+
+// Next decodes the next job. It returns io.EOF once the stream ends.
+func (d *StreamDecoder) Next() (*QJob, error) {
+	for d.sc.Scan() {
+		d.line++
+		raw := bytes.TrimSpace(d.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rj jobJSON
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rj); err != nil {
+			return nil, fmt.Errorf("job: stream line %d: %w", d.line, err)
+		}
+		j, err := rj.toJob()
+		if err != nil {
+			return nil, fmt.Errorf("job: stream line %d: %w", d.line, err)
+		}
+		return j, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return nil, fmt.Errorf("job: reading stream: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// WriteNDJSON emits jobs in the stream decoder's line-delimited format.
+func WriteNDJSON(w io.Writer, jobs []*QJob) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, j := range jobs {
+		arr := j.ArrivalTime
+		t2 := j.TwoQubitGates
+		rj := jobJSON{
+			ID:            j.ID,
+			NumQubits:     j.NumQubits,
+			Depth:         j.Depth,
+			Shots:         j.Shots,
+			ArrivalTime:   &arr,
+			TwoQubitGates: &t2,
+			Tenant:        j.Tenant,
+		}
+		if err := enc.Encode(rj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON emits jobs as the batch loader's JSON-array format.
+func WriteJSON(w io.Writer, jobs []*QJob) error {
+	raw := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		arr := j.ArrivalTime
+		t2 := j.TwoQubitGates
+		raw[i] = jobJSON{
+			ID:            j.ID,
+			NumQubits:     j.NumQubits,
+			Depth:         j.Depth,
+			Shots:         j.Shots,
+			ArrivalTime:   &arr,
+			TwoQubitGates: &t2,
+			Tenant:        j.Tenant,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(raw)
+}

@@ -1,0 +1,103 @@
+package job
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamDecoderBasic(t *testing.T) {
+	in := strings.Join([]string{
+		`{"job_id":"a","num_qubits":140,"depth":10,"num_shots":20000,"arrival_time":5}`,
+		``, // blank lines are skipped
+		`{"job_id":"b","num_qubits":150,"depth":8,"num_shots":30000,"arrival_time":9.5,"tenant":"acme"}`,
+	}, "\n")
+	d := NewStreamDecoder(strings.NewReader(in))
+	a, err := d.Next()
+	if err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if a.ID != "a" || a.ArrivalTime != 5 || a.Tenant != "" {
+		t.Fatalf("job a = %+v", a)
+	}
+	// Defaulted t2: round(0.25*140*10).
+	if a.TwoQubitGates != 350 {
+		t.Fatalf("defaulted t2 = %d, want 350", a.TwoQubitGates)
+	}
+	b, err := d.Next()
+	if err != nil {
+		t.Fatalf("second Next: %v", err)
+	}
+	if b.ID != "b" || b.Tenant != "acme" {
+		t.Fatalf("job b = %+v", b)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamDecoderErrors(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"bad json", `{"job_id":`},
+		{"unknown field", `{"job_id":"a","num_qubits":140,"depth":10,"num_shots":1,"bogus":1}`},
+		{"invalid job", `{"job_id":"","num_qubits":140,"depth":10,"num_shots":1}`},
+		{"negative arrival", `{"job_id":"a","num_qubits":140,"depth":10,"num_shots":1,"arrival_time":-2}`},
+	}
+	for _, c := range cases {
+		d := NewStreamDecoder(strings.NewReader(c.line))
+		if _, err := d.Next(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error %q lacks line number", c.name, err)
+		}
+	}
+}
+
+// The NDJSON round trip must reproduce the batch loader's jobs exactly:
+// the serve-smoke gate feeds the same workload to the batch runner (JSON
+// array) and the broker (NDJSON) and expects identical records.
+func TestNDJSONRoundTripMatchesLoadJSON(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.N = 25
+	jobs, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs[3].Tenant = "acme"
+
+	var arrayBuf, ndBuf bytes.Buffer
+	if err := WriteJSON(&arrayBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&ndBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	fromArray, err := LoadJSON(&arrayBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewStreamDecoder(&ndBuf)
+	var fromStream []*QJob
+	for {
+		j, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromStream = append(fromStream, j)
+	}
+	if len(fromArray) != len(fromStream) {
+		t.Fatalf("array %d jobs vs stream %d", len(fromArray), len(fromStream))
+	}
+	for i := range fromArray {
+		if *fromArray[i] != *fromStream[i] {
+			t.Fatalf("job %d: %+v vs %+v", i, fromArray[i], fromStream[i])
+		}
+	}
+}

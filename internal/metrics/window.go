@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// WindowSample is one finished job's latency observation.
+type WindowSample struct {
+	// Finish is the simulated completion time.
+	Finish float64
+	// Wait is arrival→start latency.
+	Wait float64
+	// Turnaround is arrival→finish latency.
+	Turnaround float64
+}
+
+// Window is a fixed-capacity ring of the most recent finished-job
+// samples, powering the broker's online metrics: rolling throughput and
+// wait/turnaround percentiles over the last N completions. Observe and
+// Summary are allocation-free after construction, so the window sits
+// inside the broker's allocation-gated steady-state cycle.
+type Window struct {
+	buf     []WindowSample
+	head    int // next write position
+	count   int // valid samples, <= len(buf)
+	scratch []float64
+}
+
+// NewWindow creates a rolling window over the last capacity samples.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: window capacity %d", capacity))
+	}
+	return &Window{
+		buf:     make([]WindowSample, capacity),
+		scratch: make([]float64, 0, capacity),
+	}
+}
+
+// Observe records one finished job. Oldest samples fall out once the
+// window is full.
+func (w *Window) Observe(s WindowSample) {
+	w.buf[w.head] = s
+	w.head = (w.head + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.count }
+
+// Quantiles holds nearest-rank latency percentiles.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// WindowSummary is one rolling-window snapshot.
+type WindowSummary struct {
+	// Count is the number of samples in the window.
+	Count int `json:"count"`
+	// Throughput is finished jobs per simulated second over the span
+	// from the oldest windowed completion to now.
+	Throughput float64 `json:"throughput"`
+	// Wait and Turnaround are latency percentiles over the window.
+	Wait       Quantiles `json:"wait"`
+	Turnaround Quantiles `json:"turnaround"`
+}
+
+// oldestFinish returns the earliest completion time in the window.
+func (w *Window) oldestFinish() float64 {
+	i := w.head - w.count
+	if i < 0 {
+		i += len(w.buf)
+	}
+	return w.buf[i].Finish
+}
+
+// quantiles computes nearest-rank percentiles of the sorted scratch.
+func quantiles(sorted []float64) Quantiles {
+	pick := func(p float64) float64 {
+		n := len(sorted)
+		rank := int(p*float64(n) + 0.999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		return sorted[rank-1]
+	}
+	return Quantiles{P50: pick(0.50), P95: pick(0.95), P99: pick(0.99)}
+}
+
+// Summary snapshots the window at simulation time now. Allocation-free:
+// percentile sorting reuses an internal scratch buffer.
+func (w *Window) Summary(now float64) WindowSummary {
+	s := WindowSummary{Count: w.count}
+	if w.count == 0 {
+		return s
+	}
+	if span := now - w.oldestFinish(); span > 0 {
+		s.Throughput = float64(w.count) / span
+	}
+	sc := w.scratch[:0]
+	for i := 0; i < w.count; i++ {
+		sc = append(sc, w.sample(i).Wait)
+	}
+	slices.Sort(sc)
+	s.Wait = quantiles(sc)
+	sc = sc[:0]
+	for i := 0; i < w.count; i++ {
+		sc = append(sc, w.sample(i).Turnaround)
+	}
+	slices.Sort(sc)
+	s.Turnaround = quantiles(sc)
+	return s
+}
+
+// sample returns the i-th oldest sample in the window.
+func (w *Window) sample(i int) *WindowSample {
+	idx := w.head - w.count + i
+	if idx < 0 {
+		idx += len(w.buf)
+	}
+	return &w.buf[idx]
+}
+
+// DefaultTenant is the window key for jobs without a tenant label.
+const DefaultTenant = "default"
+
+// TenantWindows maintains one rolling window per tenant plus a global
+// one, giving the broker per-tenant latency percentiles. Observing an
+// already-seen tenant is allocation-free; the first job of a new tenant
+// pays a one-time window construction.
+type TenantWindows struct {
+	capacity int
+	global   *Window
+	tenants  map[string]*Window
+	names    []string
+}
+
+// NewTenantWindows creates per-tenant rolling windows of the given
+// per-window capacity.
+func NewTenantWindows(capacity int) *TenantWindows {
+	return &TenantWindows{
+		capacity: capacity,
+		global:   NewWindow(capacity),
+		tenants:  make(map[string]*Window),
+	}
+}
+
+// Observe records a finished job for tenant (empty means DefaultTenant).
+func (tw *TenantWindows) Observe(tenant string, s WindowSample) {
+	tw.global.Observe(s)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	w, ok := tw.tenants[tenant]
+	if !ok {
+		w = NewWindow(tw.capacity)
+		tw.tenants[tenant] = w
+		tw.names = append(tw.names, tenant)
+		sort.Strings(tw.names)
+	}
+	w.Observe(s)
+}
+
+// Global returns the all-tenants window.
+func (tw *TenantWindows) Global() *Window { return tw.global }
+
+// Tenants returns the seen tenant names, sorted for deterministic
+// iteration.
+func (tw *TenantWindows) Tenants() []string { return tw.names }
+
+// Tenant returns the window for one tenant, or nil if unseen.
+func (tw *TenantWindows) Tenant(name string) *Window { return tw.tenants[name] }

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestWindowFillAndEvict(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 {
+		t.Fatalf("empty window Len = %d", w.Len())
+	}
+	for i := 1; i <= 6; i++ {
+		w.Observe(WindowSample{Finish: float64(i), Wait: float64(i), Turnaround: float64(i)})
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", w.Len())
+	}
+	// Samples 3..6 remain; oldest finish is 3.
+	s := w.Summary(10)
+	if s.Count != 4 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	// Throughput: 4 jobs over span 10-3 = 7.
+	if want := 4.0 / 7.0; s.Throughput != want {
+		t.Fatalf("Throughput = %g, want %g", s.Throughput, want)
+	}
+}
+
+func TestWindowQuantilesNearestRank(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Observe(WindowSample{Finish: float64(i), Wait: float64(i), Turnaround: 2 * float64(i)})
+	}
+	s := w.Summary(100)
+	if s.Wait.P50 != 50 || s.Wait.P95 != 95 || s.Wait.P99 != 99 {
+		t.Fatalf("wait quantiles = %+v", s.Wait)
+	}
+	if s.Turnaround.P50 != 100 || s.Turnaround.P99 != 198 {
+		t.Fatalf("turnaround quantiles = %+v", s.Turnaround)
+	}
+}
+
+func TestWindowSingleSample(t *testing.T) {
+	w := NewWindow(8)
+	w.Observe(WindowSample{Finish: 5, Wait: 1, Turnaround: 2})
+	s := w.Summary(5)
+	// Span is zero (now == only finish): throughput undefined, reported 0.
+	if s.Throughput != 0 {
+		t.Fatalf("Throughput = %g, want 0", s.Throughput)
+	}
+	if s.Wait.P50 != 1 || s.Wait.P99 != 1 {
+		t.Fatalf("quantiles of single sample = %+v", s.Wait)
+	}
+}
+
+func TestWindowEmptySummary(t *testing.T) {
+	s := NewWindow(8).Summary(100)
+	if s.Count != 0 || s.Throughput != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestWindowObserveAndSummaryAllocFree(t *testing.T) {
+	w := NewWindow(256)
+	for i := 0; i < 256; i++ {
+		w.Observe(WindowSample{Finish: float64(i), Wait: 1, Turnaround: 2})
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		i++
+		w.Observe(WindowSample{Finish: float64(256 + i), Wait: 1, Turnaround: 2})
+		_ = w.Summary(float64(256 + i))
+	}); n != 0 {
+		t.Errorf("Observe+Summary allocates %g/op, want 0", n)
+	}
+}
+
+func TestTenantWindows(t *testing.T) {
+	tw := NewTenantWindows(16)
+	tw.Observe("beta", WindowSample{Finish: 1, Wait: 1, Turnaround: 1})
+	tw.Observe("alpha", WindowSample{Finish: 2, Wait: 2, Turnaround: 2})
+	tw.Observe("", WindowSample{Finish: 3, Wait: 3, Turnaround: 3})
+	names := tw.Tenants()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "beta" || names[2] != DefaultTenant {
+		t.Fatalf("Tenants = %v", names)
+	}
+	if tw.Global().Len() != 3 {
+		t.Fatalf("global Len = %d", tw.Global().Len())
+	}
+	if tw.Tenant("alpha").Len() != 1 {
+		t.Fatalf("alpha Len = %d", tw.Tenant("alpha").Len())
+	}
+	if tw.Tenant("unseen") != nil {
+		t.Fatal("unseen tenant should be nil")
+	}
+}
+
+func TestTenantWindowsSteadyStateAllocFree(t *testing.T) {
+	tw := NewTenantWindows(64)
+	tw.Observe("a", WindowSample{})
+	tw.Observe("", WindowSample{})
+	if n := testing.AllocsPerRun(1000, func() {
+		tw.Observe("a", WindowSample{Finish: 1, Wait: 1, Turnaround: 1})
+		tw.Observe("", WindowSample{Finish: 2, Wait: 2, Turnaround: 2})
+	}); n != 0 {
+		t.Errorf("seen-tenant Observe allocates %g/op, want 0", n)
+	}
+}

@@ -335,6 +335,12 @@ type RLPolicy struct {
 	Deterministic bool
 
 	rng *rand.Rand
+	// seed and sampled reconstruct the RNG position for broker
+	// checkpoints: SampleInto consumes exactly ActDim NormFloat64 draws
+	// per sampled decision regardless of the observation, so {seed,
+	// sampled} fully determines the stream position.
+	seed    int64
+	sampled int
 	// Per-decision scratch: the observation, action, clipped-weight and
 	// free-capacity buffers are preallocated so Allocate's inference
 	// and apportionment-input path never allocates (Apportion's own
@@ -350,6 +356,7 @@ type RLPolicy struct {
 func NewRLPolicy(trained *rl.GaussianPolicy, seed int64) *RLPolicy {
 	return &RLPolicy{
 		Trained: trained,
+		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 		obsBuf:  make([]float64, StateDim),
 		actBuf:  make([]float64, trained.ActDim()),
@@ -395,6 +402,7 @@ func (p *RLPolicy) Allocate(j *job.QJob, devices []policy.DeviceState) []policy.
 		// SampleInto consumes the identical RNG stream as Sample, so
 		// sampled deployments stay bit-identical to the allocating path.
 		p.Trained.SampleInto(p.rng, obs, action)
+		p.sampled++
 	}
 	if cap(p.freeBuf) < len(devices) {
 		p.freeBuf = make([]int, len(devices))
@@ -415,6 +423,39 @@ func (p *RLPolicy) Allocate(j *job.QJob, devices []policy.DeviceState) []policy.
 		}
 	}
 	return allocs
+}
+
+// rlCheckpoint is the serialized RNG position of a sampling deployment.
+type rlCheckpoint struct {
+	Seed    int64 `json:"seed"`
+	Sampled int   `json:"sampled"`
+}
+
+// CheckpointState implements the broker's PolicyCheckpointer: the
+// sampling RNG position is the policy's only resumable state (weights
+// are immutable at deployment and travel via the model file).
+func (p *RLPolicy) CheckpointState() ([]byte, error) {
+	return json.Marshal(rlCheckpoint{Seed: p.seed, Sampled: p.sampled})
+}
+
+// RestoreState reinstates a checkpointed RNG position by replaying the
+// recorded number of sampled decisions — valid because each sample
+// consumes exactly ActDim normal draws, independent of the observation.
+func (p *RLPolicy) RestoreState(data []byte) error {
+	var c rlCheckpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("rlsched: decoding policy checkpoint: %w", err)
+	}
+	if c.Sampled < 0 {
+		return fmt.Errorf("rlsched: negative sample count %d", c.Sampled)
+	}
+	p.seed = c.Seed
+	p.rng = rand.New(rand.NewSource(c.Seed))
+	for i := 0; i < c.Sampled*p.Trained.ActDim(); i++ {
+		p.rng.NormFloat64()
+	}
+	p.sampled = c.Sampled
+	return nil
 }
 
 // Train runs PPO on the QCloudGymEnv for the given number of timesteps

@@ -81,6 +81,38 @@ func (c *Container) Put(amount float64) *Event {
 	return ev
 }
 
+// TryGet withdraws amount units synchronously if the container can serve
+// the request right now — enough is available and no earlier Get is
+// queued (overtaking would break the FIFO starvation guarantee). It
+// reports whether the withdrawal happened. Unlike Get it creates no
+// event, so a steady-state caller allocates nothing.
+func (c *Container) TryGet(amount float64) bool {
+	if amount < 0 {
+		panic(fmt.Sprintf("sim: Container.TryGet negative amount %g", amount))
+	}
+	if len(c.getQ) > 0 || amount > c.level {
+		return false
+	}
+	c.level -= amount
+	return true
+}
+
+// TryPut deposits amount units synchronously if the deposit fits and no
+// earlier Put is queued, then serves any requests the new level unblocks.
+// It reports whether the deposit happened. Like TryGet it creates no
+// event for the deposit itself.
+func (c *Container) TryPut(amount float64) bool {
+	if amount < 0 {
+		panic(fmt.Sprintf("sim: Container.TryPut negative amount %g", amount))
+	}
+	if len(c.putQ) > 0 || c.level+amount > c.capacity {
+		return false
+	}
+	c.level += amount
+	c.drain()
+	return true
+}
+
 // drain serves queued puts and gets FIFO until the head of each queue can
 // no longer proceed. Puts are attempted first so that a release and a
 // waiting acquisition at the same timestamp pair up.

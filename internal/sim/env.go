@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -11,20 +10,31 @@ import (
 // before the requested end condition is met.
 var ErrEmptySchedule = errors.New("sim: event queue is empty")
 
-// queuedEvent is a heap entry: an event plus its ordering key.
+// ErrIdle is returned by StepWithin when the queue is non-empty but the
+// next event lies beyond the requested horizon: the simulation is not
+// done, it is waiting. A long-running broker distinguishes this from
+// ErrEmptySchedule — idle means "nothing due yet, more may be injected",
+// empty means "nothing scheduled at all".
+var ErrIdle = errors.New("sim: next event beyond horizon")
+
+// queuedEvent is a heap entry: an event (or a lightweight timer callback)
+// plus its ordering key. Exactly one of ev and fn is set.
 type queuedEvent struct {
 	time     float64
 	priority Priority
 	seq      uint64
 	ev       *Event
+	fn       func()
 }
 
-// eventHeap implements container/heap ordered by (time, priority, seq).
+// eventHeap is a binary min-heap ordered by (time, priority, seq). The
+// sift operations are implemented directly instead of via container/heap:
+// heap.Push/heap.Pop box every queuedEvent through an interface value,
+// which allocates on each call — unacceptable in the broker's allocation-
+// gated steady state.
 type eventHeap []queuedEvent
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
@@ -34,15 +44,50 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push inserts item, keeping the heap invariant. Allocation-free once
+// the backing array has grown to the queue's working size.
+func (h *eventHeap) push(item queuedEvent) {
+	q := append(*h, item)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
+// pop removes and returns the minimum entry. The vacated tail slot is
+// zeroed before truncating: the backing array outlives the pop, and a
+// stale slot would pin the processed *Event (with its callbacks and
+// payloads) until the heap next grows past it — a real memory leak in a
+// long-running broker that hovers around a steady queue length.
+func (h *eventHeap) pop() queuedEvent {
+	q := *h
+	n := len(q) - 1
+	item := q[0]
+	q[0] = q[n]
+	q[n] = queuedEvent{}
+	q = q[:n]
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	*h = q
 	return item
 }
 
@@ -78,20 +123,48 @@ func (env *Environment) Now() float64 { return env.now }
 // events. Useful for tests and diagnostics.
 func (env *Environment) QueueLen() int { return len(env.queue) }
 
-// schedule inserts a triggered event into the queue after delay time units.
-func (env *Environment) schedule(ev *Event, delay float64, prio Priority) {
+// ActiveProcs returns the number of live process goroutines. A drained
+// environment must report zero — anything else is a leaked process.
+func (env *Environment) ActiveProcs() int { return env.activeProcs }
+
+// checkDelay rejects the delays that would corrupt the event order.
+func (env *Environment) checkDelay(delay float64) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", delay))
 	}
 	if math.IsNaN(delay) {
 		panic("sim: NaN delay")
 	}
+}
+
+// schedule inserts a triggered event into the queue after delay time units.
+func (env *Environment) schedule(ev *Event, delay float64, prio Priority) {
+	env.checkDelay(delay)
 	env.seq++
-	heap.Push(&env.queue, queuedEvent{
+	env.queue.push(queuedEvent{
 		time:     env.now + delay,
 		priority: prio,
 		seq:      env.seq,
 		ev:       ev,
+	})
+}
+
+// AfterFunc schedules fn to run in scheduler context after delay time
+// units. It is the lightweight timer primitive for callback-driven
+// steady-state code: no Event is created, only a heap slot is used, so a
+// reused fn closure makes the call allocation-free. fn must not block; it
+// runs on the scheduler exactly like an event callback.
+func (env *Environment) AfterFunc(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: AfterFunc with nil fn")
+	}
+	env.checkDelay(delay)
+	env.seq++
+	env.queue.push(queuedEvent{
+		time:     env.now + delay,
+		priority: PriorityNormal,
+		seq:      env.seq,
+		fn:       fn,
 	})
 }
 
@@ -118,13 +191,50 @@ func (env *Environment) Step() error {
 	if len(env.queue) == 0 {
 		return ErrEmptySchedule
 	}
-	item := heap.Pop(&env.queue).(queuedEvent)
+	item := env.queue.pop()
 	if item.time < env.now {
 		panic(fmt.Sprintf("sim: time went backwards: %g < %g", item.time, env.now))
 	}
 	env.now = item.time
+	if item.fn != nil {
+		item.fn()
+		return nil
+	}
 	item.ev.process()
 	return nil
+}
+
+// StepWithin processes exactly one event if one is due at or before
+// horizon. It returns ErrEmptySchedule on an empty queue, or ErrIdle —
+// leaving the clock untouched — when the next event lies beyond the
+// horizon. Open-ended serve loops use it to advance as far as external
+// time allows without overrunning it.
+func (env *Environment) StepWithin(horizon float64) error {
+	if len(env.queue) == 0 {
+		return ErrEmptySchedule
+	}
+	if env.queue[0].time > horizon {
+		return ErrIdle
+	}
+	return env.Step()
+}
+
+// AdvanceTo processes every event due at or before t and then sets the
+// clock to exactly t, returning the number of events processed. Unlike
+// RunUntil it reports progress, making it the natural primitive for a
+// broker mapping external (wall or scaled) time onto the simulation.
+func (env *Environment) AdvanceTo(t float64) int {
+	if t < env.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%g) is in the past (now=%g)", t, env.now))
+	}
+	n := 0
+	for env.StepWithin(t) == nil {
+		n++
+	}
+	if env.now < t {
+		env.now = t
+	}
+	return n
 }
 
 // Run processes events until the queue is empty and returns the final
@@ -143,14 +253,7 @@ func (env *Environment) RunUntil(until float64) float64 {
 	if until < env.now {
 		panic(fmt.Sprintf("sim: RunUntil(%g) is in the past (now=%g)", until, env.now))
 	}
-	for len(env.queue) > 0 && env.queue[0].time <= until {
-		if err := env.Step(); err != nil {
-			break
-		}
-	}
-	if env.now < until {
-		env.now = until
-	}
+	env.AdvanceTo(until)
 	return env.now
 }
 
