@@ -66,20 +66,26 @@ func run() error {
 		export       = flag.String("export", "", "write per-job records CSV to this path")
 		verbose      = flag.Bool("v", false, "print per-job records")
 
-		serve           = flag.Bool("serve", false, "run as a broker service ingesting line-delimited JSON jobs")
-		listen          = flag.String("listen", "", "broker TCP listen address host:port (default: read stdin)")
-		timeScale       = flag.Float64("time-scale", 0, "sim seconds per wall second (0 = logical time, deterministic)")
-		window          = flag.Int("window", 512, "rolling metrics window capacity (completions per tenant)")
-		metricsEvery    = flag.Float64("metrics-every", 0, "emit a metrics line every N sim seconds (0 = final only)")
-		checkpointPath  = flag.String("checkpoint", "", "broker checkpoint file")
-		checkpointEvery = flag.Float64("checkpoint-every", 0, "checkpoint every N sim seconds at quiescent points")
-		resume          = flag.Bool("resume", false, "restore broker state from -checkpoint before serving")
+		serve            = flag.Bool("serve", false, "run as a broker service ingesting line-delimited JSON jobs")
+		listen           = flag.String("listen", "", "broker TCP listen address host:port (default: read stdin)")
+		httpAddr         = flag.String("http", "", "HTTP control-plane listen address host:port (submit/status/metrics API)")
+		admitPolicy      = flag.String("admit-policy", "", "admission control: reject|shed|quota (default: admit everything)")
+		admitMaxQueue    = flag.Int("admit-max-queue", 0, "queue-depth bound for -admit-policy reject|shed")
+		admitTenantQuota = flag.Int("admit-tenant-quota", 0, "per-tenant in-flight job bound for -admit-policy quota")
+		admitRetryAfter  = flag.Float64("admit-retry-after", 30, "Retry-After seconds advertised on refused submissions")
+		timeScale        = flag.Float64("time-scale", 0, "sim seconds per wall second (0 = logical time, deterministic)")
+		window           = flag.Int("window", 512, "rolling metrics window capacity (completions per tenant)")
+		metricsEvery     = flag.Float64("metrics-every", 0, "emit a metrics line every N sim seconds (0 = final only)")
+		checkpointPath   = flag.String("checkpoint", "", "broker checkpoint file")
+		checkpointEvery  = flag.Float64("checkpoint-every", 0, "checkpoint every N sim seconds at quiescent points")
+		resume           = flag.Bool("resume", false, "restore broker state from -checkpoint before serving")
 	)
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateFlags(set, flag.Args(), *serve, *polName, *rlModel, *listen,
+	if err := validateFlags(set, flag.Args(), *serve, *polName, *rlModel, *listen, *httpAddr,
+		*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter,
 		*timeScale, *window, *metricsEvery, *checkpointPath, *checkpointEvery, *resume); err != nil {
 		return err
 	}
@@ -98,6 +104,8 @@ func run() error {
 			cfg:             cfg,
 			fleetSeed:       *fleetSeed,
 			listen:          *listen,
+			httpAddr:        *httpAddr,
+			admit:           admissionConfig(*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter),
 			timeScale:       *timeScale,
 			window:          *window,
 			metricsEvery:    *metricsEvery,
@@ -160,13 +168,30 @@ func run() error {
 }
 
 // serveFlags are meaningful only with -serve.
-var serveFlags = []string{"listen", "time-scale", "window", "metrics-every", "checkpoint", "checkpoint-every", "resume"}
+var serveFlags = []string{"listen", "http", "admit-policy", "admit-max-queue", "admit-tenant-quota", "admit-retry-after",
+	"time-scale", "window", "metrics-every", "checkpoint", "checkpoint-every", "resume"}
+
+// admissionConfig maps the -admit-* flags onto the broker's admission
+// configuration. validateFlags has already rejected inconsistent
+// combinations.
+func admissionConfig(policyName string, maxQueue, tenantQuota int, retryAfter float64) core.AdmissionConfig {
+	switch policyName {
+	case "reject":
+		return core.AdmissionConfig{Policy: core.AdmitReject, MaxQueue: maxQueue, RetryAfterS: retryAfter}
+	case "shed":
+		return core.AdmissionConfig{Policy: core.AdmitShed, MaxQueue: maxQueue, RetryAfterS: retryAfter}
+	case "quota":
+		return core.AdmissionConfig{Policy: core.AdmitQuota, TenantQuota: tenantQuota, RetryAfterS: retryAfter}
+	}
+	return core.AdmissionConfig{}
+}
 
 // validateFlags rejects inconsistent flag combinations up front, with
 // actionable messages, instead of silently ignoring a flag the user set
 // (the old behaviour for, e.g., -jobs alongside -n, or -rlmodel with a
 // heuristic policy).
-func validateFlags(set map[string]bool, args []string, serve bool, polName, rlModel, listen string,
+func validateFlags(set map[string]bool, args []string, serve bool, polName, rlModel, listen, httpAddr string,
+	admitPolicy string, admitMaxQueue, admitTenantQuota int, admitRetryAfter float64,
 	timeScale float64, window int, metricsEvery float64, checkpointPath string, checkpointEvery float64, resume bool) error {
 	if len(args) > 0 {
 		return fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", args)
@@ -191,6 +216,38 @@ func validateFlags(set map[string]bool, args []string, serve bool, polName, rlMo
 			if timeScale <= 0 {
 				return fmt.Errorf("-listen runs a real-time broker; pass -time-scale > 0 (sim seconds per wall second)")
 			}
+		}
+		if httpAddr != "" {
+			if _, _, err := net.SplitHostPort(httpAddr); err != nil {
+				return fmt.Errorf("-http address %q is not host:port: %v", httpAddr, err)
+			}
+		}
+		switch admitPolicy {
+		case "":
+			for _, f := range []string{"admit-max-queue", "admit-tenant-quota", "admit-retry-after"} {
+				if set[f] {
+					return fmt.Errorf("-%s needs -admit-policy to pick an admission policy", f)
+				}
+			}
+		case "reject", "shed":
+			if admitMaxQueue <= 0 {
+				return fmt.Errorf("-admit-policy %s bounds the queue; pass -admit-max-queue > 0", admitPolicy)
+			}
+			if set["admit-tenant-quota"] {
+				return fmt.Errorf("-admit-tenant-quota only applies to -admit-policy quota, not %q", admitPolicy)
+			}
+		case "quota":
+			if admitTenantQuota <= 0 {
+				return fmt.Errorf("-admit-policy quota bounds per-tenant in-flight jobs; pass -admit-tenant-quota > 0")
+			}
+			if set["admit-max-queue"] {
+				return fmt.Errorf("-admit-max-queue only applies to -admit-policy reject|shed, not quota")
+			}
+		default:
+			return fmt.Errorf("unknown -admit-policy %q (reject|shed|quota)", admitPolicy)
+		}
+		if admitRetryAfter < 0 {
+			return fmt.Errorf("-admit-retry-after must be >= 0, have %g", admitRetryAfter)
 		}
 		if timeScale < 0 {
 			return fmt.Errorf("-time-scale must be >= 0, have %g", timeScale)

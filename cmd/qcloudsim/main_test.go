@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,18 +30,23 @@ func mkSet(names ...string) map[string]bool {
 
 func TestValidateFlagsCombinations(t *testing.T) {
 	type args struct {
-		set             map[string]bool
-		args            []string
-		serve           bool
-		polName         string
-		rlModel         string
-		listen          string
-		timeScale       float64
-		window          int
-		metricsEvery    float64
-		checkpointPath  string
-		checkpointEvery float64
-		resume          bool
+		set              map[string]bool
+		args             []string
+		serve            bool
+		polName          string
+		rlModel          string
+		listen           string
+		httpAddr         string
+		admitPolicy      string
+		admitMaxQueue    int
+		admitTenantQuota int
+		admitRetryAfter  float64
+		timeScale        float64
+		window           int
+		metricsEvery     float64
+		checkpointPath   string
+		checkpointEvery  float64
+		resume           bool
 	}
 	ok := func(a args) args { // fill defaults
 		if a.polName == "" {
@@ -87,10 +93,26 @@ func TestValidateFlagsCombinations(t *testing.T) {
 		{"serve checkpoint-every without path", ok(args{set: mkSet("serve", "checkpoint-every"), serve: true, checkpointEvery: 50}), "needs -checkpoint"},
 		{"serve resume without path", ok(args{set: mkSet("serve", "resume"), serve: true, resume: true}), "needs -checkpoint"},
 		{"serve checkpointing", ok(args{set: mkSet("serve", "checkpoint", "checkpoint-every"), serve: true, checkpointPath: "cp.json", checkpointEvery: 50}), ""},
+		{"http without serve", ok(args{set: mkSet("http"), httpAddr: "127.0.0.1:8080"}), "pass -serve with it"},
+		{"serve bad http addr", ok(args{set: mkSet("serve", "http"), serve: true, httpAddr: "8080"}), "not host:port"},
+		{"serve http logical", ok(args{set: mkSet("serve", "http"), serve: true, httpAddr: "127.0.0.1:0"}), ""},
+		{"serve http realtime", ok(args{set: mkSet("serve", "http", "time-scale"), serve: true, httpAddr: "127.0.0.1:0", timeScale: 100}), ""},
+		{"admit flag without policy", ok(args{set: mkSet("serve", "admit-max-queue"), serve: true, admitMaxQueue: 10}), "needs -admit-policy"},
+		{"admit retry-after without policy", ok(args{set: mkSet("serve", "admit-retry-after"), serve: true, admitRetryAfter: 5}), "needs -admit-policy"},
+		{"admit unknown policy", ok(args{set: mkSet("serve", "admit-policy"), serve: true, admitPolicy: "lru"}), "unknown -admit-policy"},
+		{"admit reject without bound", ok(args{set: mkSet("serve", "admit-policy"), serve: true, admitPolicy: "reject"}), "-admit-max-queue > 0"},
+		{"admit reject", ok(args{set: mkSet("serve", "admit-policy", "admit-max-queue"), serve: true, admitPolicy: "reject", admitMaxQueue: 10}), ""},
+		{"admit shed", ok(args{set: mkSet("serve", "admit-policy", "admit-max-queue"), serve: true, admitPolicy: "shed", admitMaxQueue: 10}), ""},
+		{"admit shed with tenant quota", ok(args{set: mkSet("serve", "admit-policy", "admit-max-queue", "admit-tenant-quota"), serve: true, admitPolicy: "shed", admitMaxQueue: 10, admitTenantQuota: 2}), "only applies to -admit-policy quota"},
+		{"admit quota without bound", ok(args{set: mkSet("serve", "admit-policy"), serve: true, admitPolicy: "quota"}), "-admit-tenant-quota > 0"},
+		{"admit quota", ok(args{set: mkSet("serve", "admit-policy", "admit-tenant-quota"), serve: true, admitPolicy: "quota", admitTenantQuota: 4}), ""},
+		{"admit quota with max queue", ok(args{set: mkSet("serve", "admit-policy", "admit-tenant-quota", "admit-max-queue"), serve: true, admitPolicy: "quota", admitTenantQuota: 4, admitMaxQueue: 10}), "only applies to -admit-policy reject|shed"},
+		{"admit negative retry-after", ok(args{set: mkSet("serve", "admit-policy", "admit-max-queue", "admit-retry-after"), serve: true, admitPolicy: "reject", admitMaxQueue: 10, admitRetryAfter: -1}), "-admit-retry-after"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.a.set, c.a.args, c.a.serve, c.a.polName, c.a.rlModel, c.a.listen,
+			err := validateFlags(c.a.set, c.a.args, c.a.serve, c.a.polName, c.a.rlModel, c.a.listen, c.a.httpAddr,
+				c.a.admitPolicy, c.a.admitMaxQueue, c.a.admitTenantQuota, c.a.admitRetryAfter,
 				c.a.timeScale, c.a.window, c.a.metricsEvery, c.a.checkpointPath, c.a.checkpointEvery, c.a.resume)
 			if c.wantErr == "" {
 				if err != nil {
@@ -312,5 +334,120 @@ func TestServeTCP(t *testing.T) {
 	}
 	if rows := strings.Count(strings.TrimSpace(string(data)), "\n"); rows != 3 {
 		t.Fatalf("TCP export has %d data rows, want 3:\n%s", rows, data)
+	}
+	// Every TCP-delivered job is stamped with connection provenance.
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n")[1:] {
+		if !strings.Contains(line, ",tcp,") {
+			t.Fatalf("TCP export row missing tcp ingest provenance: %q", line)
+		}
+	}
+}
+
+// stripProvenance drops the trailing source,remote,conn_id CSV columns,
+// leaving the simulation-outcome columns that must match batch exactly.
+func stripProvenance(t *testing.T, csv []byte) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(string(csv), "\n"), "\n")
+	for i, line := range lines {
+		cols := strings.Split(line, ",")
+		if len(cols) < 14 {
+			t.Fatalf("row %d has %d columns, want >= 14: %q", i, len(cols), line)
+		}
+		lines[i] = strings.Join(cols[:len(cols)-3], ",")
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// A workload delivered over the HTTP API in logical time must reproduce
+// the batch run byte-for-byte, modulo the appended ingest provenance
+// columns. This is the in-process version of CI's http-smoke gate.
+func TestServeHTTPLogicalMatchesBatch(t *testing.T) {
+	jobs := testJobs(t, 30)
+
+	// Batch reference records.
+	env := sim.NewEnvironment()
+	fleet, err := device.StandardFleet(env, 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEnv, err := core.NewQCloudSimEnv(env, fleet, policy.Speed{}, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEnv.SubmitWorkload(jobs)
+	if _, err := simEnv.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := simEnv.Records.WriteCSV(&batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve with the HTTP control plane on logical time, stdin empty.
+	addrCh := make(chan net.Addr, 1)
+	export := filepath.Join(t.TempDir(), "http.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out, errOut bytes.Buffer
+		done <- runServe(ctx, serveOptions{
+			pol:       policy.Speed{},
+			cfg:       core.DefaultConfig(),
+			fleetSeed: 2025,
+			httpAddr:  "127.0.0.1:0",
+			window:    64,
+			export:    export,
+			onHTTP:    func(a net.Addr) { addrCh <- a },
+		}, strings.NewReader(""), &out, &errOut)
+	}()
+	base := "http://" + (<-addrCh).String()
+
+	var stream bytes.Buffer
+	if err := job.WriteNDJSON(&stream, jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/x-ndjson", &stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d, want 202", resp.StatusCode)
+	}
+
+	// The service stays up until interrupted. In logical time the clock
+	// only advances on submissions, so trailing jobs complete during the
+	// shutdown drain; confirm the batch was admitted, then stop.
+	var st struct {
+		Admitted int `json:"admitted"`
+	}
+	resp, err = http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Admitted != len(jobs) {
+		t.Fatalf("admitted = %d, want %d", st.Admitted, len(jobs))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("runServe: %v", err)
+	}
+
+	served, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripProvenance(t, served) != stripProvenance(t, batch.Bytes()) {
+		t.Fatalf("HTTP-served records diverge from batch:\nbatch:\n%s\nserved:\n%s", batch.Bytes(), served)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(served)), "\n")[1:] {
+		if !strings.Contains(line, ",http,") {
+			t.Fatalf("HTTP export row missing http ingest provenance: %q", line)
+		}
 	}
 }

@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/job"
@@ -19,6 +22,11 @@ import (
 	"repro/internal/records"
 	"repro/internal/sim"
 )
+
+// serveJobRetention bounds the job index: how many terminal jobs stay
+// queryable via GET /v1/jobs/{id} after completion. Live jobs are
+// always indexed; only finished/dropped history is evicted FIFO.
+const serveJobRetention = 65536
 
 // serveOptions carries the broker service-mode configuration.
 type serveOptions struct {
@@ -29,6 +37,12 @@ type serveOptions struct {
 	// listen is a TCP host:port; empty means read the job stream from
 	// stdin (the reader passed to runServe).
 	listen string
+	// httpAddr is the HTTP control-plane host:port; empty disables it.
+	// The HTTP API serves concurrently with the stdin/TCP NDJSON paths
+	// against the same live simulation.
+	httpAddr string
+	// admit is the admission-control policy; zero admits everything.
+	admit core.AdmissionConfig
 	// timeScale maps wall time to simulated time (sim seconds per wall
 	// second). 0 runs in logical time: the clock jumps to each job's
 	// arrival_time, giving bit-reproducible transcripts.
@@ -43,11 +57,15 @@ type serveOptions struct {
 	checkpointEvery float64
 	resume          bool
 
-	// export writes the full per-job records CSV at shutdown.
+	// export writes the full per-job records CSV at shutdown. Only when
+	// set does the broker keep unbounded per-job history; without it
+	// service-mode memory stays flat indefinitely.
 	export string
 
 	// onListen, if set, receives the bound TCP address (tests bind :0).
 	onListen func(net.Addr)
+	// onHTTP, if set, receives the bound HTTP address (tests bind :0).
+	onHTTP func(net.Addr)
 }
 
 // finishEmitter streams job lifecycle events as JSON lines.
@@ -65,6 +83,7 @@ type lifecycleLine struct {
 	Event    string   `json:"event"`
 	JobID    string   `json:"job_id"`
 	T        float64  `json:"t"`
+	Reason   string   `json:"reason,omitempty"`
 	Fidelity *float64 `json:"fidelity,omitempty"`
 	CommTime *float64 `json:"comm_time,omitempty"`
 	Devices  []string `json:"devices,omitempty"`
@@ -77,8 +96,8 @@ func (e *finishEmitter) emit(l lifecycleLine) {
 }
 
 // Arrival implements core.StreamRecorder.
-func (e *finishEmitter) Arrival(jobID string, t float64) {
-	e.emit(lifecycleLine{Event: "arrival", JobID: jobID, T: t})
+func (e *finishEmitter) Arrival(j *job.QJob, t float64) {
+	e.emit(lifecycleLine{Event: "arrival", JobID: j.ID, T: t})
 }
 
 // Start implements core.StreamRecorder.
@@ -94,6 +113,12 @@ func (e *finishEmitter) Finish(jobID string, finish, fidelity, commTime float64,
 	})
 }
 
+// Drop implements core.StreamRecorder: an admission-control refusal or
+// shed, with the reason on the line.
+func (e *finishEmitter) Drop(j *job.QJob, t float64, reason string) {
+	e.emit(lifecycleLine{Event: "drop", JobID: j.ID, T: t, Reason: reason})
+}
+
 // metricsLine is one rolling-metrics JSONL sample on the metrics stream.
 type metricsLine struct {
 	SimNow     float64                          `json:"sim_now"`
@@ -102,6 +127,7 @@ type metricsLine struct {
 	Finished   int                              `json:"finished"`
 	Active     int                              `json:"active"`
 	QueueDepth int                              `json:"queue_depth"`
+	Admission  core.AdmissionStats              `json:"admission,omitzero"`
 	Window     metrics.WindowSummary            `json:"window"`
 	Tenants    map[string]metrics.WindowSummary `json:"tenants,omitempty"`
 }
@@ -111,11 +137,15 @@ type server struct {
 	opts serveOptions
 	b    *core.Broker
 	env  *sim.Environment
-	rec  *records.Manager
+	rec  *records.Manager // nil unless -export
+	gw   *api.Gateway
 
 	metricsOut *bufio.Writer
 	wallStart  time.Time // zero in logical mode
 	draining   bool
+	// stopHTTP closes the HTTP control plane; set when -http is active.
+	// shutdown calls it before draining so no handler races the drain.
+	stopHTTP func()
 }
 
 // emitMetrics writes one metrics sample at the current simulated time.
@@ -128,17 +158,13 @@ func (s *server) emitMetrics() {
 		Finished:   s.b.Finished(),
 		Active:     s.b.Active(),
 		QueueDepth: s.b.QueueDepth(),
+		Admission:  s.b.AdmissionCounters(),
 		Window:     tw.Global().Summary(now),
+		Tenants:    tw.Summaries(now),
 	}
 	if !s.wallStart.IsZero() {
 		w := time.Since(s.wallStart).Seconds()
 		line.WallS = &w
-	}
-	if names := tw.Tenants(); len(names) > 0 {
-		line.Tenants = make(map[string]metrics.WindowSummary, len(names))
-		for _, name := range names {
-			line.Tenants[name] = tw.Tenant(name).Summary(now)
-		}
 	}
 	data, err := json.Marshal(line)
 	if err != nil {
@@ -201,9 +227,13 @@ func (s *server) scheduleTicks() {
 	}
 }
 
-// shutdown drains admitted jobs, emits the final metrics sample, and
-// writes the export CSV and final checkpoint.
+// shutdown stops the HTTP control plane, drains admitted jobs, emits the
+// final metrics sample, and writes the export CSV and final checkpoint.
 func (s *server) shutdown(errOut io.Writer) error {
+	if s.stopHTTP != nil {
+		s.stopHTTP()
+		s.stopHTTP = nil
+	}
 	s.draining = true
 	end, err := s.b.Drain()
 	if err != nil {
@@ -231,9 +261,40 @@ func (s *server) shutdown(errOut io.Writer) error {
 	return nil
 }
 
+// startHTTP binds the HTTP control plane and serves it in the
+// background until shutdown.
+func (s *server) startHTTP(errOut io.Writer) error {
+	ln, err := net.Listen("tcp", s.opts.httpAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: api.NewServer(s.gw)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hs.Serve(ln)
+	}()
+	fmt.Fprintf(errOut, "qcloudsim: HTTP control plane on http://%s\n", ln.Addr())
+	if s.opts.onHTTP != nil {
+		s.opts.onHTTP(ln.Addr())
+	}
+	s.stopHTTP = func() {
+		// Let in-flight handlers finish (they only hold the gateway
+		// lock briefly), but don't wait forever on a stalled client.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if hs.Shutdown(ctx) != nil {
+			hs.Close()
+		}
+		<-done
+	}
+	return nil
+}
+
 // runServe runs the broker service: jobs arrive as line-delimited JSON
-// (stdin or TCP), are injected into the live event core, and lifecycle
-// records stream to out while rolling metrics stream to errOut.
+// (stdin or TCP) and/or over the HTTP API, are injected into the live
+// event core, and lifecycle records stream to out while rolling metrics
+// stream to errOut.
 func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut io.Writer) error {
 	var env *sim.Environment
 	var cp *core.Checkpoint
@@ -255,10 +316,25 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 	if err != nil {
 		return err
 	}
-	rec := records.NewManager()
-	recorder := core.MultiRecorder{core.ManagerRecorder{M: rec}, newFinishEmitter(out)}
+	idx, err := core.NewJobIndex(serveJobRetention)
+	if err != nil {
+		return err
+	}
+	// The Manager keeps every job's record for the -export CSV; without
+	// -export the bounded index is the only per-job state, keeping RSS
+	// flat under sustained load.
+	var rec *records.Manager
+	recorder := core.MultiRecorder{}
+	if opts.export != "" {
+		rec = records.NewManager()
+		recorder = append(recorder, core.ManagerRecorder{M: rec})
+	}
+	recorder = append(recorder, idx, newFinishEmitter(out))
 	b, err := core.NewBroker(env, fleet, opts.pol, opts.cfg, recorder, opts.window)
 	if err != nil {
+		return err
+	}
+	if err := b.SetAdmission(opts.admit); err != nil {
 		return err
 	}
 	if cp != nil {
@@ -266,8 +342,17 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 			return fmt.Errorf("resume: %w", err)
 		}
 	}
-	s := &server{opts: opts, b: b, env: env, rec: rec, metricsOut: bufio.NewWriter(errOut)}
+	gw, err := api.NewGateway(b, idx, opts.timeScale == 0)
+	if err != nil {
+		return err
+	}
+	s := &server{opts: opts, b: b, env: env, rec: rec, gw: gw, metricsOut: bufio.NewWriter(errOut)}
 	s.scheduleTicks()
+	if opts.httpAddr != "" {
+		if err := s.startHTTP(errOut); err != nil {
+			return err
+		}
+	}
 
 	if opts.listen != "" {
 		return s.serveTCP(ctx, errOut)
@@ -278,7 +363,7 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 		decodeErr := make(chan error, 1)
 		go func() {
 			defer close(jobs)
-			decodeErr <- decodeInto(ctx, in, jobs)
+			decodeErr <- decodeInto(ctx, job.NewStreamDecoder(in), jobs)
 		}()
 		if err := s.runRealTime(ctx, jobs); err != nil {
 			return err
@@ -300,7 +385,9 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 // runLogical is the deterministic scaled-time loop: the clock jumps to
 // each job's nominal arrival_time, so a fixed stream yields a
 // bit-reproducible transcript — and per-job records byte-identical to a
-// batch run over the same workload.
+// batch run over the same workload. HTTP submissions share the same
+// gateway, so an HTTP-delivered workload replays identically too; with
+// -http the service keeps serving after stdin EOF until interrupted.
 func (s *server) runLogical(ctx context.Context, in io.Reader, errOut io.Writer) error {
 	dec := job.NewStreamDecoder(in)
 	for {
@@ -314,18 +401,17 @@ func (s *server) runLogical(ctx context.Context, in io.Reader, errOut io.Writer)
 		if err != nil {
 			return err
 		}
-		if j.ArrivalTime > s.env.Now() {
-			s.env.AdvanceTo(j.ArrivalTime)
-		}
-		s.b.Admit(j)
+		s.gw.Submit(j)
+	}
+	if s.opts.httpAddr != "" {
+		<-ctx.Done()
 	}
 	return s.shutdown(errOut)
 }
 
 // decodeInto feeds decoded jobs to ch until EOF, a decode error, or
-// cancellation.
-func decodeInto(ctx context.Context, in io.Reader, ch chan<- *job.QJob) error {
-	dec := job.NewStreamDecoder(in)
+// cancellation. The caller configures the decoder's ingest provenance.
+func decodeInto(ctx context.Context, dec *job.StreamDecoder, ch chan<- *job.QJob) error {
 	for {
 		j, err := dec.Next()
 		if errors.Is(err, io.EOF) {
@@ -346,14 +432,14 @@ func decodeInto(ctx context.Context, in io.Reader, ch chan<- *job.QJob) error {
 // (timeScale sim seconds per wall second), admitting jobs as the stream
 // delivers them. Nominal arrival_time fields are ignored: arrival is
 // when the job reaches the broker. Returns once the stream closes or the
-// context is cancelled; the caller drains.
+// context is cancelled; the caller drains. With -http active, a closed
+// stream does not end the service — the clock keeps ticking for HTTP
+// traffic until cancellation.
 func (s *server) runRealTime(ctx context.Context, jobs <-chan *job.QJob) error {
 	ticker := time.NewTicker(20 * time.Millisecond)
 	defer ticker.Stop()
 	advance := func() {
-		if target := time.Since(s.wallStart).Seconds() * s.opts.timeScale; target > s.env.Now() {
-			s.env.AdvanceTo(target)
-		}
+		s.gw.AdvanceTo(time.Since(s.wallStart).Seconds() * s.opts.timeScale)
 	}
 	for {
 		select {
@@ -362,10 +448,14 @@ func (s *server) runRealTime(ctx context.Context, jobs <-chan *job.QJob) error {
 		case j, ok := <-jobs:
 			if !ok {
 				advance()
-				return nil
+				if s.opts.httpAddr == "" {
+					return nil
+				}
+				jobs = nil // keep ticking for HTTP submitters
+				continue
 			}
 			advance()
-			s.b.Admit(j)
+			s.gw.Submit(j)
 		case <-ticker.C:
 			advance()
 		}
@@ -373,8 +463,11 @@ func (s *server) runRealTime(ctx context.Context, jobs <-chan *job.QJob) error {
 }
 
 // serveTCP accepts line-delimited JSON job streams over TCP, any number
-// of connections, all feeding the same live broker. Runs until the
-// context is cancelled (SIGINT/SIGTERM), then drains admitted jobs.
+// of connections, all feeding the same live broker. Each connection's
+// jobs are stamped with tcp ingest provenance (remote address and a
+// server-side connection ID), so exports attribute every job to the
+// connection that delivered it. Runs until the context is cancelled
+// (SIGINT/SIGTERM), then drains admitted jobs.
 func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 	ln, err := net.Listen("tcp", s.opts.listen)
 	if err != nil {
@@ -386,6 +479,7 @@ func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 	fmt.Fprintf(errOut, "qcloudsim: broker listening on %s\n", ln.Addr())
 	s.wallStart = time.Now()
 	jobs := make(chan *job.QJob, 64)
+	var connSeq atomic.Int64
 	go func() {
 		<-ctx.Done()
 		ln.Close()
@@ -398,7 +492,9 @@ func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 			}
 			go func(c net.Conn) {
 				defer c.Close()
-				if err := decodeInto(ctx, c, jobs); err != nil {
+				dec := job.NewStreamDecoder(c)
+				dec.SetSource("tcp", c.RemoteAddr().String(), connSeq.Add(1))
+				if err := decodeInto(ctx, dec, jobs); err != nil {
 					fmt.Fprintf(errOut, "qcloudsim: %s: %v\n", c.RemoteAddr(), err)
 				}
 			}(conn)

@@ -1,0 +1,170 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/job"
+)
+
+// maxSubmitBody caps a single POST /v1/jobs body. At ~200 bytes per
+// NDJSON job line this admits batches of a few hundred thousand jobs.
+const maxSubmitBody = 64 << 20
+
+// Server is the broker's HTTP control plane. All simulation access goes
+// through the Gateway; the server itself only decodes requests and
+// encodes responses, so it can run with any number of concurrent
+// clients against the single-threaded core.
+//
+// Endpoints:
+//
+//	POST /v1/jobs     — submit one or more jobs (NDJSON body)
+//	GET  /v1/jobs/{id} — one job's lifecycle state
+//	GET  /v1/metrics  — rolling global and per-tenant window summaries
+//	GET  /v1/status   — clock, queue depth, device utilization, counters
+//	GET  /healthz     — liveness probe
+type Server struct {
+	gw  *Gateway
+	mux *http.ServeMux
+	// connSeq numbers submit requests; the value is stamped into each
+	// job's ingest provenance as conn_id, making every HTTP batch
+	// attributable in exports (the HTTP analogue of a TCP connection).
+	connSeq atomic.Int64
+}
+
+// NewServer builds the HTTP control plane over a gateway.
+func NewServer(gw *Gateway) *Server {
+	s := &Server{gw: gw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// SubmitResult is one job's admission outcome in a SubmitResponse.
+type SubmitResult struct {
+	JobID    string `json:"job_id"`
+	Admitted bool   `json:"admitted"`
+	// Reason is the drop reason when the job was refused.
+	Reason string `json:"reason,omitempty"`
+	// ShedJobID names the queued job evicted to make room, when the
+	// shed admission policy displaced one.
+	ShedJobID string `json:"shed_job_id,omitempty"`
+}
+
+// SubmitResponse is the POST /v1/jobs response body.
+type SubmitResponse struct {
+	Submitted int            `json:"submitted"`
+	Accepted  int            `json:"accepted"`
+	Rejected  int            `json:"rejected"`
+	Results   []SubmitResult `json:"results"`
+}
+
+// handleSubmit decodes an NDJSON batch, stamps HTTP ingest provenance,
+// and offers the jobs to the broker atomically. The whole batch is
+// decoded before any job is submitted, so a malformed line rejects the
+// request without side effects. Status is 202 when at least one job was
+// admitted, 429 (with Retry-After when configured) when admission
+// control refused every job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	connID := s.connSeq.Add(1)
+	dec := job.NewStreamDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	dec.SetSource("http", r.RemoteAddr, connID)
+	var jobs []*job.QJob
+	for {
+		j, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, "decode job %d: %v", len(jobs)+1, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty submission: body must hold one JSON job per line")
+		return
+	}
+
+	decisions := s.gw.SubmitAll(jobs)
+
+	resp := SubmitResponse{Submitted: len(jobs), Results: make([]SubmitResult, len(jobs))}
+	retryAfter := 0.0
+	for i, d := range decisions {
+		res := SubmitResult{JobID: jobs[i].ID, Admitted: d.Admitted, Reason: d.Reason, ShedJobID: d.ShedJobID}
+		if d.Admitted {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+			retryAfter = math.Max(retryAfter, d.RetryAfterS)
+		}
+		resp.Results[i] = res
+	}
+	status := http.StatusAccepted
+	if resp.Accepted == 0 {
+		status = http.StatusTooManyRequests
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.gw.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (never submitted, or evicted from bounded retention)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.gw.Metrics())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.gw.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}

@@ -50,6 +50,7 @@ type Checkpoint struct {
 	Pending     []CheckpointPending `json:"pending,omitempty"`
 	Devices     []DeviceCheckpoint  `json:"devices"`
 	PolicyState json.RawMessage     `json:"policy_state,omitempty"`
+	Admission   AdmissionStats      `json:"admission,omitzero"`
 }
 
 // Checkpoint snapshots the broker. It fails unless no job is executing:
@@ -60,11 +61,12 @@ func (b *Broker) Checkpoint() (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: checkpoint requires an idle broker, %d jobs active", b.active)
 	}
 	cp := &Checkpoint{
-		Version:  CheckpointVersion,
-		SimNow:   b.env.Now(),
-		Policy:   b.pol.Name(),
-		Admitted: b.admitted,
-		Finished: b.finished,
+		Version:   CheckpointVersion,
+		SimNow:    b.env.Now(),
+		Policy:    b.pol.Name(),
+		Admitted:  b.admitted,
+		Finished:  b.finished,
+		Admission: b.admStats,
 	}
 	for _, pj := range b.pending {
 		cp.Pending = append(cp.Pending, CheckpointPending{Arrival: pj.arrival, Job: *pj.j})
@@ -130,10 +132,12 @@ func (b *Broker) Restore(cp *Checkpoint) error {
 	}
 	b.admitted = cp.Admitted
 	b.finished = cp.Finished
+	b.admStats = cp.Admission
 	for i := range cp.Pending {
 		p := &cp.Pending[i]
 		j := p.Job
-		b.rec.Arrival(j.ID, p.Arrival)
+		b.inflight[tenantKey(j.Tenant)]++
+		b.rec.Arrival(&j, p.Arrival)
 		b.pending = append(b.pending, pendingJob{j: &j, arrival: p.Arrival})
 	}
 	b.dispatch()

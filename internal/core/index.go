@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// JobState is a job's position in the broker lifecycle as seen by a
+// JobIndex.
+type JobState uint8
+
+const (
+	// JobQueued means the job was admitted and awaits placement.
+	JobQueued JobState = iota + 1
+	// JobRunning means qubits are reserved and the job is executing.
+	JobRunning
+	// JobFinished means the job completed.
+	JobFinished
+	// JobDropped means admission control refused or shed the job.
+	JobDropped
+)
+
+// String names the state for logs and API responses.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobFinished:
+		return "finished"
+	case JobDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("JobState(%d)", uint8(s))
+}
+
+// JobInfo is one job's lifecycle record in a JobIndex. Entries are
+// pooled: a pointer returned by Lookup is valid only until the next
+// recorder event, so callers serialize it while holding whatever lock
+// guards the broker, or copy it.
+type JobInfo struct {
+	ID     string
+	Tenant string
+	State  JobState
+
+	NumQubits int
+	Depth     int
+	Shots     int
+
+	Arrival  float64
+	Start    float64
+	Finish   float64
+	Fidelity float64
+	CommTime float64
+	Devices  []string
+
+	// DropReason is set for JobDropped entries (one of the Drop*
+	// constants).
+	DropReason string
+	// Ingest is the job's connection provenance, zero for batch jobs.
+	Ingest job.Ingest
+}
+
+// JobIndex is a StreamRecorder that maintains a queryable index of job
+// lifecycle state for the status API. Live jobs (queued or running) are
+// always indexed; terminal jobs (finished or dropped) are retained in a
+// FIFO ring of fixed capacity so memory stays bounded over an unbounded
+// stream. Entries are recycled through a free list, making steady-state
+// updates allocation-free once the ring has filled.
+//
+// The index is not internally synchronized: like the Broker it observes,
+// it relies on the caller serializing all access.
+type JobIndex struct {
+	byID  map[string]*JobInfo
+	done  []*JobInfo // FIFO ring of terminal entries
+	head  int        // index of the oldest retained terminal entry
+	count int        // retained terminal entries
+	free  []*JobInfo
+	nlive int // queued + running entries
+}
+
+// NewJobIndex builds an index retaining up to retain terminal jobs.
+func NewJobIndex(retain int) (*JobIndex, error) {
+	if retain <= 0 {
+		return nil, fmt.Errorf("core: job index retention %d", retain)
+	}
+	return &JobIndex{
+		byID: make(map[string]*JobInfo),
+		done: make([]*JobInfo, retain),
+	}, nil
+}
+
+// Lookup returns the job's current record, or nil if the job was never
+// seen or its terminal record has been evicted from the bounded
+// retention. See JobInfo for the pointer's validity rules.
+func (x *JobIndex) Lookup(jobID string) *JobInfo { return x.byID[jobID] }
+
+// Live returns the number of queued or running entries.
+func (x *JobIndex) Live() int { return x.nlive }
+
+// Retained returns the number of terminal entries currently held.
+func (x *JobIndex) Retained() int { return x.count }
+
+func (x *JobIndex) acquire() *JobInfo {
+	if n := len(x.free); n > 0 {
+		e := x.free[n-1]
+		x.free[n-1] = nil
+		x.free = x.free[:n-1]
+		return e
+	}
+	return &JobInfo{}
+}
+
+func (x *JobIndex) fill(e *JobInfo, j *job.QJob, t float64) {
+	e.ID = j.ID
+	e.Tenant = j.Tenant
+	e.NumQubits = j.NumQubits
+	e.Depth = j.Depth
+	e.Shots = j.Shots
+	e.Arrival = t
+	e.Start, e.Finish, e.Fidelity, e.CommTime = 0, 0, 0, 0
+	e.Devices = e.Devices[:0]
+	e.DropReason = ""
+	e.Ingest = j.Ingest
+}
+
+// Arrival implements StreamRecorder. Job IDs are expected to be unique;
+// on a duplicate the latest admission wins.
+func (x *JobIndex) Arrival(j *job.QJob, t float64) {
+	e := x.acquire()
+	x.fill(e, j, t)
+	e.State = JobQueued
+	x.byID[j.ID] = e
+	x.nlive++
+}
+
+// Start implements StreamRecorder.
+func (x *JobIndex) Start(jobID string, t float64) {
+	if e := x.byID[jobID]; e != nil && e.State == JobQueued {
+		e.State = JobRunning
+		e.Start = t
+	}
+}
+
+// Finish implements StreamRecorder.
+func (x *JobIndex) Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string) {
+	e := x.byID[jobID]
+	if e == nil || e.State == JobFinished || e.State == JobDropped {
+		return
+	}
+	e.State = JobFinished
+	e.Finish = finish
+	e.Fidelity = fidelity
+	e.CommTime = commTime
+	e.Devices = append(e.Devices[:0], deviceNames...)
+	x.nlive--
+	x.retire(e)
+}
+
+// Drop implements StreamRecorder. It covers both shed jobs (already
+// indexed by Arrival) and refused ones (never admitted).
+func (x *JobIndex) Drop(j *job.QJob, t float64, reason string) {
+	e := x.byID[j.ID]
+	if e != nil && (e.State == JobFinished || e.State == JobDropped) {
+		return
+	}
+	if e == nil {
+		e = x.acquire()
+		x.fill(e, j, t)
+		x.byID[j.ID] = e
+	} else {
+		x.nlive--
+	}
+	e.State = JobDropped
+	e.Finish = t
+	e.DropReason = reason
+	x.retire(e)
+}
+
+// retire moves a terminal entry into the retention ring, evicting (and
+// recycling) the oldest retained entry when the ring is full.
+func (x *JobIndex) retire(e *JobInfo) {
+	if x.count == len(x.done) {
+		old := x.done[x.head]
+		if cur, ok := x.byID[old.ID]; ok && cur == old {
+			delete(x.byID, old.ID)
+		}
+		x.free = append(x.free, old)
+		x.done[x.head] = e
+		x.head++
+		if x.head == len(x.done) {
+			x.head = 0
+		}
+		return
+	}
+	i := x.head + x.count
+	if i >= len(x.done) {
+		i -= len(x.done)
+	}
+	x.done[i] = e
+	x.count++
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func TestJobIndexLifecycle(t *testing.T) {
+	x, err := NewJobIndex(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job.QJob{
+		ID: "j1", NumQubits: 200, Depth: 7, Shots: 5000, Tenant: "acme",
+		Ingest: job.Ingest{Source: "http", Remote: "127.0.0.1:9", ConnID: 4},
+	}
+	x.Arrival(j, 10)
+	e := x.Lookup("j1")
+	if e == nil || e.State != JobQueued || e.Arrival != 10 || e.Tenant != "acme" {
+		t.Fatalf("after arrival: %+v", e)
+	}
+	if e.Ingest != j.Ingest {
+		t.Fatalf("ingest not threaded: %+v", e.Ingest)
+	}
+	x.Start("j1", 12)
+	if e.State != JobRunning || e.Start != 12 {
+		t.Fatalf("after start: %+v", e)
+	}
+	x.Finish("j1", 20, 0.9, 1.5, []string{"qpu-a", "qpu-b"})
+	if e.State != JobFinished || e.Finish != 20 || e.Fidelity != 0.9 || len(e.Devices) != 2 {
+		t.Fatalf("after finish: %+v", e)
+	}
+	if x.Live() != 0 || x.Retained() != 1 {
+		t.Fatalf("live=%d retained=%d", x.Live(), x.Retained())
+	}
+
+	// A refused job (never admitted) is indexed straight to dropped.
+	x.Drop(&job.QJob{ID: "j2", NumQubits: 150, Depth: 5, Shots: 100}, 25, DropQueueFull)
+	if e := x.Lookup("j2"); e == nil || e.State != JobDropped || e.DropReason != DropQueueFull || e.Finish != 25 {
+		t.Fatalf("refused job: %+v", e)
+	}
+	// A shed job transitions queued → dropped.
+	x.Arrival(&job.QJob{ID: "j3", NumQubits: 150, Depth: 5, Shots: 100}, 26)
+	x.Drop(&job.QJob{ID: "j3"}, 27, DropShed)
+	if e := x.Lookup("j3"); e == nil || e.State != JobDropped || e.DropReason != DropShed {
+		t.Fatalf("shed job: %+v", e)
+	}
+	if x.Live() != 0 || x.Retained() != 3 {
+		t.Fatalf("live=%d retained=%d", x.Live(), x.Retained())
+	}
+	if s := JobQueued.String(); s != "queued" {
+		t.Fatalf("JobQueued.String() = %q", s)
+	}
+}
+
+// Terminal entries are evicted FIFO once retention fills, and evicted
+// IDs stop resolving.
+func TestJobIndexBoundedRetention(t *testing.T) {
+	const retain = 4
+	x, err := NewJobIndex(retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("j%d", i)
+		x.Arrival(&job.QJob{ID: id, NumQubits: 100, Depth: 3, Shots: 10}, float64(i))
+		x.Start(id, float64(i))
+		x.Finish(id, float64(i)+1, 0.5, 0, []string{"qpu-a"})
+	}
+	for i := 0; i < 6; i++ {
+		if e := x.Lookup(fmt.Sprintf("j%d", i)); e != nil {
+			t.Fatalf("j%d still resolvable after eviction: %+v", i, e)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		e := x.Lookup(fmt.Sprintf("j%d", i))
+		if e == nil || e.State != JobFinished || e.Finish != float64(i)+1 {
+			t.Fatalf("j%d = %+v", i, e)
+		}
+	}
+	if x.Retained() != retain {
+		t.Fatalf("retained = %d, want %d", x.Retained(), retain)
+	}
+
+	if _, err := NewJobIndex(0); err == nil {
+		t.Fatal("zero retention accepted")
+	}
+}
+
+// The index rides inside the broker's allocation-gated steady state, so
+// its per-cycle updates (map upsert, ring rotation, entry recycling)
+// must be allocation-free once warm.
+func TestJobIndexSteadyStateAllocFree(t *testing.T) {
+	x, err := NewJobIndex(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []string{"qpu-a", "qpu-b"}
+	// Pre-generate distinct IDs outside the measured loop (real streams
+	// decode IDs before the broker sees them) and cycle through more
+	// jobs than the retention, exercising eviction every cycle.
+	jobs := make([]*job.QJob, 256)
+	for i := range jobs {
+		jobs[i] = &job.QJob{ID: fmt.Sprintf("soak-%04d", i), NumQubits: 100, Depth: 3, Shots: 10}
+	}
+	cycle := func(n int) {
+		j := jobs[n%len(jobs)]
+		t := float64(n)
+		x.Arrival(j, t)
+		x.Start(j.ID, t)
+		x.Finish(j.ID, t+1, 0.5, 0, devs)
+	}
+	for i := 0; i < 512; i++ {
+		cycle(i)
+	}
+	n := 512
+	avg := testing.AllocsPerRun(300, func() {
+		cycle(n)
+		n++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state index update allocates %.2f/op, want 0", avg)
+	}
+}

@@ -18,23 +18,37 @@ import (
 // top. Implementations used inside the allocation-gated steady state
 // must themselves be allocation-free.
 type StreamRecorder interface {
-	// Arrival is called when a job is admitted into the broker.
-	Arrival(jobID string, t float64)
+	// Arrival is called when a job is admitted into the broker. The job
+	// pointer is owned by the broker for the job's lifetime; recorders
+	// must copy what they keep.
+	Arrival(j *job.QJob, t float64)
 	// Start is called when a job's qubits are reserved and execution
 	// begins.
 	Start(jobID string, t float64)
 	// Finish is called on completion. deviceNames is owned by the
 	// broker and only valid for the duration of the call.
 	Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string)
+	// Drop is called when admission control refuses a job (never
+	// admitted; no Arrival was recorded) or sheds a queued one (Arrival
+	// was recorded, Start never will be). reason is one of the Drop*
+	// constants.
+	Drop(j *job.QJob, t float64, reason string)
 }
 
 // ManagerRecorder adapts a records.Manager to the StreamRecorder seam.
 // A broker recording through it produces per-job records byte-identical
-// to a batch QCloudSimEnv run over the same workload.
+// to a batch QCloudSimEnv run over the same workload: ingest provenance
+// is recorded in dedicated columns that batch-vs-serve diffs exclude
+// explicitly, like host/attempt in run manifests.
 type ManagerRecorder struct{ M *records.Manager }
 
 // Arrival implements StreamRecorder.
-func (r ManagerRecorder) Arrival(jobID string, t float64) { r.M.LogArrival(jobID, t) }
+func (r ManagerRecorder) Arrival(j *job.QJob, t float64) {
+	r.M.LogArrival(j.ID, t)
+	if j.Ingest != (job.Ingest{}) {
+		r.M.SetIngest(j.ID, j.Ingest.Source, j.Ingest.Remote, j.Ingest.ConnID)
+	}
+}
 
 // Start implements StreamRecorder.
 func (r ManagerRecorder) Start(jobID string, t float64) { r.M.LogStart(jobID, t) }
@@ -44,13 +58,18 @@ func (r ManagerRecorder) Finish(jobID string, finish, fidelity, commTime float64
 	r.M.LogFinish(jobID, finish, fidelity, commTime, deviceNames)
 }
 
+// Drop implements StreamRecorder.
+func (r ManagerRecorder) Drop(j *job.QJob, t float64, reason string) {
+	r.M.LogDrop(j.ID, t, reason)
+}
+
 // MultiRecorder fans lifecycle notifications out to several recorders.
 type MultiRecorder []StreamRecorder
 
 // Arrival implements StreamRecorder.
-func (m MultiRecorder) Arrival(jobID string, t float64) {
+func (m MultiRecorder) Arrival(j *job.QJob, t float64) {
 	for _, r := range m {
-		r.Arrival(jobID, t)
+		r.Arrival(j, t)
 	}
 }
 
@@ -66,6 +85,104 @@ func (m MultiRecorder) Finish(jobID string, finish, fidelity, commTime float64, 
 	for _, r := range m {
 		r.Finish(jobID, finish, fidelity, commTime, deviceNames)
 	}
+}
+
+// Drop implements StreamRecorder.
+func (m MultiRecorder) Drop(j *job.QJob, t float64, reason string) {
+	for _, r := range m {
+		r.Drop(j, t, reason)
+	}
+}
+
+// AdmissionPolicy names a broker backpressure strategy.
+type AdmissionPolicy string
+
+const (
+	// AdmitAll disables admission control: every offered job is
+	// admitted. This is the default and the only mode the plain Admit
+	// entry point uses.
+	AdmitAll AdmissionPolicy = ""
+	// AdmitReject refuses new jobs while the queue holds MaxQueue
+	// admitted-but-unplaced jobs. Refusals carry the RetryAfterS hint.
+	AdmitReject AdmissionPolicy = "reject"
+	// AdmitShed admits every job but drops the oldest queued job to
+	// make room once the queue holds MaxQueue.
+	AdmitShed AdmissionPolicy = "shed"
+	// AdmitQuota refuses jobs from tenants whose in-flight count
+	// (queued + executing) has reached TenantQuota.
+	AdmitQuota AdmissionPolicy = "quota"
+)
+
+// Drop reasons recorded in lifecycle events and job records.
+const (
+	// DropQueueFull marks a job refused because the queue was at its
+	// depth limit (AdmitReject).
+	DropQueueFull = "queue-full"
+	// DropShed marks a queued job evicted to admit a newer one
+	// (AdmitShed).
+	DropShed = "shed"
+	// DropTenantQuota marks a job refused because its tenant was at its
+	// in-flight quota (AdmitQuota).
+	DropTenantQuota = "tenant-quota"
+)
+
+// AdmissionConfig parameterizes broker admission control. The zero
+// value admits everything.
+type AdmissionConfig struct {
+	// Policy selects the backpressure strategy.
+	Policy AdmissionPolicy `json:"policy,omitempty"`
+	// MaxQueue is the queue-depth limit for AdmitReject and AdmitShed.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// TenantQuota is the per-tenant in-flight limit for AdmitQuota.
+	TenantQuota int `json:"tenant_quota,omitempty"`
+	// RetryAfterS is the backoff hint attached to refusals, in seconds.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+func (c AdmissionConfig) validate() error {
+	switch c.Policy {
+	case AdmitAll:
+		// Limits are ignored without a policy.
+	case AdmitReject, AdmitShed:
+		if c.MaxQueue <= 0 {
+			return fmt.Errorf("core: admission policy %q requires a positive queue limit, got %d", c.Policy, c.MaxQueue)
+		}
+	case AdmitQuota:
+		if c.TenantQuota <= 0 {
+			return fmt.Errorf("core: admission policy %q requires a positive tenant quota, got %d", c.Policy, c.TenantQuota)
+		}
+	default:
+		return fmt.Errorf("core: unknown admission policy %q", c.Policy)
+	}
+	if c.RetryAfterS < 0 {
+		return fmt.Errorf("core: negative retry-after %g", c.RetryAfterS)
+	}
+	return nil
+}
+
+// AdmissionStats counts admission-control decisions over the broker's
+// lifetime, surfaced through /v1/metrics and checkpoints.
+type AdmissionStats struct {
+	// RejectedQueueFull counts jobs refused at the queue-depth limit.
+	RejectedQueueFull int `json:"rejected_queue_full"`
+	// RejectedQuota counts jobs refused at their tenant's quota.
+	RejectedQuota int `json:"rejected_tenant_quota"`
+	// Shed counts queued jobs evicted to admit newer ones.
+	Shed int `json:"shed"`
+}
+
+// Decision reports one admission-control outcome from Offer.
+type Decision struct {
+	// Admitted is true when the job entered the broker.
+	Admitted bool
+	// Reason is the refusal reason (DropQueueFull or DropTenantQuota)
+	// when Admitted is false.
+	Reason string
+	// RetryAfterS is the configured client backoff hint on refusals.
+	RetryAfterS float64
+	// ShedJobID names the queued job dropped to make room, when the
+	// shed policy evicted one.
+	ShedJobID string
 }
 
 // pendingJob is one admitted-but-unplaced job plus its admission time
@@ -98,6 +215,10 @@ type Broker struct {
 	runPool []*jobRun
 	states  []policy.DeviceState
 	seen    []bool
+
+	admission AdmissionConfig
+	admStats  AdmissionStats
+	inflight  map[string]int // per-tenant queued+executing counts
 
 	admitted, finished int
 	active             int
@@ -145,15 +266,50 @@ func NewBroker(env *sim.Environment, fleet []*device.Device, pol policy.Policy, 
 		return nil, fmt.Errorf("core: window capacity %d", windowCap)
 	}
 	return &Broker{
-		env:     env,
-		devices: fleet,
-		pol:     pol,
-		cfg:     cfg,
-		rec:     rec,
-		windows: metrics.NewTenantWindows(windowCap),
-		states:  make([]policy.DeviceState, len(fleet)),
-		seen:    make([]bool, len(fleet)),
+		env:      env,
+		devices:  fleet,
+		pol:      pol,
+		cfg:      cfg,
+		rec:      rec,
+		windows:  metrics.NewTenantWindows(windowCap),
+		states:   make([]policy.DeviceState, len(fleet)),
+		seen:     make([]bool, len(fleet)),
+		inflight: make(map[string]int),
 	}, nil
+}
+
+// SetAdmission installs an admission-control policy. Call it before the
+// first Offer; changing policies mid-stream is allowed but counters are
+// not reset.
+func (b *Broker) SetAdmission(cfg AdmissionConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	b.admission = cfg
+	return nil
+}
+
+// Admission returns the active admission-control configuration.
+func (b *Broker) Admission() AdmissionConfig { return b.admission }
+
+// AdmissionCounters returns the admission-control decision counts.
+func (b *Broker) AdmissionCounters() AdmissionStats { return b.admStats }
+
+// Devices returns the broker's fleet, for status introspection.
+func (b *Broker) Devices() []*device.Device { return b.devices }
+
+// TenantInFlight returns the tenant's current queued+executing count.
+// The empty tenant maps to metrics.DefaultTenant, matching the window
+// naming.
+func (b *Broker) TenantInFlight(tenant string) int {
+	return b.inflight[tenantKey(tenant)]
+}
+
+func tenantKey(tenant string) string {
+	if tenant == "" {
+		return metrics.DefaultTenant
+	}
+	return tenant
 }
 
 // Env returns the simulation environment the broker advances.
@@ -182,16 +338,55 @@ func (b *Broker) Finished() int { return b.finished }
 // the state in which a checkpoint can be taken.
 func (b *Broker) Quiescent() bool { return b.active == 0 && len(b.pending) == 0 }
 
-// Admit injects one job into the broker at the current simulation time.
-// The caller (the serve loop) is responsible for advancing the clock to
-// the job's arrival time first; a job delivered late is admitted at the
-// current time. Admission order must follow the stream order.
+// Admit injects one job into the broker at the current simulation time,
+// bypassing admission control. The caller (the serve loop) is
+// responsible for advancing the clock to the job's arrival time first;
+// a job delivered late is admitted at the current time. Admission order
+// must follow the stream order.
 func (b *Broker) Admit(j *job.QJob) {
 	now := b.env.Now()
 	b.admitted++
-	b.rec.Arrival(j.ID, now)
+	b.inflight[tenantKey(j.Tenant)]++
+	b.rec.Arrival(j, now)
 	b.pending = append(b.pending, pendingJob{j: j, arrival: now})
 	b.dispatch()
+}
+
+// Offer submits one job through admission control. Decisions depend
+// only on deterministic simulation state (queue depth and per-tenant
+// in-flight counts at the current simulation time), so a logical-time
+// replay of the same stream reproduces them exactly. Refused and shed
+// jobs are recorded as Drop lifecycle events and never reach the
+// scheduler. With no admission policy configured, Offer is equivalent
+// to Admit.
+func (b *Broker) Offer(j *job.QJob) Decision {
+	now := b.env.Now()
+	d := Decision{Admitted: true}
+	switch b.admission.Policy {
+	case AdmitReject:
+		if len(b.pending) >= b.admission.MaxQueue {
+			b.admStats.RejectedQueueFull++
+			b.rec.Drop(j, now, DropQueueFull)
+			return Decision{Reason: DropQueueFull, RetryAfterS: b.admission.RetryAfterS}
+		}
+	case AdmitShed:
+		if len(b.pending) >= b.admission.MaxQueue {
+			shed := b.pending[0]
+			b.pending = append(b.pending[:0], b.pending[1:]...)
+			b.inflight[tenantKey(shed.j.Tenant)]--
+			b.admStats.Shed++
+			b.rec.Drop(shed.j, now, DropShed)
+			d.ShedJobID = shed.j.ID
+		}
+	case AdmitQuota:
+		if b.inflight[tenantKey(j.Tenant)] >= b.admission.TenantQuota {
+			b.admStats.RejectedQuota++
+			b.rec.Drop(j, now, DropTenantQuota)
+			return Decision{Reason: DropTenantQuota, RetryAfterS: b.admission.RetryAfterS}
+		}
+	}
+	b.Admit(j)
+	return d
 }
 
 // statesInto snapshots the fleet into the broker's reusable buffer —
@@ -364,6 +559,7 @@ func (jr *jobRun) finish() {
 	})
 	b.active--
 	b.finished++
+	b.inflight[tenantKey(jr.j.Tenant)]--
 	jr.j = nil
 	b.runPool = append(b.runPool, jr)
 	b.dispatch()

@@ -213,8 +213,9 @@ func TestNewBrokerValidation(t *testing.T) {
 // checks across checkpoint boundaries.
 type captureRecorder struct{ rows []string }
 
-func (r *captureRecorder) Arrival(string, float64) {}
-func (r *captureRecorder) Start(string, float64)   {}
+func (r *captureRecorder) Arrival(*job.QJob, float64)      {}
+func (r *captureRecorder) Start(string, float64)           {}
+func (r *captureRecorder) Drop(*job.QJob, float64, string) {}
 func (r *captureRecorder) Finish(jobID string, finish, fidelity, commTime float64, deviceNames []string) {
 	r.rows = append(r.rows, fmt.Sprintf("%s|%.17g|%.17g|%.17g|%s",
 		jobID, finish, fidelity, commTime, strings.Join(deviceNames, "+")))
@@ -375,9 +376,10 @@ func TestBrokerRestoreValidation(t *testing.T) {
 // nopRecorder is the zero-overhead recorder used by the allocation gate.
 type nopRecorder struct{}
 
-func (nopRecorder) Arrival(string, float64)                            {}
+func (nopRecorder) Arrival(*job.QJob, float64)                         {}
 func (nopRecorder) Start(string, float64)                              {}
 func (nopRecorder) Finish(string, float64, float64, float64, []string) {}
+func (nopRecorder) Drop(*job.QJob, float64, string)                    {}
 
 // fillPolicy is an allocation-free greedy policy standing in for any
 // well-behaved zero-alloc policy (the shipped heuristics build their

@@ -21,6 +21,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -43,6 +47,15 @@ type CaseStudy struct {
 	// Workload generates the synthetic job set (§7: 1,000 jobs,
 	// q∈[130,250], d∈[5,20], s∈[10k,100k]).
 	Workload job.SyntheticConfig
+	// TracePath, when set, replays a recorded workload trace (a CSV or
+	// JSON job file, by extension) instead of generating Workload.
+	// The trace still has to satisfy the Eq. 1 distributed constraint
+	// against the configured fleet. Workload's distribution fields are
+	// ignored; its Seed mutation under replication is a no-op, since a
+	// trace is the same jobs every time. The path resolves against the
+	// process working directory (worker processes inherit it), like
+	// every other path the experiments CLI takes.
+	TracePath string
 	// Core carries the model constants (M, K, φ, λ).
 	Core core.Config
 	// FleetPreset names the device fleet (see device.PresetFleet):
@@ -91,10 +104,11 @@ func (cs *CaseStudy) Fleet(env *sim.Environment) ([]*device.Device, error) {
 	return device.PresetFleet(cs.FleetPreset, env, cs.FleetSeed)
 }
 
-// Jobs generates the workload and checks the Eq. 1 constraint against
-// the configured fleet preset's capacities.
+// Jobs produces the workload — the synthetic generator, or the
+// TracePath replay — and checks the Eq. 1 constraint against the
+// configured fleet preset's capacities.
 func (cs *CaseStudy) Jobs() ([]*job.QJob, error) {
-	jobs, err := job.Synthetic(cs.Workload)
+	jobs, err := cs.loadWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +120,23 @@ func (cs *CaseStudy) Jobs() ([]*job.QJob, error) {
 		return nil, err
 	}
 	return jobs, nil
+}
+
+// loadWorkload reads the TracePath trace, or generates the synthetic
+// workload when no trace is configured.
+func (cs *CaseStudy) loadWorkload() ([]*job.QJob, error) {
+	if cs.TracePath == "" {
+		return job.Synthetic(cs.Workload)
+	}
+	f, err := os.Open(cs.TracePath)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload trace: %w", err)
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(cs.TracePath), ".json") {
+		return job.LoadJSON(f)
+	}
+	return job.LoadCSV(f)
 }
 
 // TrainRL trains (and caches) the PPO policy on the QCloudGymEnv,

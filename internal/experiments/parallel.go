@@ -53,9 +53,12 @@ type RunArtifact struct {
 	// FleetPreset names the device fleet, FleetSeed and RLSeed pin the
 	// remaining random streams. TrainSteps and RLDeterministic pin the
 	// rlbase policy (training budget and sampled-vs-mean deployment).
-	Workload        job.SyntheticConfig
-	Core            core.Config
-	FleetPreset     string
+	Workload    job.SyntheticConfig
+	Core        core.Config
+	FleetPreset string
+	// TracePath names the replayed workload trace; empty for synthetic
+	// workloads.
+	TracePath       string
 	FleetSeed       int64
 	RLSeed          int64
 	TrainSteps      int
@@ -87,6 +90,7 @@ func (a *RunArtifact) Summary() records.RunSummary {
 		Lambda:            a.Core.Lambda,
 		Jobs:              a.Workload.N,
 		MeanInterarrivalS: a.Workload.MeanInterarrival,
+		TracePath:         a.TracePath,
 		TsimS:             a.Results.TotalSimTime,
 		FidelityMean:      a.Results.FidelityMean,
 		FidelityStd:       a.Results.FidelityStd,
@@ -94,6 +98,12 @@ func (a *RunArtifact) Summary() records.RunSummary {
 		MeanDevicesPerJob: a.Results.MeanDevicesPerJob,
 		MeanWaitS:         a.Results.MeanWaitTime,
 		WallMS:            float64(a.Wall) / float64(time.Millisecond),
+	}
+	if a.TracePath != "" {
+		// Trace rows report what the trace delivered; the synthetic
+		// generator's size and arrival knobs never applied.
+		s.Jobs = a.Results.JobsFinished
+		s.MeanInterarrivalS = 0
 	}
 	if a.Mode == "rlbase" {
 		steps, seed, det := a.TrainSteps, a.RLSeed, a.RLDeterministic
@@ -166,6 +176,7 @@ func (cs *CaseStudy) task(spec runSpec) runner.Task[RunArtifact] {
 				Workload:        snap.Workload,
 				Core:            snap.Core,
 				FleetPreset:     snap.FleetPreset,
+				TracePath:       snap.TracePath,
 				FleetSeed:       snap.FleetSeed,
 				RLSeed:          snap.RLSeed,
 				TrainSteps:      snap.TrainSteps,

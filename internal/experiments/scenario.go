@@ -96,6 +96,7 @@ func init() {
 	MustRegisterScenario("hetero-fleet", HeteroFleet)
 	MustRegisterScenario("stress-arrivals", StressArrivals)
 	MustRegisterScenario("calibration-drift", CalibrationDrift)
+	MustRegisterScenario("trace-replay", TraceReplay)
 }
 
 // HeteroFleet is the paper's workload on a mixed-capacity cloud
@@ -130,5 +131,18 @@ func StressArrivals() *CaseStudy {
 func CalibrationDrift() *CaseStudy {
 	cs := Default()
 	cs.Core.Drift = core.DriftConfig{IntervalS: 3600, Rel: 0.3, Seed: 17}
+	return cs
+}
+
+// TraceReplay replays a recorded workload trace instead of generating
+// the synthetic workload, so a captured production stream (or any
+// workload exported with job.WriteCSV) runs under every strategy and
+// executor with full manifest provenance. The default trace is the
+// committed smoke trace, resolved against the repository root (the
+// experiments CLI's working directory); a spec's trace_path override
+// points it anywhere else.
+func TraceReplay() *CaseStudy {
+	cs := Default()
+	cs.TracePath = "specs/trace-smoke.csv"
 	return cs
 }

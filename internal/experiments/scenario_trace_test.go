@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/records"
+)
+
+// writeTrace generates a small synthetic workload and commits it to a
+// temp CSV, returning the path and the jobs it holds. Package tests run
+// with the package directory as cwd, so the scenario's default
+// repo-root-relative trace path does not resolve here — every test
+// points TracePath at its own file.
+func writeTrace(t *testing.T, n int) (string, []*job.QJob) {
+	t.Helper()
+	cfg := job.DefaultSyntheticConfig()
+	cfg.N = n
+	cfg.Seed = 42
+	jobs, err := job.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.WriteCSV(f, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, jobs
+}
+
+func TestTraceReplayScenarioRegistered(t *testing.T) {
+	if !ScenarioRegistered("trace-replay") {
+		t.Fatal("trace-replay scenario not registered")
+	}
+	cs, err := NewScenario("trace-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TracePath != "specs/trace-smoke.csv" {
+		t.Fatalf("default trace path = %q", cs.TracePath)
+	}
+}
+
+// TestTraceReplayJobs checks the replay path end to end: the loaded
+// workload is exactly the trace (byte-for-byte job identity), the
+// synthetic generator's knobs are inert, and the Eq. 1 constraint still
+// gates what a trace may contain.
+func TestTraceReplayJobs(t *testing.T) {
+	path, want := writeTrace(t, 12)
+	cs := Default()
+	cs.TracePath = path
+
+	jobs, err := cs.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("replayed %d jobs, trace holds %d", len(jobs), len(want))
+	}
+	for i := range jobs {
+		if jobs[i].ID != want[i].ID || jobs[i].NumQubits != want[i].NumQubits ||
+			jobs[i].ArrivalTime != want[i].ArrivalTime {
+			t.Fatalf("job %d differs from trace: %+v vs %+v", i, jobs[i], want[i])
+		}
+	}
+
+	// The synthetic knobs must be dead: mutating the workload seed and
+	// size cannot change what a trace replays.
+	cs.Workload.Seed = 999
+	cs.Workload.N = 3
+	again, err := cs.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(want) {
+		t.Fatalf("workload knobs leaked into trace replay: %d jobs", len(again))
+	}
+
+	// A trace that violates Eq. 1 for the configured fleet is rejected,
+	// same as a synthetic workload would be.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	err = os.WriteFile(bad, []byte(
+		"job_id,num_qubits,depth,num_shots,arrival_time,two_qubit_gates\n"+
+			"huge,100000,5,1024,0,50\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.TracePath = bad
+	if _, err := cs.Jobs(); err == nil {
+		t.Fatal("oversized trace job passed the distributed constraint")
+	}
+
+	cs.TracePath = filepath.Join(t.TempDir(), "missing.csv")
+	if _, err := cs.Jobs(); err == nil {
+		t.Fatal("missing trace file did not error")
+	}
+}
+
+// TestTraceReplayExecutorEquivalence runs a trace spec on the
+// Sequential and Parallel executors and requires identical manifests —
+// the determinism gate CI runs against the committed smoke trace.
+func TestTraceReplayExecutorEquivalence(t *testing.T) {
+	path, want := writeTrace(t, 12)
+	spec := Spec{
+		Scenario:  "trace-replay",
+		TracePath: path,
+		Matrices:  []TaskMatrix{{Kind: "modes", Modes: []string{"speed", "fair"}}},
+	}
+	ctx := context.Background()
+	seq, err := Run(ctx, spec, Sequential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ctx, spec, Parallel{Options: ExecOptions{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := records.DiffManifests(seq, par); !diff.Empty() {
+		var sb strings.Builder
+		if err := diff.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("sequential vs parallel trace replays differ:\n%s", sb.String())
+	}
+	for i := range seq.Runs {
+		r := &seq.Runs[i]
+		if r.TracePath != path {
+			t.Fatalf("row %q trace_path = %q, want %q", r.ID, r.TracePath, path)
+		}
+		if r.Jobs != len(want) {
+			t.Fatalf("row %q reports %d jobs, trace holds %d", r.ID, r.Jobs, len(want))
+		}
+	}
+}
+
+// TestSpecTraceJobsConflict pins the validation rule: a trace fixes its
+// own job count, so a jobs override alongside trace_path is an error.
+func TestSpecTraceJobsConflict(t *testing.T) {
+	spec := Spec{
+		Scenario:  "trace-replay",
+		TracePath: "somewhere.csv",
+		Jobs:      10,
+		Matrices:  []TaskMatrix{{Kind: "modes", Modes: []string{"speed"}}},
+	}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("trace_path + jobs override validated")
+	}
+}
+
+// TestShardSpecCarriesTrace pins the transport invariant: the trace
+// path rides through the ShardSpec round trip, so worker processes
+// replay the identical workload.
+func TestShardSpecCarriesTrace(t *testing.T) {
+	cs := Default()
+	cs.TracePath = "specs/trace-smoke.csv"
+	rebuilt := cs.shardSpec(TaskMatrix{Kind: "modes"}, 1).caseStudy()
+	if rebuilt.TracePath != cs.TracePath {
+		t.Fatalf("trace path lost in shard round trip: %q vs %q",
+			rebuilt.TracePath, cs.TracePath)
+	}
+}

@@ -26,14 +26,18 @@ import (
 // the rlbase policy, which each worker (re)trains deterministically
 // from PPO.Seed when its subset needs it.
 type ShardSpec struct {
-	Workload        job.SyntheticConfig `json:"workload"`
-	Core            core.Config         `json:"core"`
-	FleetPreset     string              `json:"fleet_preset,omitempty"`
-	FleetSeed       int64               `json:"fleet_seed"`
-	TrainSteps      int                 `json:"train_steps"`
-	PPO             rl.PPOConfig        `json:"ppo"`
-	RLSeed          int64               `json:"rl_seed"`
-	RLDeterministic bool                `json:"rl_deterministic"`
+	Workload    job.SyntheticConfig `json:"workload"`
+	Core        core.Config         `json:"core"`
+	FleetPreset string              `json:"fleet_preset,omitempty"`
+	// TracePath replays a workload trace instead of the synthetic
+	// generator; worker processes resolve it against their working
+	// directory, which the coordinator shares with them.
+	TracePath       string       `json:"trace_path,omitempty"`
+	FleetSeed       int64        `json:"fleet_seed"`
+	TrainSteps      int          `json:"train_steps"`
+	PPO             rl.PPOConfig `json:"ppo"`
+	RLSeed          int64        `json:"rl_seed"`
+	RLDeterministic bool         `json:"rl_deterministic"`
 	// Matrix enumerates the run's tasks; workers expand it exactly like
 	// the in-process entry points do.
 	Matrix TaskMatrix `json:"matrix"`
@@ -49,6 +53,7 @@ func (cs *CaseStudy) shardSpec(m TaskMatrix, workers int) ShardSpec {
 		Workload:        cs.Workload,
 		Core:            cs.Core,
 		FleetPreset:     cs.FleetPreset,
+		TracePath:       cs.TracePath,
 		FleetSeed:       cs.FleetSeed,
 		TrainSteps:      cs.TrainSteps,
 		PPO:             cs.PPO,
@@ -65,6 +70,7 @@ func (s ShardSpec) caseStudy() *CaseStudy {
 		Workload:        s.Workload,
 		Core:            s.Core,
 		FleetPreset:     s.FleetPreset,
+		TracePath:       s.TracePath,
 		FleetSeed:       s.FleetSeed,
 		TrainSteps:      s.TrainSteps,
 		PPO:             s.PPO,

@@ -44,8 +44,13 @@ type Spec struct {
 	// ReplicationSeeds is Replications with an explicit seed list, for
 	// runs that must pin particular seeds.
 	ReplicationSeeds []int64 `json:"replication_seeds,omitempty"`
-	// Jobs overrides the scenario's workload size when > 0.
+	// Jobs overrides the scenario's workload size when > 0. Mutually
+	// exclusive with TracePath: a trace's job count is the trace's.
 	Jobs int `json:"jobs,omitempty"`
+	// TracePath overrides the scenario's workload with a recorded trace
+	// (CSV, or JSON by extension), resolved against the process working
+	// directory. See CaseStudy.TracePath.
+	TracePath string `json:"trace_path,omitempty"`
 	// Seed overrides the workload seed when set (pointer: seed 0 is a
 	// legitimate override).
 	Seed *int64 `json:"seed,omitempty"`
@@ -122,6 +127,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Jobs < 0 {
 		return fmt.Errorf("experiments: spec jobs override %d < 0", s.Jobs)
+	}
+	if s.TracePath != "" && s.Jobs > 0 {
+		return fmt.Errorf("experiments: spec sets both trace_path and a jobs override; a trace fixes its own job count")
 	}
 	if s.TrainSteps < 0 {
 		return fmt.Errorf("experiments: spec train_steps override %d < 0", s.TrainSteps)
@@ -227,6 +235,9 @@ func (s *Spec) CaseStudy() (*CaseStudy, error) {
 	}
 	if s.Jobs > 0 {
 		cs.Workload.N = s.Jobs
+	}
+	if s.TracePath != "" {
+		cs.TracePath = s.TracePath
 	}
 	if s.Seed != nil {
 		cs.Workload.Seed = *s.Seed

@@ -29,6 +29,28 @@ type QJob struct {
 	// Tenant optionally labels the submitting tenant for per-tenant
 	// broker metrics. Empty means the default tenant.
 	Tenant string
+	// Ingest records where the job entered the system. It is stamped
+	// server-side by the broker's connection-oriented ingest paths (TCP
+	// and HTTP) and is not part of the workload wire schema: clients
+	// cannot set it.
+	Ingest Ingest `json:",omitzero"`
+}
+
+// Ingest is per-connection provenance for a streamed job: which ingest
+// path accepted it, the peer address, and a broker-local connection (or
+// request) sequence number. Batch-loaded and stdin-streamed jobs leave
+// it zero — like host/attempt in run manifests, provenance is recorded
+// only by transports with a real peer identity, so the stdin broker
+// path stays byte-identical to batch runs.
+type Ingest struct {
+	// Source names the ingest path: "tcp" or "http".
+	Source string `json:"source,omitempty"`
+	// Remote is the submitting peer's address, when the transport has
+	// one (TCP and HTTP).
+	Remote string `json:"remote,omitempty"`
+	// ConnID is a broker-local sequence number for the accepting
+	// connection (TCP) or request (HTTP), starting at 1.
+	ConnID int64 `json:"conn_id,omitempty"`
 }
 
 // Validate checks the job's fields for physical plausibility.

@@ -14,8 +14,9 @@ import (
 // NDJSON decodes to the identical jobs — the property the serve-smoke
 // byte-identity gate rests on. Blank lines are skipped.
 type StreamDecoder struct {
-	sc   *bufio.Scanner
-	line int
+	sc     *bufio.Scanner
+	line   int
+	ingest Ingest
 }
 
 // NewStreamDecoder wraps r in a line-delimited JSON job decoder.
@@ -30,6 +31,15 @@ func NewStreamDecoder(r io.Reader) *StreamDecoder {
 // Line returns the 1-based line number of the last decoded job, for
 // error reporting by callers.
 func (d *StreamDecoder) Line() int { return d.line }
+
+// SetSource stamps every subsequently decoded job with ingest
+// provenance: the ingest path name, the peer address, and a
+// broker-local connection (or request) sequence number. Provenance is
+// server-side metadata, not part of the wire schema — a job line that
+// tries to carry its own is rejected by DisallowUnknownFields.
+func (d *StreamDecoder) SetSource(source, remote string, connID int64) {
+	d.ingest = Ingest{Source: source, Remote: remote, ConnID: connID}
+}
 
 // Next decodes the next job. It returns io.EOF once the stream ends.
 func (d *StreamDecoder) Next() (*QJob, error) {
@@ -49,6 +59,7 @@ func (d *StreamDecoder) Next() (*QJob, error) {
 		if err != nil {
 			return nil, fmt.Errorf("job: stream line %d: %w", d.line, err)
 		}
+		j.Ingest = d.ingest
 		return j, nil
 	}
 	if err := d.sc.Err(); err != nil {

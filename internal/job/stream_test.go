@@ -38,6 +38,44 @@ func TestStreamDecoderBasic(t *testing.T) {
 	}
 }
 
+func TestStreamDecoderStampsIngest(t *testing.T) {
+	in := strings.Join([]string{
+		`{"job_id":"a","num_qubits":140,"depth":10,"num_shots":20000}`,
+		`{"job_id":"b","num_qubits":150,"depth":8,"num_shots":30000}`,
+	}, "\n")
+	d := NewStreamDecoder(strings.NewReader(in))
+	d.SetSource("tcp", "10.0.0.7:51234", 3)
+	for _, want := range []string{"a", "b"} {
+		j, err := d.Next()
+		if err != nil {
+			t.Fatalf("Next(%s): %v", want, err)
+		}
+		if j.ID != want {
+			t.Fatalf("job ID = %q, want %q", j.ID, want)
+		}
+		if j.Ingest != (Ingest{Source: "tcp", Remote: "10.0.0.7:51234", ConnID: 3}) {
+			t.Fatalf("job %s ingest = %+v", j.ID, j.Ingest)
+		}
+	}
+	// Without SetSource the provenance stays zero, so batch-converted
+	// streams keep producing jobs identical to the loader's.
+	d2 := NewStreamDecoder(strings.NewReader(in))
+	j, err := d2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Ingest != (Ingest{}) {
+		t.Fatalf("unstamped ingest = %+v, want zero", j.Ingest)
+	}
+	// Provenance is server-side only: a job line carrying its own
+	// "ingest" key is an unknown field.
+	d3 := NewStreamDecoder(strings.NewReader(
+		`{"job_id":"a","num_qubits":140,"depth":10,"num_shots":1,"ingest":{}}`))
+	if _, err := d3.Next(); err == nil {
+		t.Fatal("expected unknown-field error for client-supplied ingest")
+	}
+}
+
 func TestStreamDecoderErrors(t *testing.T) {
 	cases := []struct {
 		name, line string

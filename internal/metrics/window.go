@@ -179,3 +179,20 @@ func (tw *TenantWindows) Tenants() []string { return tw.names }
 
 // Tenant returns the window for one tenant, or nil if unseen.
 func (tw *TenantWindows) Tenant(name string) *Window { return tw.tenants[name] }
+
+// Summaries snapshots every tenant window at simulation time now, keyed
+// by tenant name — the JSON export the broker's metrics stream and the
+// HTTP /v1/metrics endpoint share. Returns nil when no tenant has
+// completed a job yet. Unlike Summary, it allocates (a map and one
+// summary per tenant); it belongs on the introspection path, not in the
+// steady-state cycle.
+func (tw *TenantWindows) Summaries(now float64) map[string]WindowSummary {
+	if len(tw.names) == 0 {
+		return nil
+	}
+	out := make(map[string]WindowSummary, len(tw.names))
+	for _, name := range tw.names {
+		out[name] = tw.tenants[name].Summary(now)
+	}
+	return out
+}

@@ -95,6 +95,95 @@ func TestTenantWindows(t *testing.T) {
 	}
 }
 
+// A tenant that appears mid-window, goes idle, and reappears must keep
+// one continuous window: idle periods never clear samples, the name list
+// stays stable, and new completions stack on top of the pre-idle ones.
+func TestTenantWindowsChurn(t *testing.T) {
+	tw := NewTenantWindows(4)
+	// Established traffic from one tenant...
+	for i := 1; i <= 3; i++ {
+		tw.Observe("steady", WindowSample{Finish: float64(i), Wait: 1, Turnaround: 1})
+	}
+	// ...then a new tenant appears mid-window.
+	tw.Observe("burst", WindowSample{Finish: 10, Wait: 5, Turnaround: 7})
+	if names := tw.Tenants(); len(names) != 2 || names[0] != "burst" || names[1] != "steady" {
+		t.Fatalf("Tenants after appearance = %v", names)
+	}
+	if got := tw.Tenant("burst").Len(); got != 1 {
+		t.Fatalf("burst Len = %d", got)
+	}
+
+	// The burst tenant goes idle while the other keeps completing. Its
+	// window must survive untouched: summaries still report the last
+	// observed samples, only against the newer clock.
+	for i := 11; i <= 16; i++ {
+		tw.Observe("steady", WindowSample{Finish: float64(i), Wait: 2, Turnaround: 3})
+	}
+	idle := tw.Tenant("burst").Summary(100)
+	if idle.Count != 1 || idle.Wait.P50 != 5 || idle.Turnaround.P99 != 7 {
+		t.Fatalf("idle tenant summary = %+v", idle)
+	}
+	if names := tw.Tenants(); len(names) != 2 {
+		t.Fatalf("idle tenant dropped from name list: %v", names)
+	}
+	// The steady tenant's window holds only its own last 4 completions.
+	if s := tw.Tenant("steady").Summary(16); s.Count != 4 || s.Wait.P50 != 2 {
+		t.Fatalf("steady summary = %+v", s)
+	}
+
+	// Reappearance continues the same window — the pre-idle sample is
+	// still there until capacity evicts it.
+	tw.Observe("burst", WindowSample{Finish: 20, Wait: 9, Turnaround: 11})
+	back := tw.Tenant("burst").Summary(20)
+	if back.Count != 2 {
+		t.Fatalf("reappeared Count = %d, want 2", back.Count)
+	}
+	if back.Wait.P50 != 5 || back.Wait.P99 != 9 {
+		t.Fatalf("reappeared wait quantiles = %+v (pre-idle sample lost?)", back.Wait)
+	}
+	// Throughput spans from the pre-idle completion: 2 jobs over 20-10.
+	if want := 2.0 / 10.0; back.Throughput != want {
+		t.Fatalf("reappeared throughput = %g, want %g", back.Throughput, want)
+	}
+	if names := tw.Tenants(); len(names) != 2 {
+		t.Fatalf("reappearance duplicated the name list: %v", names)
+	}
+}
+
+// An exactly-one-sample window must report that sample as every
+// percentile on both latency axes, count 1, and zero throughput (the
+// span from the only completion to itself is empty) — per tenant and
+// globally.
+func TestTenantWindowsSingleSamplePercentiles(t *testing.T) {
+	tw := NewTenantWindows(8)
+	tw.Observe("solo", WindowSample{Finish: 42, Wait: 3.5, Turnaround: 8.25})
+	for name, s := range map[string]WindowSummary{
+		"solo":   tw.Tenant("solo").Summary(42),
+		"global": tw.Global().Summary(42),
+	} {
+		if s.Count != 1 {
+			t.Fatalf("%s Count = %d, want 1", name, s.Count)
+		}
+		if s.Wait.P50 != 3.5 || s.Wait.P95 != 3.5 || s.Wait.P99 != 3.5 {
+			t.Fatalf("%s wait quantiles = %+v, want all 3.5", name, s.Wait)
+		}
+		if s.Turnaround.P50 != 8.25 || s.Turnaround.P95 != 8.25 || s.Turnaround.P99 != 8.25 {
+			t.Fatalf("%s turnaround quantiles = %+v, want all 8.25", name, s.Turnaround)
+		}
+		if s.Throughput != 0 {
+			t.Fatalf("%s throughput = %g, want 0", name, s.Throughput)
+		}
+	}
+	// Summaries exports the same numbers keyed by tenant.
+	all := tw.Summaries(42)
+	if len(all) != 1 || all["solo"].Count != 1 || all["solo"].Wait.P99 != 3.5 {
+		t.Fatalf("Summaries = %+v", all)
+	}
+	if got := NewTenantWindows(8).Summaries(0); got != nil {
+		t.Fatalf("Summaries with no tenants = %v, want nil", got)
+	}
+}
+
 func TestTenantWindowsSteadyStateAllocFree(t *testing.T) {
 	tw := NewTenantWindows(64)
 	tw.Observe("a", WindowSample{})

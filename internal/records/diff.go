@@ -84,6 +84,7 @@ var configCols = []struct {
 	{"lambda", func(r *RunSummary) string { return formatFloat(r.Lambda) }},
 	{"jobs", func(r *RunSummary) string { return strconv.Itoa(r.Jobs) }},
 	{"mean_interarrival_s", func(r *RunSummary) string { return formatFloat(r.MeanInterarrivalS) }},
+	{"trace_path", func(r *RunSummary) string { return r.TracePath }},
 	{"train_steps", func(r *RunSummary) string { return fmtIntPtr(r.TrainSteps) }},
 	{"rl_seed", func(r *RunSummary) string { return fmtInt64Ptr(r.RLSeed) }},
 	{"rl_deterministic", func(r *RunSummary) string { return fmtBoolPtr(r.RLDeterministic) }},

@@ -19,6 +19,7 @@ func (m *Manager) WriteCSV(w io.Writer) error {
 		"job_id", "arrival", "start", "finish",
 		"wait", "exec", "turnaround",
 		"fidelity", "comm_time", "devices", "device_names",
+		"source", "remote", "conn_id",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -32,6 +33,7 @@ func (m *Manager) WriteCSV(w io.Writer) error {
 			f(s.Fidelity), f(s.CommTime),
 			strconv.Itoa(s.Devices),
 			strings.Join(s.DeviceNames, "+"),
+			s.Source, s.Remote, fmtConnID(s.ConnID, s.Source),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -39,6 +41,15 @@ func (m *Manager) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// fmtConnID renders the ingest connection column: blank when no source
+// was recorded (batch rows — conn 0 there means "unset").
+func fmtConnID(connID int64, source string) string {
+	if source == "" {
+		return ""
+	}
+	return strconv.FormatInt(connID, 10)
 }
 
 // RunSummary is one completed simulation task in a run manifest: the
@@ -72,6 +83,11 @@ type RunSummary struct {
 	// Poisson inter-arrival time in seconds (0 = all jobs at t=0).
 	Jobs              int     `json:"jobs"`
 	MeanInterarrivalS float64 `json:"mean_interarrival_s,omitempty"`
+	// TracePath names the workload trace the task replayed instead of
+	// the synthetic generator (trace-replay scenario rows). Empty means
+	// a synthetic workload; when set, Jobs counts the loaded trace and
+	// MeanInterarrivalS is not meaningful.
+	TracePath string `json:"trace_path,omitempty"`
 	// TrainSteps, RLSeed and RLDeterministic pin the rlbase policy:
 	// training budget, deployment sampling seed, and sampled-vs-mean
 	// deployment. Pointers so presence means "rlbase row" and explicit
@@ -129,7 +145,7 @@ func (m *RunManifest) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"id", "kind", "mode", "param", "workload_seed", "fleet_seed", "fleet_preset",
-		"phi", "lambda", "jobs", "mean_interarrival_s",
+		"phi", "lambda", "jobs", "mean_interarrival_s", "trace_path",
 		"train_steps", "rl_seed", "rl_deterministic",
 		"tsim_s", "fidelity_mean", "fidelity_std",
 		"tcomm_s", "mean_devices_per_job", "mean_wait_s", "wall_ms",
@@ -143,7 +159,7 @@ func (m *RunManifest) WriteCSV(w io.Writer) error {
 		row := []string{
 			r.ID, r.Kind, r.Mode, f(r.Param),
 			strconv.FormatInt(r.WorkloadSeed, 10), strconv.FormatInt(r.FleetSeed, 10), r.FleetPreset,
-			f(r.Phi), f(r.Lambda), strconv.Itoa(r.Jobs), f(r.MeanInterarrivalS),
+			f(r.Phi), f(r.Lambda), strconv.Itoa(r.Jobs), f(r.MeanInterarrivalS), r.TracePath,
 			fmtIntPtr(r.TrainSteps), fmtInt64Ptr(r.RLSeed), fmtBoolPtr(r.RLDeterministic),
 			f(r.TsimS), f(r.FidelityMean), f(r.FidelityStd),
 			f(r.TcommS), f(r.MeanDevicesPerJob), f(r.MeanWaitS), f(r.WallMS),

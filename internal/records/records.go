@@ -35,11 +35,13 @@ import (
 // EventType labels a lifecycle event.
 type EventType string
 
-// Lifecycle event types, matching the paper's §3 list.
+// Lifecycle event types, matching the paper's §3 list plus the broker's
+// admission-control outcome.
 const (
 	EventArrival EventType = "arrival"
 	EventStart   EventType = "start"
 	EventFinish  EventType = "finish"
+	EventDrop    EventType = "drop"
 )
 
 // Event is one logged occurrence.
@@ -61,9 +63,21 @@ type JobStats struct {
 	Devices int
 	// DeviceNames lists the QPUs used, in allocation order.
 	DeviceNames []string
+	// Source, Remote, and ConnID are the broker's ingest provenance
+	// ("stdin"/"tcp"/"http", peer address, connection or request
+	// sequence number). Batch-loaded jobs leave them zero; batch-vs-serve
+	// record diffs exclude the provenance columns explicitly.
+	Source string
+	Remote string
+	ConnID int64
+	// DropReason is set when admission control refused or shed the job.
+	DropReason string
 
-	arrived, started, finished bool
+	arrived, started, finished, dropped bool
 }
+
+// Dropped reports whether admission control refused or shed the job.
+func (s *JobStats) Dropped() bool { return s.dropped }
 
 // WaitTime returns time from arrival to execution start.
 func (s *JobStats) WaitTime() float64 { return s.Start - s.Arrival }
@@ -143,6 +157,33 @@ func (m *Manager) LogFinish(jobID string, t, fidelity, commTime float64, deviceN
 	m.events = append(m.events, Event{jobID, EventFinish, t})
 }
 
+// SetIngest attaches ingest provenance to a job's record. The broker
+// calls it right after LogArrival for streamed jobs; batch runs never
+// do, so their provenance columns stay blank.
+func (m *Manager) SetIngest(jobID, source, remote string, connID int64) {
+	s := m.job(jobID)
+	s.Source = source
+	s.Remote = remote
+	s.ConnID = connID
+}
+
+// LogDrop records an admission-control refusal or shed. A refused job
+// may be entirely new (no arrival was logged); a shed job has arrived
+// but not started. Dropped jobs never count as pending or finished.
+func (m *Manager) LogDrop(jobID string, t float64, reason string) {
+	s := m.job(jobID)
+	if s.started {
+		panic(fmt.Sprintf("records: drop after start for %s", jobID))
+	}
+	if s.dropped {
+		panic(fmt.Sprintf("records: duplicate drop for %s", jobID))
+	}
+	s.dropped = true
+	s.Finish = t
+	s.DropReason = reason
+	m.events = append(m.events, Event{jobID, EventDrop, t})
+}
+
 // Events returns the raw event log in insertion order.
 func (m *Manager) Events() []Event { return m.events }
 
@@ -157,11 +198,23 @@ func (m *Manager) NumFinished() int {
 	return n
 }
 
-// NumPending returns jobs that arrived but have not finished.
+// NumPending returns jobs that arrived but have not finished. Dropped
+// jobs are excluded: admission control has already resolved them.
 func (m *Manager) NumPending() int {
 	n := 0
 	for _, s := range m.jobs {
-		if s.arrived && !s.finished {
+		if s.arrived && !s.finished && !s.dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// NumDropped returns jobs refused or shed by admission control.
+func (m *Manager) NumDropped() int {
+	n := 0
+	for _, s := range m.jobs {
+		if s.dropped {
 			n++
 		}
 	}
