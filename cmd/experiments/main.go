@@ -75,6 +75,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -456,26 +457,32 @@ func runDoctor(w io.Writer, hosts []string) error {
 	}
 	wg.Wait()
 
-	fmt.Fprintf(w, "%-28s %-8s %8s %9s %7s %8s %10s %10s\n",
+	// Buffer the report: bufio latches the first write error and a
+	// single checked Flush surfaces it, so a broken pipe is not silent.
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-28s %-8s %8s %9s %7s %8s %10s %10s\n",
 		"HOST", "STATUS", "PROTO", "CAPACITY", "ACTIVE", "SERVED", "UPTIME", "RTT")
 	unhealthy := 0
 	for i, h := range hosts {
 		if err := reports[i].err; err != nil {
 			unhealthy++
-			fmt.Fprintf(w, "%-28s %-8s %v\n", h, "down", err)
+			fmt.Fprintf(bw, "%-28s %-8s %v\n", h, "down", err)
 			continue
 		}
 		info := reports[i].info
-		fmt.Fprintf(w, "%-28s %-8s %8d %9d %7d %8d %10s %10s\n",
+		fmt.Fprintf(bw, "%-28s %-8s %8d %9d %7d %8d %10s %10s\n",
 			info.Host, "ok", info.Version, info.Capacity, info.Active, info.Served,
 			(time.Duration(info.UptimeS * float64(time.Second))).Round(time.Second),
 			info.RTT.Round(10*time.Microsecond))
 	}
 	if unhealthy > 0 {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
 		return fmt.Errorf("%d of %d host(s) unhealthy", unhealthy, len(hosts))
 	}
-	fmt.Fprintf(w, "all %d host(s) healthy\n", len(hosts))
-	return nil
+	fmt.Fprintf(bw, "all %d host(s) healthy\n", len(hosts))
+	return bw.Flush()
 }
 
 // compileSpec lowers the artifact flags onto the declarative Spec the
@@ -595,7 +602,7 @@ func diffManifests(pathA, pathB string, sig bool, absTol, relTol float64) error 
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errlint close of a read-only manifest file cannot lose data
 		m, err := records.ReadManifestJSON(f)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
@@ -712,18 +719,15 @@ func writeTable2CSV(outdir string, rows []t2row) error {
 	if outdir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(outdir, "table2.csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
-	for _, r := range rows {
-		fmt.Fprintf(f, "%s,%g,%g,%g,%g,%g,%g\n",
-			r.mode, r.tsim, r.muF, r.sigmaF, r.tcomm, r.kMean, r.wait)
-	}
-	fmt.Println("wrote", f.Name())
-	return nil
+	return writeArtifactFile(outdir, "table2.csv", func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		fmt.Fprintln(bw, "mode,tsim_s,fidelity_mean,fidelity_std,tcomm_s,mean_devices_per_job,mean_wait_s")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "%s,%g,%g,%g,%g,%g,%g\n",
+				r.mode, r.tsim, r.muF, r.sigmaF, r.tcomm, r.kMean, r.wait)
+		}
+		return bw.Flush()
+	})
 }
 
 func printReplicateHeader() {
@@ -909,15 +913,12 @@ func fig5(cs *experiments.CaseStudy, outdir string) error {
 	last := len(hist) - 1
 	fmt.Printf("%10.0f %16.4f %14.3f  (final)\n", reward.X[last], reward.Y[last], entropy.Y[last])
 	if outdir != "" {
-		f, err := os.Create(filepath.Join(outdir, "fig5_training.csv"))
+		err := writeArtifactFile(outdir, "fig5_training.csv", func(w io.Writer) error {
+			return stats.WriteSeriesCSV(w, reward, entropy)
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := stats.WriteSeriesCSV(f, reward, entropy); err != nil {
-			return err
-		}
-		fmt.Println("wrote", f.Name())
 	}
 	return nil
 }
@@ -938,16 +939,9 @@ func fig6(h *harness, outdir string) error {
 			return err
 		}
 		if outdir != "" {
-			f, err := os.Create(filepath.Join(outdir, "fig6_"+mode+".csv"))
-			if err != nil {
+			if err := writeArtifactFile(outdir, "fig6_"+mode+".csv", hist.WriteCSV); err != nil {
 				return err
 			}
-			if err := hist.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			f.Close()
-			fmt.Println("wrote", f.Name())
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -216,18 +217,21 @@ func runTrend(w io.Writer, dir string, relTol float64) error {
 	if byDate {
 		order = "embedded date"
 	}
-	fmt.Fprintf(w, "== Trend over %d artifact(s) in %s (ordered by %s) ==\n", len(entries), dir, order)
+	// Buffer the report: bufio latches the first write error and the
+	// checked Flush below surfaces it.
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "== Trend over %d artifact(s) in %s (ordered by %s) ==\n", len(entries), dir, order)
 	for _, note := range notes {
-		fmt.Fprintln(w, note)
+		fmt.Fprintln(bw, note)
 	}
 	if !byDate && dated > 0 {
 		// Some files carry dates the ordering cannot use — for
 		// hash-named BENCH_<sha>.json files, filename order is NOT
 		// commit order, so say loudly that the fallback happened.
-		fmt.Fprintf(w, "WARNING: %d of %d artifact(s) lack an embedded date; ordering fell back to filename — name files in commit order or the newest-point gate compares the wrong pair\n", len(entries)-dated, len(entries))
+		fmt.Fprintf(bw, "WARNING: %d of %d artifact(s) lack an embedded date; ordering fell back to filename — name files in commit order or the newest-point gate compares the wrong pair\n", len(entries)-dated, len(entries))
 	}
 	for _, e := range entries {
-		fmt.Fprintf(w, "  %s\n", e.name)
+		fmt.Fprintf(bw, "  %s\n", e.name)
 	}
 
 	// Collect each metric's series in timeline order, remembering which
@@ -252,7 +256,7 @@ func runTrend(w io.Writer, dir string, relTol float64) error {
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(w, "%-52s %6s %14s %14s %9s  %s\n", "metric", "points", "first", "latest", "delta", "flag")
+	fmt.Fprintf(bw, "%-52s %6s %14s %14s %9s  %s\n", "metric", "points", "first", "latest", "delta", "flag")
 	var shifted []string
 	for _, name := range names {
 		pts := series[name]
@@ -276,7 +280,10 @@ func runTrend(w io.Writer, dir string, relTol float64) error {
 				shifted = append(shifted, name)
 			}
 		}
-		fmt.Fprintf(w, "%-52s %6d %14.6g %14.6g %9s  %s\n", name, len(pts), first.mean, last.mean, delta, flag)
+		fmt.Fprintf(bw, "%-52s %6d %14.6g %14.6g %9s  %s\n", name, len(pts), first.mean, last.mean, delta, flag)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
 	}
 	if len(shifted) > 0 {
 		return fmt.Errorf("trend: %d metric(s) shifted significantly in the newest artifact: %s",

@@ -53,12 +53,13 @@ func run() error {
 		return err
 	}
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	switch *format {
@@ -72,9 +73,16 @@ func run() error {
 		return fmt.Errorf("unknown -format %q (want csv|json|ndjson)", *format)
 	}
 	if err != nil {
+		if outFile != nil {
+			outFile.Close() //lint:allow errlint the write error above is the one to report; close is failure-path cleanup
+		}
 		return err
 	}
-	if *out != "" {
+	if outFile != nil {
+		// A buffered close failure loses rows: check it before announcing.
+		if err := outFile.Close(); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "wrote %d jobs to %s\n", len(jobs), *out)
 	}
 	return nil

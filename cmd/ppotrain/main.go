@@ -73,8 +73,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := stats.WriteSeriesCSV(f, reward, entropy); err != nil {
+			f.Close() //lint:allow errlint the write error is the one to report; close is failure-path cleanup
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("training curve written to %s\n", *curve)

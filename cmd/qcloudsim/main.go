@@ -359,7 +359,7 @@ func report(simEnv *core.QCloudSimEnv, res core.Results, export string, verbose 
 			return err
 		}
 		if err := simEnv.Records.WriteCSV(f); err != nil {
-			f.Close()
+			f.Close() //lint:allow errlint the write error is the one to report; close is failure-path cleanup
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -390,7 +390,7 @@ func loadJobs(path string, n int, seed int64, interarrival float64) ([]*job.QJob
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errlint close of a read-only workload file cannot lose data
 	if strings.EqualFold(filepath.Ext(path), ".json") {
 		return job.LoadJSON(f)
 	}

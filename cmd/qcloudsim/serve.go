@@ -91,7 +91,7 @@ type lifecycleLine struct {
 
 func (e *finishEmitter) emit(l lifecycleLine) {
 	if err := e.enc.Encode(l); err == nil {
-		e.w.Flush()
+		e.w.Flush() //lint:allow errlint lifecycle emission is best-effort; a broken out pipe must not crash the broker
 	}
 }
 
@@ -133,6 +133,12 @@ type metricsLine struct {
 }
 
 // server couples a broker with its output streams and periodic duties.
+// warnf writes one operator status line. Status output is best-effort
+// by design: a broken stderr must not take the broker down with it.
+func warnf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...) //lint:allow errlint operator status lines are best-effort; a broken stderr must not stop the broker
+}
+
 type server struct {
 	opts serveOptions
 	b    *core.Broker
@@ -140,9 +146,13 @@ type server struct {
 	rec  *records.Manager // nil unless -export
 	gw   *api.Gateway
 
+	idx        *core.JobIndex
 	metricsOut *bufio.Writer
-	wallStart  time.Time // zero in logical mode
-	draining   bool
+	// warnOut receives operator status lines (checkpoint failures, drain
+	// summaries); best-effort by design.
+	warnOut   io.Writer
+	wallStart time.Time // zero in logical mode
+	draining  bool
 	// stopHTTP closes the HTTP control plane; set when -http is active.
 	// shutdown calls it before draining so no handler races the drain.
 	stopHTTP func()
@@ -172,7 +182,7 @@ func (s *server) emitMetrics() {
 	}
 	s.metricsOut.Write(data)
 	s.metricsOut.WriteByte('\n')
-	s.metricsOut.Flush()
+	s.metricsOut.Flush() //lint:allow errlint metrics emission is best-effort; a broken metrics pipe must not stop the broker
 }
 
 // writeCheckpoint snapshots the broker if it is quiescent. Non-quiescent
@@ -186,13 +196,19 @@ func (s *server) writeCheckpoint() error {
 	if err != nil {
 		return err
 	}
+	// A quiescent broker implies a quiescent index; the snapshot rides
+	// in the same file so -resume restores the status API's history too.
+	cp.Jobs, err = s.idx.Checkpoint()
+	if err != nil {
+		return err
+	}
 	tmp := s.opts.checkpointPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := cp.Encode(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errlint the encode error is the one to report; close is failure-path cleanup
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -218,7 +234,11 @@ func (s *server) scheduleTicks() {
 	if every := s.opts.checkpointEvery; every > 0 && s.opts.checkpointPath != "" {
 		var tick func()
 		tick = func() {
-			s.writeCheckpoint()
+			if err := s.writeCheckpoint(); err != nil {
+				// A silently failing checkpoint would defeat -resume:
+				// tell the operator every tick it happens.
+				warnf(s.warnOut, "qcloudsim: checkpoint: %v\n", err)
+			}
 			if !s.draining {
 				s.env.AfterFunc(every, tick)
 			}
@@ -249,14 +269,14 @@ func (s *server) shutdown(errOut io.Writer) error {
 			return err
 		}
 		if err := s.rec.WriteCSV(f); err != nil {
-			f.Close()
+			f.Close() //lint:allow errlint the write error is the one to report; close is failure-path cleanup
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintf(errOut, "qcloudsim: broker drained: %d jobs finished, sim time %.2f s\n",
+	warnf(errOut, "qcloudsim: broker drained: %d jobs finished, sim time %.2f s\n",
 		s.b.Finished(), end)
 	return nil
 }
@@ -272,9 +292,9 @@ func (s *server) startHTTP(errOut io.Writer) error {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		hs.Serve(ln)
+		hs.Serve(ln) //lint:allow errlint Serve always returns non-nil: ErrServerClosed on the shutdown path, and bind errors were caught at Listen
 	}()
-	fmt.Fprintf(errOut, "qcloudsim: HTTP control plane on http://%s\n", ln.Addr())
+	warnf(errOut, "qcloudsim: HTTP control plane on http://%s\n", ln.Addr())
 	if s.opts.onHTTP != nil {
 		s.opts.onHTTP(ln.Addr())
 	}
@@ -284,7 +304,7 @@ func (s *server) startHTTP(errOut io.Writer) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if hs.Shutdown(ctx) != nil {
-			hs.Close()
+			hs.Close() //lint:allow errlint forced close after a failed graceful shutdown; there is no further fallback to report to
 		}
 		<-done
 	}
@@ -304,7 +324,7 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 			return fmt.Errorf("resume: %w", err)
 		}
 		cp, err = core.DecodeCheckpoint(f)
-		f.Close()
+		f.Close() //lint:allow errlint close of a read-only checkpoint file cannot lose data
 		if err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
@@ -341,12 +361,17 @@ func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut 
 		if err := b.Restore(cp); err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
+		if cp.Jobs != nil {
+			if err := idx.Restore(cp.Jobs); err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+		}
 	}
 	gw, err := api.NewGateway(b, idx, opts.timeScale == 0)
 	if err != nil {
 		return err
 	}
-	s := &server{opts: opts, b: b, env: env, rec: rec, gw: gw, metricsOut: bufio.NewWriter(errOut)}
+	s := &server{opts: opts, b: b, env: env, rec: rec, gw: gw, idx: idx, metricsOut: bufio.NewWriter(errOut), warnOut: errOut}
 	s.scheduleTicks()
 	if opts.httpAddr != "" {
 		if err := s.startHTTP(errOut); err != nil {
@@ -476,13 +501,13 @@ func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 	if s.opts.onListen != nil {
 		s.opts.onListen(ln.Addr())
 	}
-	fmt.Fprintf(errOut, "qcloudsim: broker listening on %s\n", ln.Addr())
+	warnf(errOut, "qcloudsim: broker listening on %s\n", ln.Addr())
 	s.wallStart = time.Now()
 	jobs := make(chan *job.QJob, 64)
 	var connSeq atomic.Int64
 	go func() {
 		<-ctx.Done()
-		ln.Close()
+		ln.Close() //lint:allow errlint closing the listener is how cancellation unblocks Accept; the error has no consumer
 	}()
 	go func() {
 		for {
@@ -491,11 +516,12 @@ func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 				return // listener closed on cancellation
 			}
 			go func(c net.Conn) {
-				defer c.Close()
+				defer c.Close() //lint:allow errlint ingest connections are read-only; close errors carry no data loss
+
 				dec := job.NewStreamDecoder(c)
 				dec.SetSource("tcp", c.RemoteAddr().String(), connSeq.Add(1))
 				if err := decodeInto(ctx, dec, jobs); err != nil {
-					fmt.Fprintf(errOut, "qcloudsim: %s: %v\n", c.RemoteAddr(), err)
+					warnf(errOut, "qcloudsim: %s: %v\n", c.RemoteAddr(), err)
 				}
 			}(conn)
 		}

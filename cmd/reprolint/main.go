@@ -1,0 +1,104 @@
+// Command reprolint runs the project-invariant static-analysis suite
+// over the repository: determinism (detlint), zero-allocation
+// annotations (alloclint), lock discipline (locklint), discarded
+// errors (errlint), and checkpoint schema stability (ckptlint).
+//
+// Usage:
+//
+//	reprolint [-json] [packages]
+//
+// Packages default to ./... and use `go list` patterns. A path into a
+// testdata directory loads that directory as a fixture package instead
+// (every analyzer applies to fixtures regardless of import path).
+// reprolint exits 0 on a clean tree and 1 with file:line:col
+// diagnostics otherwise; -json emits the diagnostics as a JSON array
+// for tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-json] [packages]\n\nchecks:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "reprolint: %d problem(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// load partitions arguments into fixture directories (paths containing
+// a testdata element, loaded directly) and `go list` patterns.
+func load(patterns []string) ([]*lint.Package, error) {
+	var listPatterns []string
+	var pkgs []*lint.Package
+	for _, p := range patterns {
+		if isTestdataDir(p) {
+			pkg, err := lint.LoadDir(p)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		listPatterns = append(listPatterns, p)
+	}
+	if len(listPatterns) > 0 {
+		listed, err := lint.Load(".", listPatterns...)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, listed...)
+	}
+	return pkgs, nil
+}
+
+func isTestdataDir(p string) bool {
+	if !strings.Contains(p, "testdata") {
+		return false
+	}
+	info, err := os.Stat(p)
+	return err == nil && info.IsDir()
+}

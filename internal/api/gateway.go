@@ -49,12 +49,15 @@ func NewGateway(b *core.Broker, idx *core.JobIndex, logical bool) (*Gateway, err
 // logical mode the simulation clock first advances to the job's
 // arrival_time (never backwards), running any due completions — exactly
 // the batch replay semantics.
+//
+//repro:noalloc
 func (g *Gateway) Submit(j *job.QJob) core.Decision {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.submitLocked(j)
 }
 
+//repro:noalloc
 func (g *Gateway) submitLocked(j *job.QJob) core.Decision {
 	env := g.b.Env()
 	if g.logical && j.ArrivalTime > env.Now() {

@@ -111,6 +111,9 @@ func TestGatewaySubmitSteadyStateAllocFree(t *testing.T) {
 // windows must not leak. Defaults stay small enough for the ordinary
 // test run; -short skips entirely.
 func TestSoakSustainedSubmitFlatHeap(t *testing.T) {
+	// CI's main test job runs `go test -race ./...` without -short, so
+	// this soak (at its 100k default) races on every push; only local
+	// `go test -short` skips it.
 	if testing.Short() {
 		t.Skip("soak skipped in -short mode")
 	}

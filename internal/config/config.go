@@ -139,7 +139,7 @@ func LoadFile(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("config: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errlint close of a read-only config file cannot lose data
 	return Load(f)
 }
 
@@ -315,7 +315,7 @@ func (s *Spec) BuildWorkload(baseDir string) ([]*job.QJob, error) {
 		if err != nil {
 			return nil, fmt.Errorf("config: workload: %w", err)
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errlint close of a read-only workload file cannot lose data
 		if s.Workload.Source == "json" {
 			return job.LoadJSON(f)
 		}

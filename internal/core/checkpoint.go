@@ -51,6 +51,10 @@ type Checkpoint struct {
 	Devices     []DeviceCheckpoint  `json:"devices"`
 	PolicyState json.RawMessage     `json:"policy_state,omitempty"`
 	Admission   AdmissionStats      `json:"admission,omitzero"`
+	// Jobs carries the serving layer's JobIndex snapshot when one is
+	// attached. The broker itself does not own a JobIndex, so
+	// Broker.Checkpoint leaves it nil and the serve loop fills it in.
+	Jobs *JobIndexCheckpoint `json:"jobs,omitempty"`
 }
 
 // Checkpoint snapshots the broker. It fails unless no job is executing:

@@ -40,27 +40,31 @@ func (s JobState) String() string {
 // pooled: a pointer returned by Lookup is valid only until the next
 // recorder event, so callers serialize it while holding whatever lock
 // guards the broker, or copy it.
+//
+// The json tags pin the serialized form: JobInfo rides in
+// JobIndexCheckpoint, so a field rename must not silently change the
+// checkpoint schema.
 type JobInfo struct {
-	ID     string
-	Tenant string
-	State  JobState
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant,omitempty"`
+	State  JobState `json:"state"`
 
-	NumQubits int
-	Depth     int
-	Shots     int
+	NumQubits int `json:"num_qubits"`
+	Depth     int `json:"depth"`
+	Shots     int `json:"num_shots"`
 
-	Arrival  float64
-	Start    float64
-	Finish   float64
-	Fidelity float64
-	CommTime float64
-	Devices  []string
+	Arrival  float64  `json:"arrival"`
+	Start    float64  `json:"start"`
+	Finish   float64  `json:"finish"`
+	Fidelity float64  `json:"fidelity"`
+	CommTime float64  `json:"comm_time"`
+	Devices  []string `json:"devices,omitempty"`
 
 	// DropReason is set for JobDropped entries (one of the Drop*
 	// constants).
-	DropReason string
+	DropReason string `json:"drop_reason,omitempty"`
 	// Ingest is the job's connection provenance, zero for batch jobs.
-	Ingest job.Ingest
+	Ingest job.Ingest `json:"ingest,omitzero"`
 }
 
 // JobIndex is a StreamRecorder that maintains a queryable index of job
@@ -177,6 +181,58 @@ func (x *JobIndex) Drop(j *job.QJob, t float64, reason string) {
 	e.Finish = t
 	e.DropReason = reason
 	x.retire(e)
+}
+
+// JobIndexCheckpoint is a JobIndex snapshot taken at quiescence (no
+// queued or running jobs): the retention capacity and the terminal
+// entries in FIFO order, oldest first. At quiescence the live set is
+// empty by definition, so the ring is the whole observable state.
+type JobIndexCheckpoint struct {
+	Retain  int       `json:"retain"`
+	Entries []JobInfo `json:"entries,omitempty"`
+}
+
+// Checkpoint snapshots the index. It fails unless the index is
+// quiescent: live entries reference in-flight broker state that cannot
+// be serialized, mirroring Broker.Checkpoint's contract.
+func (x *JobIndex) Checkpoint() (*JobIndexCheckpoint, error) {
+	if x.nlive > 0 {
+		return nil, fmt.Errorf("core: job index checkpoint requires quiescence, %d jobs live", x.nlive)
+	}
+	cp := &JobIndexCheckpoint{Retain: len(x.done)}
+	for i := 0; i < x.count; i++ {
+		k := x.head + i
+		if k >= len(x.done) {
+			k -= len(x.done)
+		}
+		e := *x.done[k]
+		e.Devices = append([]string(nil), e.Devices...)
+		cp.Entries = append(cp.Entries, e)
+	}
+	return cp, nil
+}
+
+// Restore reinstates a checkpoint into a fresh index with the same
+// retention capacity. The entries replay through the ring in FIFO
+// order, so a subsequent Checkpoint returns a byte-identical snapshot.
+func (x *JobIndex) Restore(cp *JobIndexCheckpoint) error {
+	if x.nlive != 0 || x.count != 0 {
+		return fmt.Errorf("core: restore requires a fresh job index")
+	}
+	if cp.Retain != len(x.done) {
+		return fmt.Errorf("core: checkpoint retains %d terminal jobs, index %d", cp.Retain, len(x.done))
+	}
+	if len(cp.Entries) > cp.Retain {
+		return fmt.Errorf("core: checkpoint holds %d entries beyond its %d retention", len(cp.Entries), cp.Retain)
+	}
+	for i := range cp.Entries {
+		e := new(JobInfo)
+		*e = cp.Entries[i]
+		e.Devices = append([]string(nil), cp.Entries[i].Devices...)
+		x.byID[e.ID] = e
+		x.retire(e)
+	}
+	return nil
 }
 
 // retire moves a terminal entry into the retention ring, evicting (and

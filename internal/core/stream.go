@@ -343,6 +343,8 @@ func (b *Broker) Quiescent() bool { return b.active == 0 && len(b.pending) == 0 
 // responsible for advancing the clock to the job's arrival time first;
 // a job delivered late is admitted at the current time. Admission order
 // must follow the stream order.
+//
+//repro:noalloc
 func (b *Broker) Admit(j *job.QJob) {
 	now := b.env.Now()
 	b.admitted++
@@ -359,6 +361,8 @@ func (b *Broker) Admit(j *job.QJob) {
 // jobs are recorded as Drop lifecycle events and never reach the
 // scheduler. With no admission policy configured, Offer is equivalent
 // to Admit.
+//
+//repro:noalloc
 func (b *Broker) Offer(j *job.QJob) Decision {
 	now := b.env.Now()
 	d := Decision{Admitted: true}
@@ -391,6 +395,8 @@ func (b *Broker) Offer(j *job.QJob) Decision {
 
 // statesInto snapshots the fleet into the broker's reusable buffer —
 // the allocation-free twin of QCloud.States.
+//
+//repro:noalloc
 func (b *Broker) statesInto() []policy.DeviceState {
 	out := b.states[:len(b.devices)]
 	for i, d := range b.devices {
@@ -450,6 +456,8 @@ func (b *Broker) validate(j *job.QJob, states []policy.DeviceState, allocs []pol
 // dispatch places pending jobs until no further placement is possible,
 // replicating QCloud.dispatch: FIFO head-only by default, skip-ahead in
 // backfill mode.
+//
+//repro:noalloc
 func (b *Broker) dispatch() {
 	for {
 		placedAny := false
@@ -501,6 +509,8 @@ func (b *Broker) getRun() *jobRun {
 // complete at start + max τ_i; the chained communication timer then
 // reproduces the batch path's (start+maxProc)+comm float arithmetic
 // exactly, keeping finish times bit-identical.
+//
+//repro:noalloc
 func (b *Broker) start(pj pendingJob, allocs []policy.Allocation) {
 	jr := b.getRun()
 	jr.j = pj.j
@@ -508,6 +518,7 @@ func (b *Broker) start(pj pendingJob, allocs []policy.Allocation) {
 	jr.start = b.env.Now()
 	jr.allocs = append(jr.allocs[:0], allocs...)
 	if cap(jr.grants) < len(allocs) {
+		//lint:allow alloclint pool warm-up: runs once per fleet-size increase, never in steady state
 		jr.grants = make([]device.Allocation, len(allocs))
 	}
 	jr.grants = jr.grants[:len(allocs)]
@@ -531,6 +542,8 @@ func (b *Broker) start(pj pendingJob, allocs []policy.Allocation) {
 
 // onProcessed fires when the slowest partition finishes; blocking
 // classical communication across the k-1 links follows (Eq. 9).
+//
+//repro:noalloc
 func (jr *jobRun) onProcessed() {
 	if jr.commTime > 0 {
 		jr.br.env.AfterFunc(jr.commTime, jr.commFn)
@@ -542,6 +555,8 @@ func (jr *jobRun) onProcessed() {
 // finish computes fidelity, releases the reservations, records the
 // completion, and re-dispatches — mirroring the tail of
 // QCloud.startJob.
+//
+//repro:noalloc
 func (jr *jobRun) finish() {
 	b := jr.br
 	now := b.env.Now()
@@ -568,6 +583,8 @@ func (jr *jobRun) finish() {
 // fidelity computes the job's final fidelity from per-partition
 // fidelities (Eqs. 4–8) using the run's scratch buffers — the
 // allocation-free twin of QCloud.jobFidelity.
+//
+//repro:noalloc
 func (jr *jobRun) fidelity() float64 {
 	b := jr.br
 	j := jr.j

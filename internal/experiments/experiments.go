@@ -132,7 +132,7 @@ func (cs *CaseStudy) loadWorkload() ([]*job.QJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: workload trace: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errlint close of a read-only trace file cannot lose data
 	if strings.EqualFold(filepath.Ext(cs.TracePath), ".json") {
 		return job.LoadJSON(f)
 	}

@@ -163,6 +163,7 @@ func (cs *CaseStudy) task(spec runSpec) runner.Task[RunArtifact] {
 			if spec.mutate != nil {
 				spec.mutate(snap)
 			}
+			//lint:allow detlint wall-clock run duration is manifest metadata about the host, not simulation state
 			start := time.Now()
 			run, err := snap.RunMode(spec.mode)
 			if err != nil {

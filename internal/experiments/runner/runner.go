@@ -121,6 +121,7 @@ func (p *Pool[T]) Run(ctx context.Context, tasks []Task[T]) ([]T, error) {
 	go func() {
 		defer close(idxCh)
 		for i := range tasks {
+			//lint:allow detlint work handout vs. cancellation: each index reaches exactly one worker, and result order is fixed by index afterward
 			select {
 			case idxCh <- i:
 			case <-ctx.Done():
@@ -138,6 +139,7 @@ func (p *Pool[T]) Run(ctx context.Context, tasks []Task[T]) ([]T, error) {
 				if ctx.Err() != nil {
 					return
 				}
+				//lint:allow detlint wall-clock task timing is manifest metadata about the host, not simulation state
 				start := time.Now()
 				v, err := tasks[i].Run(ctx)
 				wall := time.Since(start)

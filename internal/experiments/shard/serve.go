@@ -58,9 +58,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	s.mu.Lock()
 	if s.start.IsZero() {
+		//lint:allow detlint daemon uptime is operational wall-clock metadata, not simulation state
 		s.start = time.Now()
 	}
 	s.mu.Unlock()
+	//lint:allow errlint closing the listener is how cancellation unblocks Accept; the error has no consumer
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
 
@@ -98,7 +100,7 @@ func (s *Server) health() *Health {
 		Capacity: max(1, s.Capacity),
 		Active:   s.active,
 		Served:   s.served,
-		UptimeS:  time.Since(s.start).Seconds(),
+		UptimeS:  time.Since(s.start).Seconds(), //lint:allow detlint uptime reporting is operational wall-clock metadata, not simulation state
 	}
 }
 
@@ -106,14 +108,16 @@ func (s *Server) health() *Health {
 // hello handshake with version check, then a request loop of pings and
 // orders until the coordinator hangs up.
 func (s *Server) handle(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
+	defer conn.Close() //lint:allow errlint protocol errors travel in-band; close errors on a request socket carry no data
 	// Unblock reads when the daemon shuts down mid-connection.
+	//lint:allow errlint the shutdown close only unblocks reads; the handler's own defer reports nothing either way
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 	peer := conn.RemoteAddr().String()
 
 	// The handshake runs under a deadline: a connection that never says
 	// hello (port scanner, half-open socket) must not pin a goroutine.
+	//lint:allow detlint network I/O deadlines are wall-clock by nature; they bound a hung peer, not simulated time
 	if err := conn.SetReadDeadline(time.Now().Add(DefaultDialTimeout)); err != nil {
 		return
 	}
@@ -124,11 +128,13 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	}
 	if hello.Type != reqHello {
 		s.logf("%s: refused: first frame %q, want hello", peer, hello.Type)
+		//lint:allow errlint best-effort refusal frame to a peer being dropped; the refusal itself is already logged
 		_ = writeFrame(conn, reply{Type: msgError, Error: fmt.Sprintf("expected hello, got %q", hello.Type)})
 		return
 	}
 	if hello.Version != ProtocolVersion {
 		s.logf("%s: refused: protocol v%d, daemon speaks v%d", peer, hello.Version, ProtocolVersion)
+		//lint:allow errlint best-effort refusal frame to a peer being dropped; the refusal itself is already logged
 		_ = writeFrame(conn, reply{Type: msgError, Error: fmt.Sprintf("protocol version mismatch: coordinator speaks v%d, daemon v%d", hello.Version, ProtocolVersion)})
 		return
 	}
@@ -165,6 +171,7 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 			s.logf("%s: order done (%d tasks)", peer, len(req.Indices))
 		default:
 			s.logf("%s: refused frame type %q", peer, req.Type)
+			//lint:allow errlint best-effort refusal frame to a peer being dropped; the refusal itself is already logged
 			_ = writeFrame(conn, reply{Type: msgError, Error: fmt.Sprintf("unknown request type %q", req.Type)})
 			return
 		}
@@ -179,6 +186,7 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 func (s *Server) runOrder(ctx context.Context, conn net.Conn, peer string, o order) error {
 	if len(o.Labels) != len(o.Indices) {
 		err := fmt.Errorf("order has %d labels for %d indices", len(o.Labels), len(o.Indices))
+		//lint:allow errlint best-effort rejection frame; the malformed order is reported through the returned error
 		_ = writeFrame(conn, reply{Type: msgError, Error: err.Error()})
 		return err
 	}
@@ -207,6 +215,7 @@ func (s *Server) runOrder(ctx context.Context, conn net.Conn, peer string, o ord
 	write := func(rep reply) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		//lint:allow detlint network I/O deadlines are wall-clock by nature; they bound a hung peer, not simulated time
 		if err := conn.SetWriteDeadline(time.Now().Add(DefaultHeartbeatTimeout)); err != nil {
 			return err
 		}
@@ -223,6 +232,7 @@ func (s *Server) runOrder(ctx context.Context, conn net.Conn, peer string, o ord
 		t := time.NewTicker(hb)
 		defer t.Stop()
 		for {
+			//lint:allow detlint heartbeats are wall-clock liveness plumbing; whichever arm fires, no simulation state is touched
 			select {
 			case <-hbDone:
 				return
@@ -248,6 +258,7 @@ func (s *Server) runOrder(ctx context.Context, conn net.Conn, peer string, o ord
 	if err := s.Run(octx, o.Spec, o.Indices, o.Labels, emit); err != nil {
 		// Best-effort: like ServeWorker, the coordinator learns the root
 		// cause from this frame if the connection still works.
+		//lint:allow errlint best-effort root-cause frame; a dead connection already surfaces as a coordinator-side failure
 		_ = write(reply{Type: msgError, Error: err.Error()})
 		return err
 	}

@@ -138,32 +138,33 @@ func dialWorker(ctx context.Context, host string, dialTO, hbTO time.Duration) (*
 	if err != nil {
 		return nil, nil, err
 	}
+	//lint:allow detlint network I/O deadlines are wall-clock by nature; they bound a hung peer, not simulated time
 	if err := conn.SetDeadline(time.Now().Add(dialTO)); err != nil {
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, err
 	}
 	if err := writeFrame(conn, request{Type: reqHello, Version: ProtocolVersion}); err != nil {
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, fmt.Errorf("handshake: %w", err)
 	}
 	var rep reply
 	if err := readFrame(conn, &rep); err != nil {
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, fmt.Errorf("handshake: %w", err)
 	}
 	switch {
 	case rep.Type == msgError:
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, fmt.Errorf("daemon refused session: %s", rep.Error)
 	case rep.Type != msgHello || rep.Health == nil:
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, fmt.Errorf("handshake: daemon sent %q frame, want hello", rep.Type)
 	case rep.Health.Version != ProtocolVersion:
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, fmt.Errorf("protocol version mismatch: daemon speaks v%d, this binary v%d", rep.Health.Version, ProtocolVersion)
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		conn.Close()
+		conn.Close() //lint:allow errlint the handshake error is the one to report; close is failure-path cleanup
 		return nil, nil, err
 	}
 	return &tcpSession{conn: conn, host: host, hbTimeout: hbTO}, rep.Health, nil
@@ -180,6 +181,7 @@ type tcpSession struct {
 }
 
 func (s *tcpSession) sendOrder(o order) error {
+	//lint:allow detlint network I/O deadlines are wall-clock by nature; they bound a hung peer, not simulated time
 	if err := s.conn.SetWriteDeadline(time.Now().Add(s.hbTimeout)); err != nil {
 		return err
 	}
@@ -196,6 +198,7 @@ func (s *tcpSession) sendOrder(o order) error {
 // means the daemon is wedged and the shard should requeue elsewhere.
 func (s *tcpSession) recv(rep *reply) error {
 	for {
+		//lint:allow detlint network I/O deadlines are wall-clock by nature; they bound a hung peer, not simulated time
 		if err := s.conn.SetReadDeadline(time.Now().Add(s.hbTimeout)); err != nil {
 			return err
 		}
@@ -230,12 +233,14 @@ func Probe(ctx context.Context, host string, timeout time.Duration) (*ProbeInfo,
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
 	}
+	//lint:allow detlint probe round-trip time is operational wall-clock metadata, not simulation state
 	start := time.Now()
 	sess, health, err := dialWorker(ctx, host, timeout, timeout)
 	if err != nil {
 		return nil, err
 	}
 	rtt := time.Since(start)
+	//lint:allow errlint the probe succeeded; hang-up errors on a drained handshake socket carry no signal
 	_ = sess.close()
 	return &ProbeInfo{Host: host, Health: *health, RTT: rtt}, nil
 }

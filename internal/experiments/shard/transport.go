@@ -115,6 +115,7 @@ func (s *processSession) peer() string { return "" }
 // the same exit status.
 func (s *processSession) close() error {
 	s.once.Do(func() {
+		//lint:allow errlint Kill on an already-exited worker fails by design; Wait below reports the real exit status
 		_ = s.cmd.Process.Kill()
 		s.waitErr = s.cmd.Wait()
 	})

@@ -44,6 +44,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, run RunFunc) err
 		defer mu.Unlock()
 		// Best-effort: the coordinator learns the root cause from this
 		// frame; if the pipe is already gone it sees a crash instead.
+		//lint:allow errlint best-effort root-cause frame; a dead pipe already surfaces as a coordinator-side crash
 		_ = writeFrame(w, reply{Type: msgError, Error: err.Error()})
 		return err
 	}

@@ -97,7 +97,7 @@ func LoadSpecFile(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errlint close of a read-only spec file cannot lose data
 	s, err := LoadSpec(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

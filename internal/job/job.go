@@ -13,27 +13,32 @@ import (
 // QJob describes one quantum task: a single circuit with its resource
 // requirements, mirroring the paper's QJob attributes (§3) plus the
 // two-qubit gate count t2 from the §4 problem definition.
+//
+// The json tags pin the struct's serialized form — QJob is embedded in
+// broker checkpoints — to the same field names the workload wire schema
+// (loader.go's jobJSON) uses, so a checkpoint survives any future field
+// rename.
 type QJob struct {
 	// ID uniquely identifies the job.
-	ID string
+	ID string `json:"job_id"`
 	// NumQubits is the total qubit requirement q.
-	NumQubits int
+	NumQubits int `json:"num_qubits"`
 	// Depth is the circuit depth d.
-	Depth int
+	Depth int `json:"depth"`
 	// Shots is the number of measurement repetitions s.
-	Shots int
+	Shots int `json:"num_shots"`
 	// TwoQubitGates is the circuit's two-qubit gate count t2.
-	TwoQubitGates int
+	TwoQubitGates int `json:"two_qubit_gates"`
 	// ArrivalTime is when the job enters the cloud (simulation seconds).
-	ArrivalTime float64
+	ArrivalTime float64 `json:"arrival_time"`
 	// Tenant optionally labels the submitting tenant for per-tenant
 	// broker metrics. Empty means the default tenant.
-	Tenant string
+	Tenant string `json:"tenant,omitempty"`
 	// Ingest records where the job entered the system. It is stamped
 	// server-side by the broker's connection-oriented ingest paths (TCP
 	// and HTTP) and is not part of the workload wire schema: clients
 	// cannot set it.
-	Ingest Ingest `json:",omitzero"`
+	Ingest Ingest `json:"ingest,omitzero"`
 }
 
 // Ingest is per-connection provenance for a streamed job: which ingest

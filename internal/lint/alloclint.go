@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const allocName = "alloclint"
+
+// NoallocDirective marks a function whose steady state must not
+// allocate. The contract is intraprocedural: alloclint flags allocation
+// sites in the annotated function's own body; callees carry their own
+// annotations (or are warm-up/cold helpers by design). Expressions that
+// are arguments to panic are exempt — a crash path may allocate.
+const NoallocDirective = "//repro:noalloc"
+
+// AllocLint flags heap-allocation sites in functions annotated
+// //repro:noalloc: make/new, escaping composite literals, appends
+// outside the recycled-buffer idiom, fmt string building, string
+// concatenation, capturing closures, method values, and implicit
+// interface conversions that box their operand.
+var AllocLint = &Analyzer{
+	Name: allocName,
+	Doc:  "allocation sites in //repro:noalloc functions",
+	Run:  runAllocLint,
+}
+
+func runAllocLint(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, NoallocDirective) {
+				continue
+			}
+			out = append(out, (&allocChecker{pkg: pkg, fn: fn}).check()...)
+		}
+	}
+	return out
+}
+
+// allocChecker walks one annotated function body.
+type allocChecker struct {
+	pkg *Package
+	fn  *ast.FuncDecl
+	out []Diagnostic
+
+	// panicSpans are source ranges inside panic(...) arguments; nodes
+	// within them are exempt (crash paths may allocate).
+	panicSpans [][2]token.Pos
+	// selfAppends are append CallExprs in the recycled-buffer idiom
+	// x = append(x, ...) / x = append(x[:0], ...), which grow only
+	// during warm-up of a caller-owned buffer.
+	selfAppends map[*ast.CallExpr]bool
+	// calledFuns are SelectorExprs appearing as the Fun of a call —
+	// method *calls*, as opposed to method values (which allocate).
+	calledFuns map[*ast.SelectorExpr]bool
+}
+
+func (c *allocChecker) check() []Diagnostic {
+	c.selfAppends = map[*ast.CallExpr]bool{}
+	c.calledFuns = map[*ast.SelectorExpr]bool{}
+	c.prepass(c.fn.Body)
+	c.walk(c.fn.Body)
+	return c.out
+}
+
+// prepass records panic-argument spans, recycled-buffer appends, and
+// called (rather than captured) method selectors.
+func (c *allocChecker) prepass(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args {
+						c.panicSpans = append(c.panicSpans, [2]token.Pos{arg.Pos(), arg.End()})
+					}
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				c.calledFuns[sel] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && c.isAppend(call) && len(call.Args) > 0 {
+					if exprString(n.Lhs[0]) == exprString(sliceBase(call.Args[0])) {
+						c.selfAppends[call] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) exempt(n ast.Node) bool {
+	for _, span := range c.panicSpans {
+		if n.Pos() >= span[0] && n.End() <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *allocChecker) isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *allocChecker) flag(n ast.Node, format string, args ...any) {
+	c.out = append(c.out, c.pkg.diag(allocName, n, format, args...))
+}
+
+func (c *allocChecker) walk(body *ast.BlockStmt) {
+	name := c.fn.Name.Name
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if c.exempt(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n, name)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.flag(n, "%s is //repro:noalloc but &-composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			c.checkConcat(n, name)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && c.isString(n.Lhs[0]) {
+				c.flag(n, "%s is //repro:noalloc but += on a string allocates", name)
+			}
+		case *ast.FuncLit:
+			if captured := c.captures(n); captured != "" {
+				c.flag(n, "%s is //repro:noalloc but closure captures %s and may escape to the heap", name, captured)
+			}
+			return false // the literal's own body runs under its own rules
+		case *ast.SelectorExpr:
+			c.checkMethodValue(n, name)
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr, name string) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.flag(call, "%s is //repro:noalloc but make allocates", name)
+			case "new":
+				c.flag(call, "%s is //repro:noalloc but new allocates", name)
+			case "append":
+				if !c.selfAppends[call] {
+					c.flag(call, "%s is //repro:noalloc but this append is not the recycled-buffer idiom x = append(x, ...) and may grow beyond capacity", name)
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.flag(call, "%s is //repro:noalloc but fmt.%s builds strings on the heap", name, sel.Sel.Name)
+				return
+			}
+		}
+	}
+	c.checkBoxing(call, name)
+}
+
+// checkBoxing flags arguments implicitly converted to interface
+// parameters when the conversion must box the value. Pointer-shaped
+// kinds (pointers, channels, maps, functions) fit the interface word
+// directly and are exempt, as are values that are already interfaces.
+func (c *allocChecker) checkBoxing(call *ast.CallExpr, name string) {
+	if tv, ok := c.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if isInterface(tv.Type) && len(call.Args) == 1 && c.boxes(call.Args[0]) {
+			c.flag(call, "%s is //repro:noalloc but conversion to interface %s boxes its operand", name, tv.Type.String())
+		}
+		return
+	}
+	sig := c.callSignature(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && c.boxes(arg) {
+			c.flag(arg, "%s is //repro:noalloc but passing %s as interface %s boxes the value", name, c.typeOf(arg), pt.String())
+		}
+	}
+}
+
+func (c *allocChecker) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := c.pkg.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether passing the expression to an interface
+// parameter heap-allocates: true for concrete, non-pointer-shaped,
+// non-constant values.
+func (c *allocChecker) boxes(arg ast.Expr) bool {
+	tv, ok := c.pkg.Info.Types[arg]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return false // constants are boxed from static data
+	}
+	t := tv.Type
+	if t == nil || isInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func (c *allocChecker) checkCompositeLit(lit *ast.CompositeLit, name string) {
+	tv, ok := c.pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.flag(lit, "%s is //repro:noalloc but slice literal allocates its backing array", name)
+	case *types.Map:
+		c.flag(lit, "%s is //repro:noalloc but map literal allocates", name)
+	}
+}
+
+func (c *allocChecker) checkConcat(be *ast.BinaryExpr, name string) {
+	if be.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.flag(be, "%s is //repro:noalloc but string concatenation allocates", name)
+	}
+}
+
+// checkMethodValue flags method values (x.M used as a value rather
+// than called): each evaluation allocates a bound-method closure.
+func (c *allocChecker) checkMethodValue(sel *ast.SelectorExpr, name string) {
+	if c.calledFuns[sel] {
+		return
+	}
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	c.flag(sel, "%s is //repro:noalloc but method value %s.%s allocates a bound closure", name, exprString(sel.X), sel.Sel.Name)
+}
+
+// captures returns the name of a variable the closure captures from
+// its enclosing function, or "" for capture-free literals (which do
+// not allocate).
+func (c *allocChecker) captures(lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (receiver,
+		// parameter, or local) but outside the literal itself.
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+func (c *allocChecker) isString(e ast.Expr) bool {
+	tv, ok := c.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func (c *allocChecker) typeOf(e ast.Expr) string {
+	if tv, ok := c.pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// sliceBase strips slice expressions: x[:0] → x, x[a:b] → x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		s, ok := e.(*ast.SliceExpr)
+		if !ok {
+			return e
+		}
+		e = s.X
+	}
+}
+
+// exprString renders simple expressions (identifier, selector, and
+// index chains) for idiom matching and messages. Shapes it cannot
+// render yield a position-unique placeholder, so two distinct complex
+// expressions never compare equal — erring toward flagging.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return fmt.Sprintf("<expr@%d>", e.Pos())
+}

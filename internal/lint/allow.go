@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowPrefix is the escape-hatch comment form:
+//
+//	//lint:allow <check> <reason>
+//
+// The comment suppresses diagnostics of the named check on its own line
+// or on the line directly below (for a comment on its own line above
+// the flagged statement). The reason is mandatory: a suppression
+// without one is itself a diagnostic, so every allowed violation in the
+// tree carries a written justification.
+const allowPrefix = "//lint:allow"
+
+// AllowCheck is the pseudo-check name under which malformed allow
+// comments are reported. It is not suppressible.
+const AllowCheck = "allow"
+
+// allowKey identifies one (file, line, check) suppression.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type allowSet map[allowKey]bool
+
+// allowed reports whether an allow comment covers the diagnostic: one
+// on the same line, or on the line directly above.
+func (s allowSet) allowed(d Diagnostic) bool {
+	return s[allowKey{d.File, d.Line, d.Check}] || s[allowKey{d.File, d.Line - 1, d.Check}]
+}
+
+// collectAllows scans every comment in the loaded packages for allow
+// directives. It returns the suppression set plus diagnostics for
+// malformed directives: unknown check names and missing reasons.
+func collectAllows(pkgs []*Package, valid map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var misuse []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // e.g. //lint:allowance — not ours
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					check, reason := splitDirective(rest)
+					switch {
+					case check == "":
+						misuse = append(misuse, pkg.diag(AllowCheck, c,
+							"lint:allow needs a check name and a reason: //lint:allow <check> <reason>"))
+					case !valid[check]:
+						misuse = append(misuse, pkg.diag(AllowCheck, c,
+							"lint:allow names unknown check %q", check))
+					case reason == "":
+						misuse = append(misuse, pkg.diag(AllowCheck, c,
+							"lint:allow %s needs a reason: naked suppressions are not accepted", check))
+					default:
+						allows[allowKey{pos.Filename, pos.Line, check}] = true
+					}
+				}
+			}
+		}
+	}
+	return allows, misuse
+}
+
+// splitDirective splits "  check the reason text" into its check name
+// and reason.
+func splitDirective(rest string) (check, reason string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	return fields[0], strings.Join(fields[1:], " ")
+}
+
+// funcDirective reports whether a function's doc comment carries the
+// given directive comment (e.g. //repro:noalloc).
+func funcDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

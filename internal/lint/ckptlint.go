@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strings"
+)
+
+const ckptName = "ckptlint"
+
+// CkptLint guards the checkpoint/resume round trip. It finds the
+// package's checkpoint root structs — structs declared in a
+// checkpoint*.go file or whose type name contains "checkpoint" — and
+// walks every struct reachable from their fields (through slices,
+// arrays, maps, and pointers, across packages in this module). In that
+// graph it flags:
+//
+//   - exported fields without an explicit JSON name: a later rename
+//     silently changes the checkpoint schema, and DisallowUnknownFields
+//     decoding then rejects older files with an opaque error
+//   - unexported fields: encoding/json skips them, so their state
+//     silently fails to survive a checkpoint → resume round trip
+var CkptLint = &Analyzer{
+	Name: ckptName,
+	Doc:  "checkpointed struct fields that break round trips",
+	Run:  runCkptLint,
+}
+
+func runCkptLint(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	visited := map[*types.TypeName]bool{}
+	for _, root := range checkpointRoots(pkg) {
+		out = append(out, walkCheckpointed(pkg, root, visited)...)
+	}
+	return out
+}
+
+// checkpointRoots finds the package's checkpoint schema entry points.
+func checkpointRoots(pkg *Package) []*types.TypeName {
+	var roots []*types.TypeName
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+			continue
+		}
+		file := filepath.Base(pkg.Fset.Position(tn.Pos()).Filename)
+		inCheckpointFile := strings.HasPrefix(file, "checkpoint")
+		named := strings.Contains(strings.ToLower(name), "checkpoint")
+		if inCheckpointFile || named {
+			roots = append(roots, tn)
+		}
+	}
+	return roots
+}
+
+// walkCheckpointed checks one named struct and recurses into the
+// module-local named structs its fields reach.
+func walkCheckpointed(pkg *Package, tn *types.TypeName, visited map[*types.TypeName]bool) []Diagnostic {
+	if visited[tn] {
+		return nil
+	}
+	visited[tn] = true
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "-" {
+			continue // explicitly excluded from the schema
+		}
+		switch {
+		case !field.Exported():
+			out = append(out, fieldDiag(pkg, field,
+				"unexported field %s.%s is skipped by encoding/json and will not survive a checkpoint/resume round trip",
+				tn.Name(), field.Name()))
+		case jsonName(tag) == "":
+			out = append(out, fieldDiag(pkg, field,
+				"checkpointed field %s.%s has no explicit JSON name: add a json tag to pin the checkpoint schema",
+				tn.Name(), field.Name()))
+		}
+		for _, next := range reachableStructs(field.Type()) {
+			out = append(out, walkCheckpointed(pkg, next, visited)...)
+		}
+	}
+	return out
+}
+
+// fieldDiag anchors a diagnostic at a field's declaration, which may be
+// in another package of the module (the loader typechecks dependencies
+// from source through the same FileSet, so positions resolve).
+func fieldDiag(pkg *Package, field *types.Var, format string, args ...any) Diagnostic {
+	pos := pkg.Fset.Position(field.Pos())
+	return Diagnostic{
+		Check:   ckptName,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// jsonName extracts the field name portion of a json tag.
+func jsonName(tag string) string {
+	if i := strings.Index(tag, ","); i >= 0 {
+		return tag[:i]
+	}
+	return tag
+}
+
+// reachableStructs unwraps containers to the named struct types a field
+// type reaches. Types outside this module (json.RawMessage, time.Time)
+// own their serialization and are not descended into.
+func reachableStructs(t types.Type) []*types.TypeName {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil || !moduleLocal(obj.Pkg().Path()) {
+			return nil
+		}
+		if _, ok := t.Underlying().(*types.Struct); ok {
+			return []*types.TypeName{obj}
+		}
+		return nil
+	case *types.Pointer:
+		return reachableStructs(t.Elem())
+	case *types.Slice:
+		return reachableStructs(t.Elem())
+	case *types.Array:
+		return reachableStructs(t.Elem())
+	case *types.Map:
+		return append(reachableStructs(t.Key()), reachableStructs(t.Elem())...)
+	case *types.Struct:
+		// Anonymous struct field: check its fields in place via the
+		// named parent; anonymous nesting is rare enough to descend
+		// through named types only.
+		return nil
+	}
+	return nil
+}
+
+// moduleLocal reports whether an import path belongs to this module or
+// to a fixture package.
+func moduleLocal(path string) bool {
+	return strings.HasPrefix(path, "repro/") || path == "repro" || strings.HasPrefix(path, "fixture/")
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const errName = "errlint"
+
+// ErrLint flags discarded error returns outside test files: bare call
+// statements (including defer and go) whose callee returns an error,
+// and assignments that send an error result to the blank identifier.
+// Print calls to stdout/stderr and the never-failing in-memory writers
+// (*bytes.Buffer, *strings.Builder) are exempt; everything else needs a
+// fix or a reasoned //lint:allow.
+var ErrLint = &Analyzer{
+	Name: errName,
+	Doc:  "discarded error returns",
+	Run:  runErrLint,
+}
+
+func runErrLint(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if d, bad := discardedCall(pkg, call, ""); bad {
+						out = append(out, d)
+					}
+				}
+			case *ast.DeferStmt:
+				if d, bad := discardedCall(pkg, n.Call, "deferred "); bad {
+					out = append(out, d)
+				}
+			case *ast.GoStmt:
+				if d, bad := discardedCall(pkg, n.Call, "spawned "); bad {
+					out = append(out, d)
+				}
+			case *ast.AssignStmt:
+				out = append(out, blankErrAssigns(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// discardedCall flags a call statement that drops an error result.
+func discardedCall(pkg *Package, call *ast.CallExpr, kind string) (Diagnostic, bool) {
+	if !returnsError(pkg, call) || exemptWriter(pkg, call) {
+		return Diagnostic{}, false
+	}
+	return pkg.diag(errName, call,
+		"%scall to %s discards its error result", kind, callName(call)), true
+}
+
+// blankErrAssigns flags `_ = errReturningExpr` and multi-assigns that
+// put an error result in a blank slot.
+func blankErrAssigns(pkg *Package, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(pkg.Info.TypeOf(as.Rhs[i])) {
+				out = append(out, pkg.diag(errName, as,
+					"error result assigned to the blank identifier"))
+			}
+		}
+		return out
+	}
+	// Tuple assignment: a, _ := f() — match blank slots to result types.
+	if len(as.Rhs) != 1 {
+		return out
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return out
+	}
+	tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+	if !ok {
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+			out = append(out, pkg.diag(errName, as,
+				"error result of %s assigned to the blank identifier", callName(call)))
+		}
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	t := pkg.Info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptWriter recognizes error returns that are safe to drop:
+// fmt.Print* (stdout), fmt.Fprint* to os.Stdout/os.Stderr or to a
+// sticky-error *bufio.Writer, and methods on the never-failing
+// in-memory writers (*bytes.Buffer, *strings.Builder) and on
+// *bufio.Writer. A bufio.Writer latches its first error and replays it
+// from Flush, so per-write checks are redundant — but a discarded
+// Flush, where the latched error finally surfaces, stays flagged.
+func exemptWriter(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Print") {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return isStdStream(pkg, call.Args[0]) || isWriterType(pkg.Info.TypeOf(call.Args[0]), "bufio.Writer")
+			}
+			return false
+		}
+	}
+	recv := pkg.Info.TypeOf(sel.X)
+	if isWriterType(recv, "bytes.Buffer") || isWriterType(recv, "strings.Builder") {
+		return true
+	}
+	return isWriterType(recv, "bufio.Writer") && sel.Sel.Name != "Flush"
+}
+
+// isWriterType reports whether t is the named type (or a pointer to
+// it), given as "pkgpath.Name".
+func isWriterType(t types.Type, full string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == full
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr
+// (or an in-memory writer value).
+func isStdStream(pkg *Package, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// callName renders the callee for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	return exprString(call.Fun)
+}

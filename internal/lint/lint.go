@@ -1,0 +1,159 @@
+// Package lint implements reprolint, the project-invariant
+// static-analysis suite. The repository's two load-bearing guarantees —
+// byte-identical records across every executor, and zero-allocation hot
+// paths — are enforced at runtime by equivalence diffs and AllocsPerRun
+// gates; the analyzers here enforce them at the source level, before
+// any test runs:
+//
+//   - detlint: wall-clock reads, global math/rand, multi-case selects,
+//     and order-dependent map iteration in determinism-critical packages
+//   - alloclint: allocation sites in functions annotated //repro:noalloc
+//   - locklint: mutex-guarded structs whose exported methods skip the
+//     lock, and lock-held calls that would self-deadlock
+//   - errlint: discarded error returns
+//   - ckptlint: checkpointed struct fields that would not survive a
+//     checkpoint/resume round trip
+//
+// Intentional violations are suppressed with an escape hatch that
+// requires a written reason:
+//
+//	//lint:allow <check> <reason>
+//
+// placed on the flagged line or the line directly above it. Naked
+// suppressions (no reason) and unknown check names are themselves
+// diagnostics, so the suppression inventory stays auditable.
+//
+// Everything here is standard library only (go/ast, go/parser,
+// go/types, go/importer): the suite adds no module dependencies and
+// runs network-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Package is one loaded, parsed, and typechecked package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path ("repro/internal/core").
+	Path string
+	// Fixture marks packages loaded from a testdata directory; the
+	// runner applies every analyzer to fixtures regardless of the
+	// analyzer's package applicability filter.
+	Fixture bool
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// diag builds a Diagnostic anchored at n.
+func (p *Package) diag(check string, n ast.Node, format string, args ...any) Diagnostic {
+	pos := p.Fset.Position(n.Pos())
+	return Diagnostic{
+		Check:   check,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// An Analyzer is one reprolint check.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and //lint:allow.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Applies restricts the analyzer to matching import paths; nil
+	// means every package. Fixture packages bypass the filter.
+	Applies func(pkgPath string) bool
+	// Run analyzes one package.
+	Run func(pkg *Package) []Diagnostic
+}
+
+// Analyzers returns the full reprolint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetLint, AllocLint, LockLint, ErrLint, CkptLint}
+}
+
+// AnalyzerNames returns the valid check names, for //lint:allow
+// validation.
+func AnalyzerNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Run applies the analyzers to the packages, filters diagnostics
+// through the //lint:allow escape hatch, appends diagnostics for
+// malformed allow comments, and returns the result sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	allows, misuse := collectAllows(pkgs, AnalyzerNames(analyzers))
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !pkg.Fixture && a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			for _, d := range a.Run(pkg) {
+				if !allows.allowed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	out = append(out, misuse...)
+	sortDiagnostics(out)
+	return dedupe(out)
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// dedupe drops identical diagnostics: cross-package analyzers (ckptlint
+// walks the checkpoint graph through imports) can reach the same struct
+// from several roots.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// fixtureCases pairs each testdata fixture directory with the analyzers
+// that run over it. The allow fixture runs the full suite, since the
+// escape hatch is a property of the runner, not of one analyzer.
+var fixtureCases = []struct {
+	dir       string
+	analyzers []*Analyzer // nil means the full suite
+}{
+	{dir: "detlint", analyzers: []*Analyzer{DetLint}},
+	{dir: "alloclint", analyzers: []*Analyzer{AllocLint}},
+	{dir: "locklint", analyzers: []*Analyzer{LockLint}},
+	{dir: "errlint", analyzers: []*Analyzer{ErrLint}},
+	{dir: "ckptlint", analyzers: []*Analyzer{CkptLint}},
+	{dir: "allow", analyzers: nil},
+}
+
+// TestFixtures checks every analyzer against its fixture package: each
+// diagnostic must be announced by a `want` comment on its line, and
+// each want comment must be satisfied by a diagnostic.
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			analyzers := tc.analyzers
+			if analyzers == nil {
+				analyzers = Analyzers()
+			}
+			pkg, err := LoadDir(filepath.Join("testdata", tc.dir))
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			checkWants(t, pkg, Run([]*Package{pkg}, analyzers))
+		})
+	}
+}
+
+// want is one expectation parsed from a fixture comment of the form
+//
+//	// want `regexp` `regexp` ...
+//
+// (block comments work too). Each backquoted pattern is matched against
+// "<check>: <message>" of a diagnostic on the comment's line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	wantRE     = regexp.MustCompile("want((?:\\s+`[^`]*`)+)")
+	backtickRE = regexp.MustCompile("`([^`]*)`")
+)
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, b := range backtickRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(b[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, b[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, pkg *Package, got []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Check+": "+d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestLoadRealPackage exercises the go list + source-importer pipeline
+// against a real module package: the loader must exclude test files and
+// report a non-fixture package under its module import path.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load(".", "repro/internal/job")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "repro/internal/job" {
+		t.Errorf("Path = %q, want repro/internal/job", pkg.Path)
+	}
+	if pkg.Fixture {
+		t.Error("module package marked as fixture")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if filepath.Ext(name) != ".go" {
+			t.Errorf("unexpected file %s", name)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const lockName = "locklint"
+
+// LockLint analyzes structs that carry a sync.Mutex or sync.RWMutex.
+// For each such struct it flags (1) exported pointer-receiver methods
+// that read or write sibling fields without acquiring the mutex and
+// without delegating to another method of the type, and (2) methods
+// that call an exported lock-acquiring method of the same type while
+// already holding the lock — the classic non-reentrant self-deadlock.
+var LockLint = &Analyzer{
+	Name: lockName,
+	Doc:  "lock discipline around mutex-guarded structs",
+	Run:  runLockLint,
+}
+
+// lockedStruct is one struct type carrying a mutex.
+type lockedStruct struct {
+	name    string
+	mutexes map[string]bool // field names of sync.(RW)Mutex fields
+	guarded map[string]bool // every other field name
+	methods map[string]*methodFacts
+}
+
+// methodFacts summarizes one method body for the two checks.
+type methodFacts struct {
+	decl     *ast.FuncDecl
+	exported bool
+	locks    bool            // calls recv.<mu>.Lock/RLock (or embedded recv.Lock)
+	touches  []*ast.Ident    // guarded-field selector uses (recv.field)
+	calls    []*ast.CallExpr // recv.Method(...) calls on the same type
+	delegate bool            // calls some method of the same type
+}
+
+func runLockLint(pkg *Package) []Diagnostic {
+	structs := lockStructs(pkg)
+	if len(structs) == 0 {
+		return nil
+	}
+	collectMethods(pkg, structs)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ls := receiverStruct(pkg, fn, structs)
+			if ls == nil {
+				continue
+			}
+			m := ls.methods[fn.Name.Name]
+			if m == nil {
+				continue
+			}
+			if m.exported && !m.locks && !m.delegate && len(m.touches) > 0 {
+				out = append(out, pkg.diag(lockName, m.touches[0],
+					"%s.%s touches guarded field %s without acquiring the mutex",
+					ls.name, fn.Name.Name, m.touches[0].Name))
+			}
+			if m.locks {
+				for _, call := range m.calls {
+					sel := call.Fun.(*ast.SelectorExpr)
+					callee := ls.methods[sel.Sel.Name]
+					if callee != nil && callee.exported && callee.locks {
+						out = append(out, pkg.diag(lockName, call,
+							"%s.%s calls %s while holding the mutex, and %s locks it again: self-deadlock",
+							ls.name, fn.Name.Name, sel.Sel.Name, sel.Sel.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockStructs finds the package's mutex-carrying struct types.
+func lockStructs(pkg *Package) map[string]*lockedStruct {
+	structs := map[string]*lockedStruct{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			ls := &lockedStruct{
+				name:    ts.Name.Name,
+				mutexes: map[string]bool{},
+				guarded: map[string]bool{},
+				methods: map[string]*methodFacts{},
+			}
+			for _, field := range st.Fields.List {
+				isMutex := isSyncMutex(pkg, field.Type)
+				if len(field.Names) == 0 {
+					// Embedded field: the implicit name is the type name.
+					if isMutex {
+						ls.mutexes[embeddedName(field.Type)] = true
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if isMutex {
+						ls.mutexes[name.Name] = true
+					} else {
+						ls.guarded[name.Name] = true
+					}
+				}
+			}
+			if len(ls.mutexes) > 0 {
+				structs[ls.name] = ls
+			}
+			return true
+		})
+	}
+	return structs
+}
+
+// isSyncMutex reports whether the field type is sync.Mutex or
+// sync.RWMutex (possibly behind a pointer).
+func isSyncMutex(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func embeddedName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	}
+	return ""
+}
+
+// receiverStruct resolves a method's receiver to one of the package's
+// mutex-carrying structs (pointer receivers only: value receivers
+// operate on a copy, and copying a mutex is go vet's department).
+func receiverStruct(pkg *Package, fn *ast.FuncDecl, structs map[string]*lockedStruct) *lockedStruct {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := fn.Recv.List[0].Type
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return nil
+	}
+	base := star.X
+	if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver
+		base = idx.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return structs[id.Name]
+}
+
+// collectMethods gathers per-method facts for every mutex struct.
+func collectMethods(pkg *Package, structs map[string]*lockedStruct) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ls := receiverStruct(pkg, fn, structs)
+			if ls == nil {
+				continue
+			}
+			recv := receiverName(fn)
+			m := &methodFacts{decl: fn, exported: ast.IsExported(fn.Name.Name)}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if isLockCall(sel, recv, ls) {
+						m.locks = true
+						return true
+					}
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && !mutexMethods[sel.Sel.Name] {
+						m.delegate = true
+						m.calls = append(m.calls, n)
+					}
+				case *ast.SelectorExpr:
+					if id, ok := n.X.(*ast.Ident); ok && id.Name == recv && ls.guarded[n.Sel.Name] {
+						m.touches = append(m.touches, n.Sel)
+					}
+				}
+				return true
+			})
+			ls.methods[fn.Name.Name] = m
+		}
+	}
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// mutexMethods are the sync.(RW)Mutex methods that may be promoted
+// onto an embedding struct; calls to them are lock management, not
+// delegation to the struct's own logic.
+var mutexMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "TryLock": true,
+	"RLock": true, "RUnlock": true, "TryRLock": true, "RLocker": true,
+}
+
+// isLockCall recognizes recv.mu.Lock(), recv.mu.RLock(), and the
+// embedded forms recv.Lock() / recv.RLock().
+func isLockCall(sel *ast.SelectorExpr, recv string, ls *lockedStruct) bool {
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		// recv.Lock(): only a lock acquisition if the mutex is embedded.
+		return x.Name == recv && (ls.mutexes["Mutex"] || ls.mutexes["RWMutex"])
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && id.Name == recv && ls.mutexes[x.Sel.Name]
+	}
+	return false
+}

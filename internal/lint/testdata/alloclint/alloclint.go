@@ -1,0 +1,103 @@
+// Fixture for alloclint: allocation sites inside //repro:noalloc
+// functions, next to the recycled-buffer and crash-path forms the
+// project's hot loops actually use.
+package fixture
+
+import "fmt"
+
+type vec struct{ xs [4]float64 }
+
+type sink interface{ Put(float64) }
+
+//repro:noalloc
+func makes(n int) []float64 {
+	return make([]float64, n) // want `alloclint: makes is //repro:noalloc but make allocates`
+}
+
+//repro:noalloc
+func news() *vec {
+	return new(vec) // want `alloclint: news is //repro:noalloc but new allocates`
+}
+
+//repro:noalloc
+func growingAppend(dst []float64, x float64) []float64 {
+	return append(dst, x) // want `alloclint: growingAppend is //repro:noalloc but this append is not the recycled-buffer idiom`
+}
+
+//repro:noalloc
+func recycledAppend(dst, src []float64) []float64 {
+	dst = append(dst[:0], src...) // recycled caller-owned buffer: allowed
+	return dst
+}
+
+//repro:noalloc
+func sprints(x int) string {
+	return fmt.Sprintf("%d", x) // want `alloclint: sprints is //repro:noalloc but fmt.Sprintf builds strings on the heap`
+}
+
+//repro:noalloc
+func crashPath(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x)) // panic argument: crash paths may allocate
+	}
+	return x * 2
+}
+
+//repro:noalloc
+func concat(a, b string) string {
+	return a + b // want `alloclint: concat is //repro:noalloc but string concatenation allocates`
+}
+
+//repro:noalloc
+func concatAssign(a, b string) string {
+	a += b // want `alloclint: concatAssign is //repro:noalloc but \+= on a string allocates`
+	return a
+}
+
+//repro:noalloc
+func sliceLit() []float64 {
+	return []float64{1, 2} // want `alloclint: sliceLit is //repro:noalloc but slice literal allocates its backing array`
+}
+
+//repro:noalloc
+func escapingLit() *vec {
+	return &vec{} // want `alloclint: escapingLit is //repro:noalloc but &-composite literal escapes to the heap`
+}
+
+//repro:noalloc
+func valueLit() vec {
+	return vec{} // plain struct literal stays on the stack: allowed
+}
+
+//repro:noalloc
+func capturingClosure(total *float64) func(float64) {
+	return func(x float64) { // want `alloclint: capturingClosure is //repro:noalloc but closure captures total`
+		*total += x
+	}
+}
+
+//repro:noalloc
+func boxing(s sink, v vec) {
+	box(v) // want `alloclint: boxing is //repro:noalloc but passing .*vec as interface .* boxes the value`
+}
+
+func box(v any) { _ = v }
+
+//repro:noalloc
+func pointerShaped(s sink, v *vec) {
+	box(v) // pointer fits the interface word without boxing: allowed
+}
+
+//repro:noalloc
+func methodValue(s sink) func(float64) {
+	return s.Put // want `alloclint: methodValue is //repro:noalloc but method value s.Put allocates a bound closure`
+}
+
+//repro:noalloc
+func methodCall(s sink, x float64) {
+	s.Put(x) // calling (not capturing) a method: allowed
+}
+
+func unannotated(n int) []float64 {
+	return make([]float64, n) // no //repro:noalloc contract: allowed
+}

@@ -1,0 +1,32 @@
+// Fixture for the //lint:allow escape hatch: well-formed suppressions
+// silence their diagnostic, and malformed ones — an unknown check name,
+// a missing reason, or a bare directive — are diagnostics themselves
+// and suppress nothing.
+package fixture
+
+import "time"
+
+func unsuppressed() time.Time {
+	return time.Now() // want `detlint: time.Now reads the wall clock`
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //lint:allow detlint fixture exercising a reasoned same-line suppression
+}
+
+func allowedLineAbove() time.Time {
+	//lint:allow detlint fixture exercising a reasoned suppression on the line above
+	return time.Now()
+}
+
+func wrongCheckName() time.Time {
+	return time.Now() /* want `allow: lint:allow names unknown check "speedlint"` `detlint: time.Now reads the wall clock` */ //lint:allow speedlint no such analyzer exists
+}
+
+func missingReason() time.Time {
+	return time.Now() /* want `allow: lint:allow detlint needs a reason: naked suppressions are not accepted` `detlint: time.Now reads the wall clock` */ //lint:allow detlint
+}
+
+func bareDirective() time.Time {
+	return time.Now() /* want `allow: lint:allow needs a check name and a reason` `detlint: time.Now reads the wall clock` */ //lint:allow
+}

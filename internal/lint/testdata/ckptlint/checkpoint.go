@@ -1,0 +1,23 @@
+// Fixture for ckptlint: checkpoint schema structs with fields that
+// would not survive an encode/decode round trip, reached both directly
+// (declared in a checkpoint*.go file) and transitively through fields.
+package fixture
+
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Name    string // want `ckptlint: checkpointed field Checkpoint.Name has no explicit JSON name: add a json tag to pin the checkpoint schema`
+	hidden  int    // want `ckptlint: unexported field Checkpoint.hidden is skipped by encoding/json and will not survive a checkpoint/resume round trip`
+	Skipped int    `json:"-"` // explicitly out of the schema: allowed
+	Nested  nested `json:"nested"`
+	Items   []item `json:"items"`
+}
+
+type nested struct {
+	Tagged   int `json:"tagged"`
+	Untagged int // want `ckptlint: checkpointed field nested.Untagged has no explicit JSON name`
+}
+
+type item struct {
+	ID    string  `json:"id"`
+	score float64 // want `ckptlint: unexported field item.score is skipped by encoding/json`
+}

@@ -1,0 +1,69 @@
+// Fixture for detlint: nondeterminism sources that byte-identity gates
+// cannot tolerate, next to the seeded/deterministic forms they should
+// take instead.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `detlint: time.Now reads the wall clock`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `detlint: rand.Float64 draws from the process-global generator`
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	return r.Float64()
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `detlint: select with 2 communication cases resolves readiness races nondeterministically`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func nonBlockingRecv(a chan int) int {
+	select { // single comm case + default: deterministic given channel state
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func observableOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `detlint: map iteration order is nondeterministic and an append in the loop body makes it observable`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printedOrder(m map[string]int) {
+	for k, v := range m { // want `detlint: map iteration order is nondeterministic and a call to Printf in the loop body makes it observable`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func sentOrder(m map[string]int, out chan string) {
+	for k := range m { // want `detlint: map iteration order is nondeterministic and a channel send in the loop body makes it observable`
+		out <- k
+	}
+}
+
+func commutativeFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // order-insensitive reduction: allowed
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,52 @@
+// Fixture for errlint: discarded error returns in their common
+// disguises, next to the documented never-fail writers that are exempt.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func bareCall(path string) {
+	os.Remove(path) // want `errlint: call to os.Remove discards its error result`
+}
+
+func deferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `errlint: deferred call to f.Close discards its error result`
+	return nil
+}
+
+func spawnedCall(path string) {
+	go os.Remove(path) // want `errlint: spawned call to os.Remove discards its error result`
+}
+
+func blankAssign(path string) {
+	_ = os.Remove(path) // want `errlint: error result assigned to the blank identifier`
+}
+
+func tupleBlank(path string) []byte {
+	data, _ := os.ReadFile(path) // want `errlint: error result of os.ReadFile assigned to the blank identifier`
+	return data
+}
+
+func exemptWriters(sb *strings.Builder) {
+	fmt.Println("progress")          // stdout print: exempt
+	fmt.Fprintf(os.Stderr, "warn\n") // stderr print: exempt
+	sb.WriteString("never fails")    // strings.Builder: specified nil error
+}
+
+func stickyWriter(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "row %d\n", 1) // bufio latches the error until Flush: exempt
+	bw.WriteString("row 2\n")      // same sticky-error contract: exempt
+	bw.Flush()                     // want `errlint: call to bw.Flush discards its error result`
+}
+
+func handled(path string) error {
+	return os.Remove(path)
+}

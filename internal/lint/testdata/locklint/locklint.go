@@ -1,0 +1,58 @@
+// Fixture for locklint: mutex-guarded structs whose exported methods
+// skip the lock, and lock-held calls that re-enter it.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Unlocked() int {
+	return c.n // want `locklint: counter.Unlocked touches guarded field n without acquiring the mutex`
+}
+
+func (c *counter) Reentrant() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want `locklint: counter.Reentrant calls Inc while holding the mutex, and Inc locks it again: self-deadlock`
+}
+
+// Delegation to a locking helper is the accepted layering: the exported
+// wrapper holds no state access of its own.
+func (c *counter) Get() int {
+	return c.get()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Unexported methods run under the caller's lock by convention.
+func (c *counter) peek() int {
+	return c.n
+}
+
+type registry struct {
+	sync.RWMutex
+	entries map[string]int
+}
+
+func (r *registry) Lookup(k string) int {
+	r.RLock()
+	defer r.RUnlock()
+	return r.entries[k]
+}
+
+func (r *registry) Unsynced(k string) int {
+	return r.entries[k] // want `locklint: registry.Unsynced touches guarded field entries without acquiring the mutex`
+}

@@ -152,6 +152,8 @@ func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
 // returned slice aliases the MLP's preallocated scratch — steady-state
 // Forward allocates nothing — and stays valid until the next Forward on
 // this MLP; copy it to retain it longer.
+//
+//repro:noalloc
 func (m *MLP) Forward(x []float64) []float64 {
 	if len(x) != m.Sizes[0] {
 		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), m.Sizes[0]))
@@ -178,6 +180,8 @@ func (m *MLP) Forward(x []float64) []float64 {
 // until ZeroGrad is called, enabling minibatch accumulation. The
 // returned slice aliases preallocated scratch (valid until the next
 // Backward); steady-state Backward allocates nothing.
+//
+//repro:noalloc
 func (m *MLP) Backward(dOut []float64) []float64 {
 	last := len(m.Weights) - 1
 	if len(dOut) != m.Sizes[last+1] {

@@ -104,6 +104,8 @@ func (w *Workspace) mustMatch(m *MLP) {
 // batch output is bit-identical to calling Forward once per row.
 // ForwardBatch does not touch the MLP's single-sample caches or any
 // other MLP state — it is a read-only pass over the parameters.
+//
+//repro:noalloc
 func (m *MLP) ForwardBatch(w *Workspace) *Mat {
 	w.mustMatch(m)
 	last := len(m.Weights) - 1
@@ -131,6 +133,8 @@ func (m *MLP) ForwardBatch(w *Workspace) *Mat {
 // Backward. Per-entry accumulation order over the batch matches B
 // sequential Forward+Backward calls (samples applied in row order), so
 // the accumulated gradients are bit-identical to the per-sample path.
+//
+//repro:noalloc
 func (m *MLP) BackwardBatch(w *Workspace) *Mat {
 	w.mustMatch(m)
 	last := len(m.Weights) - 1

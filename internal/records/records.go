@@ -347,6 +347,7 @@ func (m *Manager) DeviceLoadShare() []DeviceShare {
 		}
 	}
 	var out []DeviceShare
+	//lint:allow detlint collect-then-sort: the sort.Slice below fixes the order before anyone observes it
 	for name, c := range counts {
 		share := 0.0
 		if total > 0 {

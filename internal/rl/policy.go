@@ -74,6 +74,8 @@ func (p *GaussianPolicy) Sample(rng *rand.Rand, obs []float64) (action []float64
 // π(·|obs) into action (length ActDim) and returns the log probability
 // and value estimate. It consumes the same RNG stream as Sample, so the
 // two are interchangeable bit-for-bit.
+//
+//repro:noalloc
 func (p *GaussianPolicy) SampleInto(rng *rand.Rand, obs, action []float64) (logProb, value float64) {
 	mean := p.Actor.Forward(obs)
 	if len(action) != len(mean) {
@@ -97,6 +99,8 @@ func (p *GaussianPolicy) MeanAction(obs []float64) []float64 {
 
 // MeanActionInto is the allocation-free MeanAction: the mean action is
 // written into out (length ActDim).
+//
+//repro:noalloc
 func (p *GaussianPolicy) MeanActionInto(obs, out []float64) {
 	mean := p.Actor.Forward(obs)
 	if len(out) != len(mean) {

@@ -218,6 +218,8 @@ func (p *PPO) collectRollout(env Env, obs []float64) []float64 {
 // into Policy (json.Unmarshal) between updates is supported when the
 // architecture matches the trainer's configuration — Update re-derives
 // its cached optimizer views if the policy's buffers were replaced.
+//
+//repro:noalloc
 func (p *PPO) Update() TrainStats {
 	n := len(p.buffer.steps)
 	idx := p.idx[:n]
@@ -230,6 +232,7 @@ func (p *PPO) Update() TrainStats {
 		clipCount, sampleCount       int
 	)
 	for epoch := 0; epoch < p.Cfg.NEpochs; epoch++ {
+		//lint:allow alloclint Shuffle's swap closure does not outlive the call, so escape analysis keeps it on the stack; the AllocsPerRun gate holds Update at 0 allocs/op
 		p.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < n; start += p.Cfg.BatchSize {
 			end := start + p.Cfg.BatchSize
@@ -306,6 +309,8 @@ func aliased(a, b []float64) bool {
 // and the resulting parameter update are bit-identical to the
 // per-sample path — the invariant the executor-equivalence CI gates
 // rely on.
+//
+//repro:noalloc
 func (p *PPO) updateMinibatch(batch []*transition) (polLoss, vfLoss, approxKL float64, clipped int) {
 	p.Policy.zeroGrad()
 	n := len(batch)

@@ -49,6 +49,8 @@ func Observation(q int, devices []policy.DeviceState) []float64 {
 // ObservationInto is the allocation-free Observation: the state vector
 // is written into out (length StateDim), which is zeroed first and
 // returned. It is the per-decision fast path of the deployed RL policy.
+//
+//repro:noalloc
 func ObservationInto(q int, devices []policy.DeviceState, out []float64) []float64 {
 	if len(out) != StateDim {
 		panic(fmt.Sprintf("rlsched: ObservationInto out dim %d, want %d", len(out), StateDim))
