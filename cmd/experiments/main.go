@@ -97,6 +97,7 @@ import (
 	"repro/internal/experiments/runner"
 	"repro/internal/experiments/shard"
 	"repro/internal/records"
+	"repro/internal/retry"
 	"repro/internal/stats"
 )
 
@@ -132,6 +133,7 @@ func run() error {
 		serveAddr = flag.String("serve", "", "run as a worker daemon on this TCP address (host:port; port 0 picks one) until interrupted, executing shard orders for -hosts coordinators; -workers sizes the advertised capacity")
 		hostsFlag = flag.String("hosts", "", "comma-separated worker daemon addresses (host:port,…) to fan tasks out across via TCP; overrides a spec's hosts list and conflicts with -shards")
 		doctor    = flag.Bool("doctor", false, "probe each -hosts daemon and report reachability, protocol version and capacity; exit 1 when any host is unhealthy")
+		waitFor   = flag.Duration("wait", 0, "with -doctor: keep re-probing unhealthy hosts with backoff until all are healthy or this budget expires (e.g. 60s); replaces shell sleep-loops around daemon startup")
 	)
 	flag.IntVar(workers, "parallel", 0, "deprecated alias for -workers")
 	flag.Parse()
@@ -154,7 +156,7 @@ func run() error {
 		return runServe(*serveAddr, *workers)
 	}
 	if *doctor {
-		return runDoctor(os.Stdout, splitHosts(*hostsFlag))
+		return runDoctor(os.Stdout, splitHosts(*hostsFlag), *waitFor)
 	}
 	if *trendDir != "" {
 		return runTrend(os.Stdout, *trendDir, *trendTol)
@@ -230,6 +232,9 @@ func run() error {
 // silently ignoring a flag the user set).
 func validateFlags(set map[string]bool, args []string, artifact, specPath string, n, train, workers, reps, shards int, diff, shardWork bool,
 	sig bool, tol, rtol float64, trendDir string, trendTol float64, serveAddr, hostsFlag string, doctor bool) error {
+	if set["wait"] && !doctor {
+		return fmt.Errorf("-wait paces -doctor readiness probes; pass -doctor with it")
+	}
 	switch {
 	case shardWork:
 		if len(set) > 1 || len(args) > 0 {
@@ -260,7 +265,7 @@ func validateFlags(set map[string]bool, args []string, artifact, specPath string
 			return fmt.Errorf("-doctor probes the -hosts daemon list; pass -hosts with it")
 		}
 		for f := range set {
-			if f != "doctor" && f != "hosts" {
+			if f != "doctor" && f != "hosts" && f != "wait" {
 				return fmt.Errorf("-doctor only probes daemons; -%s conflicts with it", f)
 			}
 		}
@@ -407,7 +412,10 @@ func buildExecutor(shards, workers int, progress bool, hosts []string) experimen
 		}
 	}
 	if len(hosts) > 0 {
-		return experiments.Remote{Options: experiments.RemoteOptions{ExecOptions: opt, Hosts: hosts, OnEvent: onEvent}}
+		// Three dial tries per shard attempt: enough to ride out a daemon
+		// restart without materially delaying a genuine all-hosts-down
+		// failure (each try already sweeps every host).
+		return experiments.Remote{Options: experiments.RemoteOptions{ExecOptions: opt, Hosts: hosts, OnEvent: onEvent, DialAttempts: 3}}
 	}
 	if shards > 0 {
 		return experiments.Sharded{Options: experiments.ShardOptions{ExecOptions: opt, Shards: shards, OnEvent: onEvent}}
@@ -440,10 +448,34 @@ func runServe(addr string, workers int) error {
 // runDoctor is -doctor: probe every daemon concurrently (one dead
 // host's dial timeout must not serialize behind another's) and render
 // one row per host in list order. Any unhealthy host fails the command.
-func runDoctor(w io.Writer, hosts []string) error {
+func runDoctor(w io.Writer, hosts []string, wait time.Duration) error {
 	type report struct {
 		info *shard.ProbeInfo
 		err  error
+	}
+	// With -wait, each host is re-probed under the shared retry policy
+	// until healthy or the budget expires — the CLI replacement for
+	// shell sleep-loops around daemon startup.
+	probe := func(h string) (*shard.ProbeInfo, error) {
+		if wait <= 0 {
+			return shard.Probe(context.Background(), h, 0)
+		}
+		pol := retry.Policy{
+			MaxAttempts: 1 << 30, // budget-bounded, not attempt-bounded
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+			Budget:      wait,
+			Seed:        1,
+		}
+		var info *shard.ProbeInfo
+		err := pol.Do(context.Background(), func(ctx context.Context) error {
+			i, err := shard.Probe(ctx, h, 0)
+			if err == nil {
+				info = i
+			}
+			return err
+		})
+		return info, err
 	}
 	reports := make([]report, len(hosts))
 	var wg sync.WaitGroup
@@ -451,7 +483,7 @@ func runDoctor(w io.Writer, hosts []string) error {
 		wg.Add(1)
 		go func(i int, h string) {
 			defer wg.Done()
-			info, err := shard.Probe(context.Background(), h, 0)
+			info, err := probe(h)
 			reports[i] = report{info, err}
 		}(i, h)
 	}

@@ -8,11 +8,13 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 // TestCommittedSpecsLoad: every spec file shipped under specs/ (the
-// README examples and the CI smoke spec) must load and validate — a
-// broken example is a broken promise.
+// README examples and the CI smoke specs) must load and validate — a
+// broken example is a broken promise. chaos-*.json files are fault
+// plans, validated by their own loader.
 func TestCommittedSpecsLoad(t *testing.T) {
 	matches, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.json"))
 	if err != nil {
@@ -22,6 +24,12 @@ func TestCommittedSpecsLoad(t *testing.T) {
 		t.Fatal("no committed spec files found under specs/")
 	}
 	for _, path := range matches {
+		if strings.HasPrefix(filepath.Base(path), "chaos-") {
+			if _, err := faults.LoadPlan(path); err != nil {
+				t.Errorf("%s: %v", path, err)
+			}
+			continue
+		}
 		if _, err := experiments.LoadSpecFile(path); err != nil {
 			t.Errorf("%s: %v", path, err)
 		}

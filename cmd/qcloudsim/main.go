@@ -20,8 +20,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/job"
 	"repro/internal/policy"
 	"repro/internal/rlsched"
@@ -73,20 +76,25 @@ func run() error {
 		admitMaxQueue    = flag.Int("admit-max-queue", 0, "queue-depth bound for -admit-policy reject|shed")
 		admitTenantQuota = flag.Int("admit-tenant-quota", 0, "per-tenant in-flight job bound for -admit-policy quota")
 		admitRetryAfter  = flag.Float64("admit-retry-after", 30, "Retry-After seconds advertised on refused submissions")
+		admitRate        = flag.Float64("admit-rate", 0, "per-tenant token-bucket admission rate (jobs per simulated second; 0 = unlimited)")
+		admitBurst       = flag.Float64("admit-burst", 1, "token-bucket burst capacity for -admit-rate")
 		timeScale        = flag.Float64("time-scale", 0, "sim seconds per wall second (0 = logical time, deterministic)")
 		window           = flag.Int("window", 512, "rolling metrics window capacity (completions per tenant)")
 		metricsEvery     = flag.Float64("metrics-every", 0, "emit a metrics line every N sim seconds (0 = final only)")
 		checkpointPath   = flag.String("checkpoint", "", "broker checkpoint file")
 		checkpointEvery  = flag.Float64("checkpoint-every", 0, "checkpoint every N sim seconds at quiescent points")
 		resume           = flag.Bool("resume", false, "restore broker state from -checkpoint before serving")
+		supervise        = flag.Bool("supervise", false, "restart the broker from the latest checkpoint after a crash (requires -checkpoint and -checkpoint-every)")
+		faultPlan        = flag.String("fault-plan", "", "JSON fault-injection plan file (see internal/faults)")
 	)
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFlags(set, flag.Args(), *serve, *polName, *rlModel, *listen, *httpAddr,
-		*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter,
-		*timeScale, *window, *metricsEvery, *checkpointPath, *checkpointEvery, *resume); err != nil {
+		*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter, *admitRate, *admitBurst,
+		*timeScale, *window, *metricsEvery, *checkpointPath, *checkpointEvery, *resume,
+		*supervise, *faultPlan); err != nil {
 		return err
 	}
 
@@ -97,15 +105,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		inj, err := buildInjector(*faultPlan, *supervise, os.Stderr)
+		if err != nil {
+			return err
+		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		return runServe(ctx, serveOptions{
+		opts := serveOptions{
 			pol:             pol,
 			cfg:             cfg,
 			fleetSeed:       *fleetSeed,
 			listen:          *listen,
 			httpAddr:        *httpAddr,
-			admit:           admissionConfig(*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter),
+			admit:           admissionConfig(*admitPolicy, *admitMaxQueue, *admitTenantQuota, *admitRetryAfter, *admitRate, *admitBurst),
 			timeScale:       *timeScale,
 			window:          *window,
 			metricsEvery:    *metricsEvery,
@@ -113,7 +125,12 @@ func run() error {
 			checkpointEvery: *checkpointEvery,
 			resume:          *resume,
 			export:          *export,
-		}, os.Stdin, os.Stdout, os.Stderr)
+			inj:             inj,
+		}
+		if *supervise {
+			return runSupervised(ctx, opts, inj, os.Stdin, os.Stdout, os.Stderr)
+		}
+		return runServe(ctx, opts, os.Stdin, os.Stdout, os.Stderr)
 	}
 
 	env := sim.NewEnvironment()
@@ -169,21 +186,63 @@ func run() error {
 
 // serveFlags are meaningful only with -serve.
 var serveFlags = []string{"listen", "http", "admit-policy", "admit-max-queue", "admit-tenant-quota", "admit-retry-after",
-	"time-scale", "window", "metrics-every", "checkpoint", "checkpoint-every", "resume"}
+	"admit-rate", "admit-burst",
+	"time-scale", "window", "metrics-every", "checkpoint", "checkpoint-every", "resume", "supervise", "fault-plan"}
 
 // admissionConfig maps the -admit-* flags onto the broker's admission
 // configuration. validateFlags has already rejected inconsistent
 // combinations.
-func admissionConfig(policyName string, maxQueue, tenantQuota int, retryAfter float64) core.AdmissionConfig {
+func admissionConfig(policyName string, maxQueue, tenantQuota int, retryAfter, rate, burst float64) core.AdmissionConfig {
+	var cfg core.AdmissionConfig
 	switch policyName {
 	case "reject":
-		return core.AdmissionConfig{Policy: core.AdmitReject, MaxQueue: maxQueue, RetryAfterS: retryAfter}
+		cfg = core.AdmissionConfig{Policy: core.AdmitReject, MaxQueue: maxQueue, RetryAfterS: retryAfter}
 	case "shed":
-		return core.AdmissionConfig{Policy: core.AdmitShed, MaxQueue: maxQueue, RetryAfterS: retryAfter}
+		cfg = core.AdmissionConfig{Policy: core.AdmitShed, MaxQueue: maxQueue, RetryAfterS: retryAfter}
 	case "quota":
-		return core.AdmissionConfig{Policy: core.AdmitQuota, TenantQuota: tenantQuota, RetryAfterS: retryAfter}
+		cfg = core.AdmissionConfig{Policy: core.AdmitQuota, TenantQuota: tenantQuota, RetryAfterS: retryAfter}
 	}
-	return core.AdmissionConfig{}
+	if rate > 0 {
+		cfg.RatePerS = rate
+		cfg.Burst = burst
+	}
+	return cfg
+}
+
+// faultEventLine wraps a fired fault for the JSONL telemetry stream, so
+// fault events interleave distinguishably with metrics and recovery
+// lines on stderr.
+type faultEventLine struct {
+	Event string       `json:"event"`
+	Fault faults.Event `json:"fault"`
+}
+
+// buildInjector loads and compiles the -fault-plan, wiring fired-fault
+// telemetry to errOut. Plans that arm an induced broker crash are
+// refused without -supervise: nothing would recover the process.
+func buildInjector(planPath string, supervise bool, errOut io.Writer) (*faults.Injector, error) {
+	if planPath == "" {
+		return nil, nil
+	}
+	plan, err := faults.LoadPlan(planPath)
+	if err != nil {
+		return nil, err
+	}
+	if !supervise && plan.Has(faults.LayerIngest, faults.OpLine, faults.KindCrash) {
+		return nil, fmt.Errorf("fault plan %s arms an ingest crash; pass -supervise so the broker can recover", planPath)
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		return nil, err
+	}
+	inj.SetOnEvent(func(ev faults.Event) {
+		data, err := json.Marshal(faultEventLine{Event: "fault", Fault: ev})
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(errOut, "%s\n", data) //lint:allow errlint fault telemetry is best-effort; a broken stderr must not stop the broker
+	})
+	return inj, nil
 }
 
 // validateFlags rejects inconsistent flag combinations up front, with
@@ -191,8 +250,9 @@ func admissionConfig(policyName string, maxQueue, tenantQuota int, retryAfter fl
 // (the old behaviour for, e.g., -jobs alongside -n, or -rlmodel with a
 // heuristic policy).
 func validateFlags(set map[string]bool, args []string, serve bool, polName, rlModel, listen, httpAddr string,
-	admitPolicy string, admitMaxQueue, admitTenantQuota int, admitRetryAfter float64,
-	timeScale float64, window int, metricsEvery float64, checkpointPath string, checkpointEvery float64, resume bool) error {
+	admitPolicy string, admitMaxQueue, admitTenantQuota int, admitRetryAfter, admitRate, admitBurst float64,
+	timeScale float64, window int, metricsEvery float64, checkpointPath string, checkpointEvery float64, resume bool,
+	supervise bool, faultPlan string) error {
 	if len(args) > 0 {
 		return fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", args)
 	}
@@ -248,6 +308,31 @@ func validateFlags(set map[string]bool, args []string, serve bool, polName, rlMo
 		}
 		if admitRetryAfter < 0 {
 			return fmt.Errorf("-admit-retry-after must be >= 0, have %g", admitRetryAfter)
+		}
+		if set["admit-rate"] && admitRate <= 0 {
+			return fmt.Errorf("-admit-rate must be > 0 jobs per simulated second, have %g", admitRate)
+		}
+		if set["admit-burst"] {
+			if !set["admit-rate"] {
+				return fmt.Errorf("-admit-burst sizes the -admit-rate token bucket; pass -admit-rate with it")
+			}
+			if admitBurst < 1 {
+				return fmt.Errorf("-admit-burst must be >= 1 so a full bucket admits at least one job, have %g", admitBurst)
+			}
+		}
+		if supervise {
+			if listen != "" {
+				return fmt.Errorf("-supervise ingests from stdin under logical time; -listen conflicts with it")
+			}
+			if httpAddr != "" {
+				return fmt.Errorf("-supervise ingests from stdin under logical time; -http conflicts with it")
+			}
+			if set["time-scale"] {
+				return fmt.Errorf("-supervise requires deterministic logical time; drop -time-scale")
+			}
+			if checkpointPath == "" || checkpointEvery <= 0 {
+				return fmt.Errorf("-supervise recovers from durable snapshots; pass -checkpoint and -checkpoint-every with it")
+			}
 		}
 		if timeScale < 0 {
 			return fmt.Errorf("-time-scale must be >= 0, have %g", timeScale)

@@ -41,12 +41,16 @@ func TestValidateFlagsCombinations(t *testing.T) {
 		admitMaxQueue    int
 		admitTenantQuota int
 		admitRetryAfter  float64
+		admitRate        float64
+		admitBurst       float64
 		timeScale        float64
 		window           int
 		metricsEvery     float64
 		checkpointPath   string
 		checkpointEvery  float64
 		resume           bool
+		supervise        bool
+		faultPlan        string
 	}
 	ok := func(a args) args { // fill defaults
 		if a.polName == "" {
@@ -108,12 +112,28 @@ func TestValidateFlagsCombinations(t *testing.T) {
 		{"admit quota", ok(args{set: mkSet("serve", "admit-policy", "admit-tenant-quota"), serve: true, admitPolicy: "quota", admitTenantQuota: 4}), ""},
 		{"admit quota with max queue", ok(args{set: mkSet("serve", "admit-policy", "admit-tenant-quota", "admit-max-queue"), serve: true, admitPolicy: "quota", admitTenantQuota: 4, admitMaxQueue: 10}), "only applies to -admit-policy reject|shed"},
 		{"admit negative retry-after", ok(args{set: mkSet("serve", "admit-policy", "admit-max-queue", "admit-retry-after"), serve: true, admitPolicy: "reject", admitMaxQueue: 10, admitRetryAfter: -1}), "-admit-retry-after"},
+		{"admit-rate without serve", ok(args{set: mkSet("admit-rate"), admitRate: 2}), "pass -serve with it"},
+		{"admit-rate alone", ok(args{set: mkSet("serve", "admit-rate"), serve: true, admitRate: 2}), ""},
+		{"admit-rate zero", ok(args{set: mkSet("serve", "admit-rate"), serve: true, admitRate: 0}), "-admit-rate must be > 0"},
+		{"admit-rate with quota policy", ok(args{set: mkSet("serve", "admit-policy", "admit-tenant-quota", "admit-rate"), serve: true, admitPolicy: "quota", admitTenantQuota: 4, admitRate: 2}), ""},
+		{"admit-burst without rate", ok(args{set: mkSet("serve", "admit-burst"), serve: true, admitBurst: 4}), "pass -admit-rate with it"},
+		{"admit-burst below one", ok(args{set: mkSet("serve", "admit-rate", "admit-burst"), serve: true, admitRate: 2, admitBurst: 0.5}), "-admit-burst must be >= 1"},
+		{"admit-burst", ok(args{set: mkSet("serve", "admit-rate", "admit-burst"), serve: true, admitRate: 2, admitBurst: 4}), ""},
+		{"supervise without serve", ok(args{set: mkSet("supervise"), supervise: true}), "pass -serve with it"},
+		{"supervise without checkpoint", ok(args{set: mkSet("serve", "supervise"), serve: true, supervise: true}), "pass -checkpoint and -checkpoint-every"},
+		{"supervise with checkpointing", ok(args{set: mkSet("serve", "supervise", "checkpoint", "checkpoint-every"), serve: true, supervise: true, checkpointPath: "cp.json", checkpointEvery: 50}), ""},
+		{"supervise with listen", ok(args{set: mkSet("serve", "supervise", "checkpoint", "checkpoint-every", "listen", "time-scale"), serve: true, supervise: true, checkpointPath: "cp.json", checkpointEvery: 50, listen: "127.0.0.1:0", timeScale: 10}), "-listen conflicts"},
+		{"supervise with http", ok(args{set: mkSet("serve", "supervise", "checkpoint", "checkpoint-every", "http"), serve: true, supervise: true, checkpointPath: "cp.json", checkpointEvery: 50, httpAddr: "127.0.0.1:0"}), "-http conflicts"},
+		{"supervise with time-scale", ok(args{set: mkSet("serve", "supervise", "checkpoint", "checkpoint-every", "time-scale"), serve: true, supervise: true, checkpointPath: "cp.json", checkpointEvery: 50, timeScale: 10}), "drop -time-scale"},
+		{"fault-plan without serve", ok(args{set: mkSet("fault-plan"), faultPlan: "plan.json"}), "pass -serve with it"},
+		{"fault-plan with serve", ok(args{set: mkSet("serve", "fault-plan"), serve: true, faultPlan: "plan.json"}), ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateFlags(c.a.set, c.a.args, c.a.serve, c.a.polName, c.a.rlModel, c.a.listen, c.a.httpAddr,
-				c.a.admitPolicy, c.a.admitMaxQueue, c.a.admitTenantQuota, c.a.admitRetryAfter,
-				c.a.timeScale, c.a.window, c.a.metricsEvery, c.a.checkpointPath, c.a.checkpointEvery, c.a.resume)
+				c.a.admitPolicy, c.a.admitMaxQueue, c.a.admitTenantQuota, c.a.admitRetryAfter, c.a.admitRate, c.a.admitBurst,
+				c.a.timeScale, c.a.window, c.a.metricsEvery, c.a.checkpointPath, c.a.checkpointEvery, c.a.resume,
+				c.a.supervise, c.a.faultPlan)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

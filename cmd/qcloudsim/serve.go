@@ -16,10 +16,12 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/records"
+	"repro/internal/retry"
 	"repro/internal/sim"
 )
 
@@ -61,6 +63,12 @@ type serveOptions struct {
 	// set does the broker keep unbounded per-job history; without it
 	// service-mode memory stays flat indefinitely.
 	export string
+
+	// inj, if set, injects faults into the ingest and HTTP layers:
+	// stream readers are wrapped (cut/stall), and the HTTP control
+	// plane's handler chain gains the fault middleware (error/delay/
+	// reset/sever). nil serves undisturbed.
+	inj *faults.Injector
 
 	// onListen, if set, receives the bound TCP address (tests bind :0).
 	onListen func(net.Addr)
@@ -156,6 +164,15 @@ type server struct {
 	// stopHTTP closes the HTTP control plane; set when -http is active.
 	// shutdown calls it before draining so no handler races the drain.
 	stopHTTP func()
+
+	// ingested counts stream records fully applied to the broker; the
+	// supervisor's ingest loop keeps it current so checkpoints record how
+	// far the input stream is durably covered (core.Checkpoint.Ingested).
+	ingested int64
+	// onCheckpointed, if set, observes every durable checkpoint with the
+	// finished-job rows it covers; the supervisor uses it to archive
+	// records across broker incarnations.
+	onCheckpointed func(cp *core.Checkpoint, rows []*records.JobStats)
 }
 
 // emitMetrics writes one metrics sample at the current simulated time.
@@ -185,6 +202,17 @@ func (s *server) emitMetrics() {
 	s.metricsOut.Flush() //lint:allow errlint metrics emission is best-effort; a broken metrics pipe must not stop the broker
 }
 
+// checkpointWriteRetry rides out transient filesystem hiccups on the
+// checkpoint path (the snapshot itself is cheap to re-encode). Each
+// attempt rebuilds the temp file from scratch, so a half-written temp
+// from a failed try is simply overwritten.
+var checkpointWriteRetry = retry.Policy{
+	MaxAttempts: 3,
+	BaseDelay:   50 * time.Millisecond,
+	MaxDelay:    500 * time.Millisecond,
+	Seed:        1,
+}
+
 // writeCheckpoint snapshots the broker if it is quiescent. Non-quiescent
 // ticks are skipped: the next quiescent tick (or the final drain) covers
 // them.
@@ -202,19 +230,33 @@ func (s *server) writeCheckpoint() error {
 	if err != nil {
 		return err
 	}
-	tmp := s.opts.checkpointPath + ".tmp"
-	f, err := os.Create(tmp)
+	cp.Ingested = s.ingested
+	err = checkpointWriteRetry.Do(context.Background(), func(context.Context) error {
+		tmp := s.opts.checkpointPath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := cp.Encode(f); err != nil {
+			f.Close() //lint:allow errlint the encode error is the one to report; close is failure-path cleanup
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, s.opts.checkpointPath)
+	})
 	if err != nil {
 		return err
 	}
-	if err := cp.Encode(f); err != nil {
-		f.Close() //lint:allow errlint the encode error is the one to report; close is failure-path cleanup
-		return err
+	if s.onCheckpointed != nil {
+		var rows []*records.JobStats
+		if s.rec != nil {
+			rows = s.rec.Finished()
+		}
+		s.onCheckpointed(cp, rows)
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.opts.checkpointPath)
+	return nil
 }
 
 // scheduleTicks installs the self-rescheduling metrics and checkpoint
@@ -288,7 +330,11 @@ func (s *server) startHTTP(errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: api.NewServer(s.gw)}
+	var handler http.Handler = api.NewServer(s.gw)
+	if s.opts.inj != nil {
+		handler = s.opts.inj.Middleware(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -311,67 +357,95 @@ func (s *server) startHTTP(errOut io.Writer) error {
 	return nil
 }
 
-// runServe runs the broker service: jobs arrive as line-delimited JSON
-// (stdin or TCP) and/or over the HTTP API, are injected into the live
-// event core, and lifecycle records stream to out while rolling metrics
-// stream to errOut.
-func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut io.Writer) error {
+// loadCheckpoint reads and decodes a checkpoint file for -resume.
+func loadCheckpoint(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	cp, err := core.DecodeCheckpoint(f)
+	f.Close() //lint:allow errlint close of a read-only checkpoint file cannot lose data
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	return cp, nil
+}
+
+// buildServer assembles a broker service instance: environment (at the
+// checkpoint's simulated time when resuming), fleet, job index, records
+// pipeline, broker, admission, restore, and gateway. withManager keeps
+// unbounded per-job history for CSV export; the supervisor needs that
+// even when the per-incarnation export path is empty, because it
+// stitches rows across incarnations itself.
+func buildServer(opts serveOptions, cp *core.Checkpoint, out, errOut io.Writer, withManager bool) (*server, error) {
 	var env *sim.Environment
-	var cp *core.Checkpoint
-	if opts.resume {
-		f, err := os.Open(opts.checkpointPath)
-		if err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
-		cp, err = core.DecodeCheckpoint(f)
-		f.Close() //lint:allow errlint close of a read-only checkpoint file cannot lose data
-		if err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
+	if cp != nil {
 		env = sim.NewEnvironmentAt(cp.SimNow)
 	} else {
 		env = sim.NewEnvironment()
 	}
 	fleet, err := device.StandardFleet(env, opts.fleetSeed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	idx, err := core.NewJobIndex(serveJobRetention)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// The Manager keeps every job's record for the -export CSV; without
-	// -export the bounded index is the only per-job state, keeping RSS
-	// flat under sustained load.
+	// it the bounded index is the only per-job state, keeping RSS flat
+	// under sustained load.
 	var rec *records.Manager
 	recorder := core.MultiRecorder{}
-	if opts.export != "" {
+	if withManager {
 		rec = records.NewManager()
 		recorder = append(recorder, core.ManagerRecorder{M: rec})
 	}
 	recorder = append(recorder, idx, newFinishEmitter(out))
 	b, err := core.NewBroker(env, fleet, opts.pol, opts.cfg, recorder, opts.window)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := b.SetAdmission(opts.admit); err != nil {
-		return err
+		return nil, err
 	}
 	if cp != nil {
 		if err := b.Restore(cp); err != nil {
-			return fmt.Errorf("resume: %w", err)
+			return nil, fmt.Errorf("resume: %w", err)
 		}
 		if cp.Jobs != nil {
 			if err := idx.Restore(cp.Jobs); err != nil {
-				return fmt.Errorf("resume: %w", err)
+				return nil, fmt.Errorf("resume: %w", err)
 			}
 		}
 	}
 	gw, err := api.NewGateway(b, idx, opts.timeScale == 0)
 	if err != nil {
+		return nil, err
+	}
+	return &server{opts: opts, b: b, env: env, rec: rec, gw: gw, idx: idx, metricsOut: bufio.NewWriter(errOut), warnOut: errOut}, nil
+}
+
+// runServe runs the broker service: jobs arrive as line-delimited JSON
+// (stdin or TCP) and/or over the HTTP API, are injected into the live
+// event core, and lifecycle records stream to out while rolling metrics
+// stream to errOut.
+func runServe(ctx context.Context, opts serveOptions, in io.Reader, out, errOut io.Writer) error {
+	var cp *core.Checkpoint
+	if opts.resume {
+		var err error
+		cp, err = loadCheckpoint(opts.checkpointPath)
+		if err != nil {
+			return err
+		}
+	}
+	s, err := buildServer(opts, cp, out, errOut, opts.export != "")
+	if err != nil {
 		return err
 	}
-	s := &server{opts: opts, b: b, env: env, rec: rec, gw: gw, idx: idx, metricsOut: bufio.NewWriter(errOut), warnOut: errOut}
+	if opts.inj != nil {
+		in = opts.inj.Reader(in)
+	}
 	s.scheduleTicks()
 	if opts.httpAddr != "" {
 		if err := s.startHTTP(errOut); err != nil {
@@ -518,7 +592,11 @@ func (s *server) serveTCP(ctx context.Context, errOut io.Writer) error {
 			go func(c net.Conn) {
 				defer c.Close() //lint:allow errlint ingest connections are read-only; close errors carry no data loss
 
-				dec := job.NewStreamDecoder(c)
+				var r io.Reader = c
+				if s.opts.inj != nil {
+					r = s.opts.inj.Reader(r)
+				}
+				dec := job.NewStreamDecoder(r)
 				dec.SetSource("tcp", c.RemoteAddr().String(), connSeq.Add(1))
 				if err := decodeInto(ctx, dec, jobs); err != nil {
 					warnf(errOut, "qcloudsim: %s: %v\n", c.RemoteAddr(), err)

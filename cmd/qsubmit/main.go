@@ -1,0 +1,165 @@
+// Command qsubmit submits an NDJSON job workload to a running broker's
+// HTTP control plane (qcloudsim -serve -http) under the shared retry
+// policy: transient failures — connection errors, 5xx responses, and
+// 429 admission refusals — are retried with capped decorrelated-jitter
+// backoff, honoring the server's Retry-After header as a delay floor,
+// while other 4xx responses fail fast as permanent.
+//
+// Example:
+//
+//	qsubmit -addr http://127.0.0.1:8080 -file jobs.ndjson
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/retry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qsubmit:", err)
+		os.Exit(1)
+	}
+}
+
+// submitRetryBase and submitRetryMax bound the backoff between submit
+// attempts.
+const (
+	submitRetryBase = 200 * time.Millisecond
+	submitRetryMax  = 5 * time.Second
+)
+
+// statusError is a non-2xx submit response, carrying enough to classify
+// retryability and to report the server's own error body.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("broker answered %d: %s", e.code, e.body)
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("qsubmit", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "broker HTTP control-plane base URL")
+	file := fs.String("file", "", "NDJSON workload file (default: stdin)")
+	attempts := fs.Int("attempts", 5, "total submit attempts before giving up")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", fs.Args())
+	}
+	if *attempts < 1 {
+		return fmt.Errorf("-attempts must be >= 1, have %d", *attempts)
+	}
+
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //lint:allow errlint close of a read-only workload file cannot lose data
+		in = f
+	}
+	// The whole body is buffered up front so every retry attempt replays
+	// identical bytes.
+	body, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return fmt.Errorf("empty workload: the body must hold one JSON job per line")
+	}
+
+	resp, err := submit(context.Background(), http.DefaultClient, *addr, body, *attempts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "submitted %d: %d accepted, %d rejected\n", resp.Submitted, resp.Accepted, resp.Rejected) //lint:allow errlint the submission already succeeded; a broken stdout must not fail the client
+	for _, r := range resp.Results {
+		if !r.Admitted {
+			fmt.Fprintf(out, "  rejected %s: %s\n", r.JobID, r.Reason) //lint:allow errlint the submission already succeeded; a broken stdout must not fail the client
+		}
+	}
+	return nil
+}
+
+// submitResponse mirrors the broker's POST /v1/jobs response body.
+type submitResponse struct {
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Results   []struct {
+		JobID    string `json:"job_id"`
+		Admitted bool   `json:"admitted"`
+		Reason   string `json:"reason,omitempty"`
+	} `json:"results"`
+}
+
+// submit POSTs the NDJSON body to /v1/jobs under the shared retry
+// policy. Connection failures, 5xx, and 429 are transient (429 floors
+// the backoff at the advertised Retry-After); other 4xx are permanent.
+func submit(ctx context.Context, client *http.Client, addr string, body []byte, attempts int) (*submitResponse, error) {
+	pol := retry.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   submitRetryBase,
+		MaxDelay:    submitRetryMax,
+		Seed:        1,
+		Classify: func(err error) bool {
+			var se *statusError
+			if errors.As(err, &se) {
+				return se.code == http.StatusTooManyRequests || se.code >= 500
+			}
+			return true // network-level failure: the broker may just be starting
+		},
+	}
+	var resp *submitResponse
+	err := pol.Do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		res, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close() //lint:allow errlint response bodies are read fully below; close errors carry no data loss
+		data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if res.StatusCode != http.StatusAccepted {
+			serr := &statusError{code: res.StatusCode, body: string(bytes.TrimSpace(data))}
+			if serr.code == http.StatusTooManyRequests {
+				if after, aerr := strconv.Atoi(res.Header.Get("Retry-After")); aerr == nil && after > 0 {
+					return retry.After(serr, time.Duration(after)*time.Second)
+				}
+			}
+			return serr
+		}
+		var sr submitResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return retry.Permanent(fmt.Errorf("decoding submit response: %w", err))
+		}
+		resp = &sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+const jobLine = `{"id":"j1","tenant":"acme","arrival_time":0,"q":5,"d":40}` + "\n"
+
+// A 429 with Retry-After is transient: the client must retry and land
+// the batch once admission opens up.
+func TestSubmitRetries429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"rate limited"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"submitted":1,"accepted":1,"rejected":0,"results":[{"job_id":"j1","admitted":true}]}`))
+	}))
+	defer srv.Close()
+
+	resp, err := submit(context.Background(), srv.Client(), srv.URL, []byte(jobLine), 3)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", resp.Accepted)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+// A 400 is the client's own fault; retrying identical bytes cannot
+// succeed, so the policy must fail fast without a second attempt.
+func TestSubmitBadRequestIsPermanent(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"decode job 1: bad line"}`))
+	}))
+	defer srv.Close()
+
+	_, err := submit(context.Background(), srv.Client(), srv.URL, []byte("not json\n"), 5)
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("submit = %v, want 400 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (permanent failure)", got)
+	}
+}
+
+// A 5xx is the broker's problem and may heal; the client retries
+// through it.
+func TestSubmitRetries5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"submitted":1,"accepted":1,"rejected":0,"results":[{"job_id":"j1","admitted":true}]}`))
+	}))
+	defer srv.Close()
+
+	resp, err := submit(context.Background(), srv.Client(), srv.URL, []byte(jobLine), 4)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if resp.Accepted != 1 || calls.Load() != 3 {
+		t.Fatalf("accepted=%d attempts=%d, want 1 accepted on attempt 3", resp.Accepted, calls.Load())
+	}
+}

@@ -1,0 +1,205 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// A tenant exceeding its token-bucket rate gets 429 with a Retry-After
+// computed from the bucket's refill, the rejection lands in the rate
+// counter, and time passing readmits the tenant.
+func TestHTTPRateLimit429RetryAfter(t *testing.T) {
+	s := newLiveStack(t,
+		func() policy.Policy { return policy.Speed{} },
+		core.DefaultConfig(),
+		core.AdmissionConfig{RatePerS: 1, Burst: 1},
+	)
+	if resp, sr := s.post(t, []*job.QJob{mkWide("r1", "acme", 0)}); resp.StatusCode != http.StatusAccepted || sr.Accepted != 1 {
+		t.Fatalf("first job: status %d, %+v", resp.StatusCode, sr)
+	}
+	resp, sr := s.post(t, []*job.QJob{mkWide("r2", "acme", 0)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited POST = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1 (a full token refills in 1/rate s)", got)
+	}
+	if sr.Rejected != 1 || sr.Results[0].Reason != core.DropRateLimit {
+		t.Fatalf("submit response = %+v", sr)
+	}
+
+	var m Metrics
+	s.getJSON(t, "/v1/metrics", &m)
+	if m.Admission.RejectedRate != 1 {
+		t.Fatalf("metrics admission counters = %+v", m.Admission)
+	}
+
+	// Logical time advances to the next arrival; the bucket refills.
+	if resp, _ := s.post(t, []*job.QJob{mkWide("r3", "acme", 2)}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-refill POST = %d, want 202", resp.StatusCode)
+	}
+	if _, err := s.gw.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resumableStack is a hand-built broker whose admission state can be
+// checkpointed into a fresh process image.
+func resumableStack(t *testing.T, adm core.AdmissionConfig, cp *core.Checkpoint) (*core.Broker, *core.JobIndex, *Gateway) {
+	t.Helper()
+	var env *sim.Environment
+	if cp != nil {
+		env = sim.NewEnvironmentAt(cp.SimNow)
+	} else {
+		env = sim.NewEnvironment()
+	}
+	fleet, err := device.StandardFleet(env, 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.NewJobIndex(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBroker(env, fleet, policy.Speed{}, core.DefaultConfig(), core.MultiRecorder{idx}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetAdmission(adm); err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil {
+		if err := b.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		if cp.Jobs != nil {
+			if err := idx.Restore(cp.Jobs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gw, err := NewGateway(b, idx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, idx, gw
+}
+
+// /v1/metrics must report the same lifetime admission counters after a
+// checkpoint/restore cycle as before it: resuming a broker is invisible
+// to operators reading the control plane.
+func TestHTTPMetricsAfterResume(t *testing.T) {
+	adm := core.AdmissionConfig{Policy: core.AdmitQuota, TenantQuota: 1, RetryAfterS: 30, RatePerS: 5, Burst: 5}
+	b1, _, gw1 := resumableStack(t, adm, nil)
+	for _, j := range []*job.QJob{mkWide("a1", "acme", 0), mkWide("a2", "acme", 0), mkWide("b1", "beta", 0)} {
+		gw1.Submit(j)
+	}
+	if _, err := gw1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var before Metrics
+	func() {
+		ts := httptest.NewServer(NewServer(gw1))
+		defer ts.Close()
+		getInto(t, ts.URL+"/v1/metrics", &before)
+	}()
+	if before.Admission.RejectedQuota != 1 {
+		t.Fatalf("pre-resume counters = %+v, want one quota rejection", before.Admission)
+	}
+
+	cp, err := b1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gw2 := resumableStack(t, adm, cp)
+	ts := httptest.NewServer(NewServer(gw2))
+	defer ts.Close()
+	var after Metrics
+	getInto(t, ts.URL+"/v1/metrics", &after)
+	if after.Admission != before.Admission {
+		t.Fatalf("admission counters changed across resume:\nbefore %+v\nafter  %+v", before.Admission, after.Admission)
+	}
+	var st Status
+	getInto(t, ts.URL+"/v1/status", &st)
+	if st.Admitted != 2 || st.Finished != 2 {
+		t.Fatalf("post-resume status = %+v, want the pre-resume lifetime counters", st)
+	}
+}
+
+func getInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An injected connection reset mid-request-body must reject the whole
+// batch: decode-then-submit is atomic, so no prefix of the batch leaks
+// into the broker, and the unchanged retry lands everything.
+func TestHTTPSubmitAtomicUnderSeveredBody(t *testing.T) {
+	inj, err := faults.NewInjector(&faults.Plan{Seed: 3, Rules: []faults.Rule{
+		{Layer: faults.LayerHTTP, Op: faults.OpRequest, Kind: faults.KindSever, Bytes: 40, Max: 1,
+			Targets: []string{"POST /v1/jobs"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gw := resumableStack(t, core.AdmissionConfig{}, nil)
+	ts := httptest.NewServer(inj.Middleware(NewServer(gw)))
+	defer ts.Close()
+
+	jobs := testWorkload(t, 10)
+	var body bytes.Buffer
+	if err := job.WriteNDJSON(&body, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("severed POST = %d, want 400", resp.StatusCode)
+	}
+	var st Status
+	getInto(t, ts.URL+"/v1/status", &st)
+	if st.Admitted != 0 {
+		t.Fatalf("severed request leaked %d jobs into the broker", st.Admitted)
+	}
+
+	// The retry replays identical bytes; the one-shot fault is spent.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sr.Accepted != len(jobs) {
+		t.Fatalf("retry = %d, %+v; want 202 with all %d accepted", resp.StatusCode, sr, len(jobs))
+	}
+	if evs := inj.Events(); len(evs) != 1 || evs[0].Kind != faults.KindSever {
+		t.Fatalf("fault log = %+v, want exactly one sever", evs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/job"
 )
@@ -31,6 +32,13 @@ type DeviceCheckpoint struct {
 	JobsRun  int     `json:"jobs_run"`
 }
 
+// RateBucketCheckpoint is one tenant's resumable token-bucket state.
+type RateBucketCheckpoint struct {
+	Tenant string  `json:"tenant"`
+	Tokens float64 `json:"tokens"`
+	Last   float64 `json:"last"`
+}
+
 // CheckpointPending is one admitted-but-unplaced job awaiting dispatch.
 type CheckpointPending struct {
 	Arrival float64  `json:"arrival"`
@@ -51,6 +59,14 @@ type Checkpoint struct {
 	Devices     []DeviceCheckpoint  `json:"devices"`
 	PolicyState json.RawMessage     `json:"policy_state,omitempty"`
 	Admission   AdmissionStats      `json:"admission,omitzero"`
+	// RateBuckets carries per-tenant token-bucket state, sorted by
+	// tenant so the encoding is deterministic.
+	RateBuckets []RateBucketCheckpoint `json:"rate_buckets,omitempty"`
+	// Ingested is the serving layer's durable stream position: how many
+	// stream lines are fully covered by this checkpoint. The broker
+	// leaves it zero; the serve loop stamps it, and the supervisor
+	// resumes the feed there after a crash.
+	Ingested int64 `json:"ingested,omitempty"`
 	// Jobs carries the serving layer's JobIndex snapshot when one is
 	// attached. The broker itself does not own a JobIndex, so
 	// Broker.Checkpoint leaves it nil and the serve loop fills it in.
@@ -74,6 +90,17 @@ func (b *Broker) Checkpoint() (*Checkpoint, error) {
 	}
 	for _, pj := range b.pending {
 		cp.Pending = append(cp.Pending, CheckpointPending{Arrival: pj.arrival, Job: *pj.j})
+	}
+	if len(b.buckets) > 0 {
+		keys := make([]string, 0, len(b.buckets))
+		for k := range b.buckets { //lint:allow detlint collect-then-sort: the sort below fixes the order before anything observes it
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bk := b.buckets[k]
+			cp.RateBuckets = append(cp.RateBuckets, RateBucketCheckpoint{Tenant: k, Tokens: bk.tokens, Last: bk.last})
+		}
 	}
 	for _, d := range b.devices {
 		busy, last, runs := d.UtilizationState()
@@ -137,6 +164,12 @@ func (b *Broker) Restore(cp *Checkpoint) error {
 	b.admitted = cp.Admitted
 	b.finished = cp.Finished
 	b.admStats = cp.Admission
+	for _, rb := range cp.RateBuckets {
+		if b.buckets == nil {
+			b.buckets = make(map[string]*rateBucket)
+		}
+		b.buckets[rb.Tenant] = &rateBucket{tokens: rb.Tokens, last: rb.Last}
+	}
 	for i := range cp.Pending {
 		p := &cp.Pending[i]
 		j := p.Job

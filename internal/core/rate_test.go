@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+func TestRateLimitTokenBucket(t *testing.T) {
+	rec := &dropRecorder{}
+	b := admissionBroker(t, AdmissionConfig{RatePerS: 1, Burst: 2}, rec)
+
+	// Burst of 2 at t=0, then the bucket is dry.
+	if d := b.Offer(mkJob("j1", "")); !d.Admitted {
+		t.Fatalf("j1 refused: %+v", d)
+	}
+	if d := b.Offer(mkJob("j2", "")); !d.Admitted {
+		t.Fatalf("j2 refused: %+v", d)
+	}
+	d := b.Offer(mkJob("j3", ""))
+	if d.Admitted || d.Reason != DropRateLimit {
+		t.Fatalf("j3 decision %+v, want rate-limit refusal", d)
+	}
+	if d.RetryAfterS != 1 {
+		t.Fatalf("j3 Retry-After %g, want 1 (empty bucket, 1 token/s)", d.RetryAfterS)
+	}
+
+	// Half a token at t=0.5: still refused, honest hint of 0.5 s.
+	b.Env().AdvanceTo(0.5)
+	d = b.Offer(mkJob("j4", ""))
+	if d.Admitted || d.RetryAfterS != 0.5 {
+		t.Fatalf("j4 decision %+v, want refusal with Retry-After 0.5", d)
+	}
+
+	// Refilled past one token at t=1.2.
+	b.Env().AdvanceTo(1.2)
+	if d := b.Offer(mkJob("j5", "")); !d.Admitted {
+		t.Fatalf("j5 refused after refill: %+v", d)
+	}
+
+	// Tenants pace independently: acme's bucket is untouched.
+	if d := b.Offer(mkJob("j6", "acme")); !d.Admitted {
+		t.Fatalf("acme j6 refused: %+v", d)
+	}
+
+	if got := b.AdmissionCounters(); got.RejectedRate != 2 {
+		t.Fatalf("RejectedRate = %d, want 2", got.RejectedRate)
+	}
+	want := []string{"j3@0:rate-limit", "j4@0.5:rate-limit"}
+	if strings.Join(rec.drops, ",") != strings.Join(want, ",") {
+		t.Fatalf("drops %v, want %v", rec.drops, want)
+	}
+}
+
+func TestRateLimitConfigValidation(t *testing.T) {
+	b := admissionBroker(t, AdmissionConfig{}, &dropRecorder{})
+	if err := b.SetAdmission(AdmissionConfig{RatePerS: 2}); err == nil {
+		t.Fatal("rate without burst accepted")
+	}
+	if err := b.SetAdmission(AdmissionConfig{RatePerS: -1, Burst: 1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := b.SetAdmission(AdmissionConfig{Burst: 4}); err == nil {
+		t.Fatal("burst without rate accepted")
+	}
+	if err := b.SetAdmission(AdmissionConfig{Policy: AdmitQuota, TenantQuota: 2, RatePerS: 2, Burst: 1}); err != nil {
+		t.Fatalf("rate composed with quota policy rejected: %v", err)
+	}
+}
+
+// The satellite gate: admission counters and rate buckets ride in
+// checkpoints, round-trip byte-identically, and a restored broker
+// continues the token-bucket schedule exactly where the original
+// stopped.
+func TestAdmissionCheckpointRoundTrip(t *testing.T) {
+	cfg := AdmissionConfig{Policy: AdmitQuota, TenantQuota: 8, RatePerS: 1, Burst: 2}
+	rec := &dropRecorder{}
+	b := admissionBroker(t, cfg, rec)
+	for _, id := range []string{"j1", "j2", "j3"} { // j3 hits the rate limit
+		b.Offer(mkJob(id, ""))
+	}
+	b.Offer(mkJob("a1", "acme"))
+	if _, err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Admission.RejectedRate != 1 {
+		t.Fatalf("checkpoint admission stats %+v, want RejectedRate 1", cp.Admission)
+	}
+	if len(cp.RateBuckets) != 2 {
+		t.Fatalf("checkpoint carries %d rate buckets, want 2 tenants", len(cp.RateBuckets))
+	}
+
+	// Byte-identical round trip: encode → decode → encode.
+	var first bytes.Buffer
+	if err := cp.Encode(&first); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := decoded.Encode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("checkpoint round trip not byte-identical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+	}
+
+	// A restored broker replays the original's counters and continues
+	// its token-bucket schedule.
+	env2 := sim.NewEnvironmentAt(cp.SimNow)
+	fleet2, err := device.StandardFleet(env2, 2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol2 := &fillPolicy{allocs: make([]policy.Allocation, 0, len(fleet2))}
+	b2, err := NewBroker(env2, fleet2, pol2, DefaultConfig(), &dropRecorder{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.SetAdmission(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Restore(decoded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := b2.AdmissionCounters(); got != cp.Admission {
+		t.Fatalf("restored admission stats %+v, want %+v", got, cp.Admission)
+	}
+	da := b.Offer(mkJob("post1", ""))
+	db := b2.Offer(mkJob("post1", ""))
+	if da != db {
+		t.Fatalf("post-restore decision diverged: original %+v vs restored %+v", da, db)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/experiments/shard"
 	"repro/internal/records"
+	"repro/internal/retry"
 )
 
 // RemoteOptions configures the Remote executor — the hosts-level
@@ -30,6 +31,11 @@ type RemoteOptions struct {
 	// HeartbeatTimeout is the per-receive silence budget before a
 	// daemon counts as wedged; 0 means shard.DefaultHeartbeatTimeout.
 	HeartbeatTimeout time.Duration
+	// DialAttempts is the total session-establishment tries per shard
+	// attempt under the shared retry policy (each try already sweeps
+	// every host). Values <= 1 keep the legacy fail-fast behavior in
+	// which an all-hosts-down dial is terminal.
+	DialAttempts int
 	// OnEvent, if set, receives raw coordinator lifecycle events
 	// (spawn/result/retry/done) beyond the per-task OnProgress stream.
 	OnEvent func(shard.Progress)
@@ -74,14 +80,26 @@ func (cs *CaseStudy) RunMatrixRemote(ctx context.Context, opt RemoteOptions, m T
 	if shards <= 0 {
 		shards = len(opt.Hosts)
 	}
+	var transport shard.Transport = &shard.TCPTransport{
+		Hosts:            opt.Hosts,
+		DialTimeout:      opt.DialTimeout,
+		HeartbeatTimeout: opt.HeartbeatTimeout,
+	}
+	if opt.DialAttempts > 1 {
+		transport = &shard.RetryTransport{
+			Inner: transport,
+			Policy: retry.Policy{
+				MaxAttempts: opt.DialAttempts,
+				BaseDelay:   200 * time.Millisecond,
+				MaxDelay:    2 * time.Second,
+				Seed:        1,
+			},
+		}
+	}
 	coord := shard.Coordinator{
-		Shards:  shards,
-		Retries: opt.Retries,
-		Transport: &shard.TCPTransport{
-			Hosts:            opt.Hosts,
-			DialTimeout:      opt.DialTimeout,
-			HeartbeatTimeout: opt.HeartbeatTimeout,
-		},
+		Shards:          shards,
+		Retries:         opt.Retries,
+		Transport:       transport,
 		PerShardWorkers: opt.Workers,
 		OnProgress:      coordinatorProgress(opt.ExecOptions, opt.OnEvent),
 	}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/retry"
+)
+
+// FaultTransport wraps a Transport with a deterministic fault injector:
+// partitions refuse connections to matched hosts, and frame faults
+// delay, reset, drop, or duplicate worker replies. Resets surface as
+// the coordinator's crash class (post-session failure), exercising the
+// requeue machinery; partitions surface as connect errors, exercising
+// retry at the dial layer.
+type FaultTransport struct {
+	Inner Transport
+	Inj   *faults.Injector
+}
+
+// connect implements Transport.
+func (t *FaultTransport) connect(ctx context.Context, shard, attempt int) (session, error) {
+	sess, err := t.Inner.connect(ctx, shard, attempt)
+	if err != nil {
+		return nil, err
+	}
+	target := sess.peer()
+	for _, f := range t.Inj.Decide(faults.LayerTransport, faults.OpConnect, target) {
+		if f.Kind == faults.KindPartition {
+			sess.close() //lint:allow errlint the injected partition is the error to report; close is failure-path cleanup
+			return nil, fmt.Errorf("shard: fault injection: host %q partitioned", target)
+		}
+	}
+	return &faultSession{inner: sess, inj: t.Inj}, nil
+}
+
+// faultSession applies frame faults to one worker conversation.
+type faultSession struct {
+	inner   session
+	inj     *faults.Injector
+	last    reply
+	hasLast bool
+}
+
+func (s *faultSession) sendOrder(o order) error { return s.inner.sendOrder(o) }
+
+func (s *faultSession) recv(rep *reply) error {
+	drop := false
+	for _, f := range s.inj.Decide(faults.LayerTransport, faults.OpFrame, s.inner.peer()) {
+		switch f.Kind {
+		case faults.KindDelay:
+			time.Sleep(f.Delay) //lint:allow retrylint injected latency fault, not a retry loop
+		case faults.KindReset:
+			s.inner.close() //lint:allow errlint the injected reset is the error to report; close is failure-path cleanup
+			return fmt.Errorf("shard: fault injection: connection reset by peer")
+		case faults.KindDup:
+			if s.hasLast {
+				*rep = s.last
+				return nil
+			}
+		case faults.KindDrop:
+			drop = true
+		}
+	}
+	if err := s.inner.recv(rep); err != nil {
+		return err
+	}
+	if drop {
+		// The dropped frame vanishes; deliver the next one instead.
+		if err := s.inner.recv(rep); err != nil {
+			return err
+		}
+	}
+	s.last = *rep
+	s.hasLast = true
+	return nil
+}
+
+func (s *faultSession) peer() string { return s.inner.peer() }
+func (s *faultSession) close() error { return s.inner.close() }
+
+// RetryTransport retries session establishment under the shared retry
+// policy. Plain transports treat a connect failure as terminal (all
+// hosts down); wrapping one in RetryTransport lets the dial path ride
+// out transient partitions and worker restarts instead.
+type RetryTransport struct {
+	Inner  Transport
+	Policy retry.Policy
+}
+
+// connect implements Transport.
+func (t *RetryTransport) connect(ctx context.Context, shard, attempt int) (session, error) {
+	var sess session
+	err := t.Policy.Do(ctx, func(ctx context.Context) error {
+		s, err := t.Inner.connect(ctx, shard, attempt)
+		if err != nil {
+			return err
+		}
+		sess = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
+}

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// severedBody delivers at most n bytes of the wrapped request body,
+// then fails with a connection-reset-shaped read error — the server's
+// view of a client dying mid-upload.
+type severedBody struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (s *severedBody) Read(p []byte) (int, error) {
+	if s.n <= 0 {
+		return 0, fmt.Errorf("faults: injected connection reset mid-body")
+	}
+	if int64(len(p)) > s.n {
+		p = p[:s.n]
+	}
+	n, err := s.rc.Read(p)
+	s.n -= int64(n)
+	if err == nil && s.n <= 0 {
+		err = fmt.Errorf("faults: injected connection reset mid-body")
+	}
+	return n, err
+}
+
+func (s *severedBody) Close() error { return s.rc.Close() }
+
+// Middleware wraps an HTTP handler with the plan's http/request rules.
+// The opportunity target is "METHOD /path", so rules can single out
+// submit traffic without poisoning health probes. Kinds:
+//
+//   - error: answer 503 with a Retry-After header, request never
+//     reaches the handler
+//   - delay: sleep DelayMS before handling
+//   - reset: abort the response mid-flight (client sees a dropped
+//     connection)
+//   - sever: the request body dies after Bytes bytes, exercising the
+//     handler's atomic decode-then-submit path
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		target := r.Method + " " + r.URL.Path
+		for _, f := range in.Decide(LayerHTTP, OpRequest, target) {
+			switch f.Kind {
+			case KindError:
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "{%q:%q}\n", "error", "injected fault: service unavailable") //lint:allow errlint the injected error body is best-effort; the status line already went out
+				return
+			case KindDelay:
+				time.Sleep(f.Delay)
+			case KindReset:
+				// The canonical way to make net/http kill the connection
+				// without a reply.
+				panic(http.ErrAbortHandler)
+			case KindSever:
+				r.Body = &severedBody{rc: r.Body, n: f.Bytes}
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

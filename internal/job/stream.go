@@ -4,28 +4,39 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrTruncated marks a stream that ended mid-record: the final line had
+// no terminating newline and does not decode as a complete job. A
+// connection cut mid-batch surfaces as this error instead of a clean
+// EOF, so the dropped tail is never silently swallowed.
+var ErrTruncated = errors.New("stream truncated mid-record")
+
+// maxLineBytes bounds one NDJSON job line. Job lines are small, but
+// leave generous headroom for pathological inputs.
+const maxLineBytes = 1 << 20
 
 // StreamDecoder reads an open-ended workload as line-delimited JSON: one
 // jobJSON object per line, the broker ingest format. It reuses the batch
 // loader's schema and defaults, so a JSON-array workload converted to
 // NDJSON decodes to the identical jobs — the property the serve-smoke
-// byte-identity gate rests on. Blank lines are skipped.
+// byte-identity gate rests on. Blank lines are skipped. Decode errors
+// carry the 1-based line number and, when SetSource was called, the
+// ingest provenance, so an operator can attribute a poisoned line to
+// the connection that delivered it.
 type StreamDecoder struct {
-	sc     *bufio.Scanner
+	br     *bufio.Reader
 	line   int
 	ingest Ingest
+	done   bool
 }
 
 // NewStreamDecoder wraps r in a line-delimited JSON job decoder.
 func NewStreamDecoder(r io.Reader) *StreamDecoder {
-	sc := bufio.NewScanner(r)
-	// Job lines are small, but leave generous headroom over the 64 KiB
-	// scanner default for pathological inputs.
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	return &StreamDecoder{sc: sc}
+	return &StreamDecoder{br: bufio.NewReaderSize(r, 64<<10)}
 }
 
 // Line returns the 1-based line number of the last decoded job, for
@@ -41,31 +52,96 @@ func (d *StreamDecoder) SetSource(source, remote string, connID int64) {
 	d.ingest = Ingest{Source: source, Remote: remote, ConnID: connID}
 }
 
-// Next decodes the next job. It returns io.EOF once the stream ends.
-func (d *StreamDecoder) Next() (*QJob, error) {
-	for d.sc.Scan() {
-		d.line++
-		raw := bytes.TrimSpace(d.sc.Bytes())
-		if len(raw) == 0 {
+// where locates an error: line number plus ingest provenance when set.
+func (d *StreamDecoder) where() string {
+	if d.ingest.Source == "" {
+		return fmt.Sprintf("stream line %d", d.line)
+	}
+	return fmt.Sprintf("%s stream line %d (remote %s, conn %d)",
+		d.ingest.Source, d.line, d.ingest.Remote, d.ingest.ConnID)
+}
+
+// streamName names the stream for read (not decode) errors.
+func (d *StreamDecoder) streamName() string {
+	if d.ingest.Source == "" {
+		return "stream"
+	}
+	return fmt.Sprintf("%s stream (remote %s, conn %d)", d.ingest.Source, d.ingest.Remote, d.ingest.ConnID)
+}
+
+// readLine reads one physical line including its newline. At end of
+// stream it returns the unterminated tail (possibly empty) with io.EOF.
+func (d *StreamDecoder) readLine() ([]byte, error) {
+	var buf []byte
+	for {
+		frag, err := d.br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == nil || errors.Is(err, io.EOF) {
+			return buf, err
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			if len(buf) > maxLineBytes {
+				return nil, fmt.Errorf("line exceeds %d bytes", maxLineBytes)
+			}
 			continue
 		}
-		var rj jobJSON
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&rj); err != nil {
-			return nil, fmt.Errorf("job: stream line %d: %w", d.line, err)
+		return buf, err
+	}
+}
+
+// Next decodes the next job. It returns io.EOF once the stream ends
+// cleanly (at a line boundary, or after a final complete record with no
+// trailing newline). A stream that ends mid-record instead yields an
+// error wrapping ErrTruncated.
+func (d *StreamDecoder) Next() (*QJob, error) {
+	if d.done {
+		return nil, io.EOF
+	}
+	for {
+		raw, readErr := d.readLine()
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return nil, fmt.Errorf("job: reading %s: %w", d.streamName(), readErr)
 		}
-		j, err := rj.toJob()
+		atEOF := readErr != nil
+		if atEOF {
+			d.done = true
+		}
+		if len(raw) == 0 {
+			return nil, io.EOF
+		}
+		d.line++
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 {
+			if atEOF {
+				return nil, io.EOF
+			}
+			continue
+		}
+		j, err := DecodeLine(trimmed)
 		if err != nil {
-			return nil, fmt.Errorf("job: stream line %d: %w", d.line, err)
+			if atEOF && !bytes.HasSuffix(raw, []byte("\n")) {
+				// The stream died without a newline and the tail does
+				// not decode: a cut mid-record, not a clean end.
+				return nil, fmt.Errorf("job: %s: %w: %w", d.where(), ErrTruncated, err)
+			}
+			return nil, fmt.Errorf("job: %s: %w", d.where(), err)
 		}
 		j.Ingest = d.ingest
 		return j, nil
 	}
-	if err := d.sc.Err(); err != nil {
-		return nil, fmt.Errorf("job: reading stream: %w", err)
+}
+
+// DecodeLine decodes one NDJSON job line (the broker wire schema),
+// applying the batch loader's defaults and validation. Ingest
+// provenance is left zero; callers stamp it.
+func DecodeLine(line []byte) (*QJob, error) {
+	var rj jobJSON
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rj); err != nil {
+		return nil, err
 	}
-	return nil, io.EOF
+	return rj.toJob()
 }
 
 // WriteNDJSON emits jobs in the stream decoder's line-delimited format.

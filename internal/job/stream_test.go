@@ -95,6 +95,71 @@ func TestStreamDecoderErrors(t *testing.T) {
 	}
 }
 
+func TestStreamDecoderTruncation(t *testing.T) {
+	complete := `{"job_id":"a","num_qubits":140,"depth":10,"num_shots":20000}`
+
+	// A final complete record without a trailing newline is a clean end
+	// (the HTTP submit path posts bodies exactly like this).
+	d := NewStreamDecoder(strings.NewReader(complete))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("unterminated complete record: %v", err)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end after unterminated record = %v, want io.EOF", err)
+	}
+
+	// A stream cut mid-record must not be a clean EOF: the tail job
+	// would silently vanish.
+	cut := complete + "\n" + complete[:30]
+	d = NewStreamDecoder(strings.NewReader(cut))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("first record before the cut: %v", err)
+	}
+	_, err := d.Next()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-record cut = %v, want ErrTruncated", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("truncation error %q lacks the line number", err)
+	}
+
+	// A stream ending at a line boundary stays a clean EOF.
+	d = NewStreamDecoder(strings.NewReader(complete + "\n"))
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("newline-terminated end = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamDecoderErrorsCarrySource(t *testing.T) {
+	d := NewStreamDecoder(strings.NewReader(`{"job_id":` + "\n"))
+	d.SetSource("tcp", "10.0.0.7:51234", 3)
+	_, err := d.Next()
+	if err == nil {
+		t.Fatal("expected decode error")
+	}
+	for _, want := range []string{"tcp", "10.0.0.7:51234", "conn 3", "line 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestDecodeLine(t *testing.T) {
+	j, err := DecodeLine([]byte(`{"job_id":"a","num_qubits":140,"depth":10,"num_shots":20000}`))
+	if err != nil {
+		t.Fatalf("DecodeLine: %v", err)
+	}
+	if j.ID != "a" || j.TwoQubitGates != 350 {
+		t.Fatalf("job = %+v, want defaults applied", j)
+	}
+	if _, err := DecodeLine([]byte(`{"job_id":"","num_qubits":1,"depth":1,"num_shots":1}`)); err == nil {
+		t.Fatal("invalid job decoded")
+	}
+}
+
 // The NDJSON round trip must reproduce the batch loader's jobs exactly:
 // the serve-smoke gate feeds the same workload to the batch runner (JSON
 // array) and the broker (NDJSON) and expects identical records.

@@ -13,6 +13,8 @@
 //   - errlint: discarded error returns
 //   - ckptlint: checkpointed struct fields that would not survive a
 //     checkpoint/resume round trip
+//   - retrylint: raw sleep-retry loops that bypass the shared
+//     internal/retry policy (no jitter, cap, budget, or classification)
 //
 // Intentional violations are suppressed with an escape hatch that
 // requires a written reason:
@@ -92,7 +94,7 @@ type Analyzer struct {
 
 // Analyzers returns the full reprolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetLint, AllocLint, LockLint, ErrLint, CkptLint}
+	return []*Analyzer{DetLint, AllocLint, LockLint, ErrLint, CkptLint, RetryLint}
 }
 
 // AnalyzerNames returns the valid check names, for //lint:allow

@@ -18,6 +18,7 @@ var fixtureCases = []struct {
 	{dir: "locklint", analyzers: []*Analyzer{LockLint}},
 	{dir: "errlint", analyzers: []*Analyzer{ErrLint}},
 	{dir: "ckptlint", analyzers: []*Analyzer{CkptLint}},
+	{dir: "retrylint", analyzers: []*Analyzer{RetryLint}},
 	{dir: "allow", analyzers: nil},
 }
 

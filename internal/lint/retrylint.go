@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const retryName = "retrylint"
+
+// retryExemptPackages are allowed to sleep inside loops: the retry
+// package implements the one sanctioned backoff loop, and the fault
+// injector sleeps to simulate latency, not to retry.
+var retryExemptPackages = map[string]bool{
+	"repro/internal/retry":  true,
+	"repro/internal/faults": true,
+}
+
+// RetryLint flags raw sleep-retry loops: a time.Sleep call lexically
+// inside a for or range body. Ad-hoc sleep loops are the failure mode
+// the shared retry policy exists to replace — they have no jitter, no
+// cap, no deadline budget, and no retryable-error classification — so
+// every retry must route through internal/retry. Sleeps inside
+// function literals are not flagged (an async callback sleeping is not
+// the enclosing loop's backoff).
+var RetryLint = &Analyzer{
+	Name: retryName,
+	Doc:  "raw sleep-retry loops outside the shared retry policy",
+	Applies: func(path string) bool {
+		return !retryExemptPackages[path]
+	},
+	Run: runRetryLint,
+}
+
+func runRetryLint(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			for _, sleep := range sleepCalls(pkg, body) {
+				out = append(out, pkg.diag(retryName, sleep,
+					"time.Sleep inside a loop is an ad-hoc retry: use a retry.Policy (capped jittered backoff, deadline budget, error classification)"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sleepCalls collects direct time.Sleep calls in body, without
+// descending into nested loops (each loop reports its own sleeps) or
+// function literals.
+func sleepCalls(pkg *Package, body *ast.BlockStmt) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isTimeSleep(pkg, n) {
+				calls = append(calls, n)
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+func isTimeSleep(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}

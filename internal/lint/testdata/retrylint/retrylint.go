@@ -1,0 +1,48 @@
+// Fixture for retrylint: ad-hoc sleep-retry loops next to the forms
+// that are allowed — sleeps outside loops, async callbacks, and
+// explicitly suppressed injected latency.
+package fixture
+
+import "time"
+
+func pollUntilReady(ready func() bool) {
+	for !ready() {
+		time.Sleep(100 * time.Millisecond) // want `retrylint: time.Sleep inside a loop is an ad-hoc retry`
+	}
+}
+
+func rangeRetry(hosts []string, dial func(string) error) {
+	for _, h := range hosts {
+		if dial(h) != nil {
+			time.Sleep(time.Second) // want `retrylint: time.Sleep inside a loop is an ad-hoc retry`
+		}
+	}
+}
+
+func nestedLoopSleep(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			time.Sleep(time.Millisecond) // want `retrylint: time.Sleep inside a loop is an ad-hoc retry`
+		}
+	}
+}
+
+func singleDelay() {
+	// A lone sleep is pacing, not a retry loop.
+	time.Sleep(50 * time.Millisecond)
+}
+
+func asyncCallback(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			// A goroutine's own sleep is not the loop's backoff.
+			time.Sleep(time.Second)
+		}()
+	}
+}
+
+func suppressedInjectedLatency(delays []time.Duration) {
+	for _, d := range delays {
+		time.Sleep(d) //lint:allow retrylint injected latency fault, not a retry loop
+	}
+}

@@ -14,6 +14,15 @@ import (
 // (the paper's "centralized data management ... supporting
 // post-simulation workload analysis", §3).
 func (m *Manager) WriteCSV(w io.Writer) error {
+	return WriteStatsCSV(w, m.Finished())
+}
+
+// WriteStatsCSV writes the per-job records CSV over an explicit row
+// slice — the same bytes WriteCSV produces for a Manager's finished
+// jobs. The supervisor uses it to export rows stitched together across
+// broker incarnations (checkpoint-archived rows plus the final
+// incarnation's) as one seamless file.
+func WriteStatsCSV(w io.Writer, rows []*JobStats) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"job_id", "arrival", "start", "finish",
@@ -25,7 +34,7 @@ func (m *Manager) WriteCSV(w io.Writer) error {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, s := range m.Finished() {
+	for _, s := range rows {
 		row := []string{
 			s.JobID,
 			f(s.Arrival), f(s.Start), f(s.Finish),
